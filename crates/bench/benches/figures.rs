@@ -1,0 +1,98 @@
+//! Criterion wrappers around the per-figure experiment pipelines (small
+//! configurations): one benchmark per table/figure of the paper, so
+//! `cargo bench` exercises every harness end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvmm_bench::{normalized_runtime, normalized_throughput, normalized_write_traffic};
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::system::{CrashSpec, System};
+use nvmm_workloads::{traces_for_cores, WorkloadKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn small(kind: WorkloadKind) -> WorkloadSpec {
+    WorkloadSpec::evaluation_default(kind).with_ops(40)
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_runtime");
+    g.sample_size(10);
+    g.bench_function("sca_vs_noenc_hash", |b| {
+        b.iter(|| {
+            normalized_runtime(black_box(&small(WorkloadKind::HashTable)), Design::Sca, Design::NoEncryption)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_throughput");
+    g.sample_size(10);
+    g.bench_function("sca_4core_queue", |b| {
+        b.iter(|| normalized_throughput(black_box(&small(WorkloadKind::Queue)), Design::Sca, 4))
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_traffic");
+    g.sample_size(10);
+    g.bench_function("fca_vs_noenc_btree", |b| {
+        b.iter(|| normalized_write_traffic(black_box(&small(WorkloadKind::BTree)), Design::Fca))
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_counter_cache");
+    g.sample_size(10);
+    let spec = small(WorkloadKind::ArraySwap).with_footprint(32 << 20);
+    let traces = traces_for_cores(&spec, 1);
+    g.bench_function("sca_512kb_cache", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::single_core(Design::Sca).with_counter_cache_bytes(512 << 10);
+            System::new(cfg, black_box(traces.clone())).run(CrashSpec::None)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_tx_size");
+    g.sample_size(10);
+    g.bench_function("sca_16line_tx", |b| {
+        b.iter(|| {
+            normalized_runtime(
+                black_box(&small(WorkloadKind::Queue).with_payload_lines(16)),
+                Design::Sca,
+                Design::Ideal,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_latency");
+    g.sample_size(10);
+    let spec = small(WorkloadKind::BTree);
+    let traces = traces_for_cores(&spec, 1);
+    g.bench_function("sca_fast_reads", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::single_core(Design::Sca);
+            cfg.pcm = cfg.pcm.scale_read(0.25);
+            System::new(cfg, black_box(traces.clone())).run(CrashSpec::None)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17
+);
+criterion_main!(benches);

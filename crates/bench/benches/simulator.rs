@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the memory-system simulator itself: how fast
+//! the trace-replay engine executes per design, and the cost of crash
+//! recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvmm_core::recovery::{recover_undo_log, RecoveredMemory};
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::system::{CrashSpec, System};
+use nvmm_workloads::{execute, traces_for_cores, WorkloadKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(50);
+    let traces = traces_for_cores(&spec, 1);
+    let events = traces[0].len() as u64;
+    let mut g = c.benchmark_group("replay");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(20);
+    for design in [Design::NoEncryption, Design::Sca, Design::Fca, Design::CoLocated] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.label()),
+            &design,
+            |b, &design| {
+                b.iter(|| {
+                    let cfg = SimConfig::single_core(design);
+                    System::new(cfg, black_box(traces.clone())).run(CrashSpec::None)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    g.sample_size(20);
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec::smoke(kind).with_ops(50);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &spec, |b, spec| {
+            b.iter(|| traces_for_cores(black_box(spec), 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let spec = WorkloadSpec::smoke(WorkloadKind::BTree).with_ops(30);
+    let ex = execute(&spec, 0, spec.ops);
+    let trace = ex.pm.trace().clone();
+    let cfg = SimConfig::single_core(Design::Sca);
+    let key = cfg.key;
+    let out = System::new(cfg, vec![trace]).run(CrashSpec::AfterEvent(500));
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(30);
+    g.bench_function("decrypt_and_rollback", |b| {
+        b.iter(|| {
+            let mut mem = RecoveredMemory::new(out.image.clone(), key);
+            recover_undo_log(black_box(&mut mem), &ex.log)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_trace_generation, bench_recovery);
+criterion_main!(benches);

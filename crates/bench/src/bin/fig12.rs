@@ -1,0 +1,38 @@
+//! Fig. 12: single-core runtime of each design, normalized to the
+//! no-encryption baseline (lower is better).
+//!
+//! Paper shape: SCA ≈ Co-located+counter-cache ≈ 1.11–1.12×, FCA a few
+//! percent above SCA, plain Co-located the slowest by a wide margin
+//! (serialized read decryption).
+
+use nvmm_bench::{eval_spec, geo_mean, normalized_runtime, print_table, Experiment};
+use nvmm_sim::config::Design;
+use nvmm_workloads::WorkloadKind;
+
+fn main() {
+    let designs =
+        [Design::Sca, Design::Fca, Design::CoLocated, Design::CoLocatedCounterCache, Design::Ideal];
+    let mut exp = Experiment::new("fig12", "runtime normalized to NoEncryption (lower is better)");
+    let mut rows = Vec::new();
+    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
+    for kind in WorkloadKind::ALL {
+        let spec = eval_spec(kind);
+        let mut vals = Vec::new();
+        for (i, d) in designs.iter().enumerate() {
+            let v = normalized_runtime(&spec, *d, Design::NoEncryption);
+            exp.insert(kind.label(), d.label(), v);
+            per_design[i].push(v);
+            vals.push(v);
+        }
+        rows.push((kind.label().to_string(), vals));
+    }
+    rows.push(("geomean".to_string(), per_design.iter().map(|v| geo_mean(v)).collect()));
+    print_table(
+        "Fig. 12 — single-core runtime normalized to NoEncryption",
+        &designs.map(|d| d.label()),
+        &rows,
+    );
+    println!("\npaper: SCA 1.117 / FCA ~1.19 / Co-located ~2.0 / Co-located+$ 1.109 (avg)");
+    let path = exp.save().expect("write results");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Fig. 13: throughput of multithreaded workloads at 1/2/4/8 cores,
+//! normalized to the single-core no-encryption design (higher is
+//! better).
+//!
+//! Paper shape: SCA tracks Ideal closely and beats FCA by
+//! 6.3/11.5/21.8/40.3 % at 1/2/4/8 cores; FCA and plain Co-located
+//! flatten as cores are added.
+
+use nvmm_bench::{eval_spec, normalized_throughput, print_table, Experiment};
+use nvmm_sim::config::Design;
+use nvmm_workloads::WorkloadKind;
+
+fn main() {
+    let designs = [
+        Design::NoEncryption,
+        Design::Ideal,
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+        Design::CoLocatedCounterCache,
+    ];
+    let mut exp = Experiment::new(
+        "fig13",
+        "throughput normalized to 1-core NoEncryption (higher is better)",
+    );
+    for kind in WorkloadKind::ALL {
+        let spec = eval_spec(kind);
+        let mut rows = Vec::new();
+        for cores in [1usize, 2, 4, 8] {
+            let mut vals = Vec::new();
+            for d in designs {
+                let v = normalized_throughput(&spec, d, cores);
+                exp.insert(&format!("{}/{}c", kind.label(), cores), d.label(), v);
+                vals.push(v);
+            }
+            rows.push((format!("{cores} cores"), vals));
+        }
+        print_table(
+            &format!("Fig. 13 — {} throughput vs cores", kind.label()),
+            &designs.map(|d| d.label()),
+            &rows,
+        );
+    }
+    println!("\npaper: SCA over FCA by 6.3/11.5/21.8/40.3% at 1/2/4/8 cores; SCA within 4.7% of Ideal");
+    let path = exp.save().expect("write results");
+    println!("saved {}", path.display());
+}

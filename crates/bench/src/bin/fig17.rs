@@ -1,0 +1,72 @@
+//! Fig. 17: average speedup of SCA over the plain co-located design as
+//! NVM (a) read latency and (b) write latency scale from 10× slower to
+//! 4× faster than the PCM baseline.
+//!
+//! Paper shape: the speedup grows as either latency shrinks — faster
+//! reads make the co-located design's serialized decryption more
+//! prominent; faster writes relieve SCA's counter/data bus contention.
+//!
+//! The workload configuration pins the probe working set into the
+//! window where the comparison is meaningful: larger than the L2 (so
+//! probes reach NVMM) but with a counter footprint the counter cache
+//! can hold (so SCA reads overlap decryption while the co-located
+//! design serializes it).
+
+use nvmm_bench::{eval_spec, geo_mean, print_table, Experiment};
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::system::{CrashSpec, System};
+use nvmm_sim::trace::Trace;
+use nvmm_workloads::{traces_for_cores, WorkloadKind};
+
+fn runtime(traces: &[Vec<Trace>], design: Design, read_f: f64, write_f: f64) -> f64 {
+    let runtimes: Vec<f64> = traces
+        .iter()
+        .map(|t| {
+            let mut cfg = SimConfig::single_core(design);
+            cfg.pcm = cfg.pcm.scale_read(read_f).scale_write(write_f);
+            System::new(cfg, t.clone()).run(CrashSpec::None).stats.runtime.0 as f64
+        })
+        .collect();
+    geo_mean(&runtimes)
+}
+
+fn main() {
+    let points: [(f64, &str); 5] = [
+        (10.0, "10x slower"),
+        (5.0, "5x slower"),
+        (3.0, "3x slower"),
+        (1.0, "PCM"),
+        (0.25, "4x faster"),
+    ];
+    let ops = std::env::var("NVMM_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(800);
+    let traces: Vec<_> = WorkloadKind::ALL
+        .iter()
+        .map(|&kind| {
+            let spec =
+                eval_spec(kind).with_ops(ops).with_read_probes(48).with_footprint(6 << 20);
+            traces_for_cores(&spec, 1)
+        })
+        .collect();
+
+    let mut exp = Experiment::new("fig17", "avg SCA speedup over Co-located (higher is better)");
+    let mut rows = Vec::new();
+    for (axis, is_read) in [("read", true), ("write", false)] {
+        let mut vals = Vec::new();
+        for (factor, label) in points {
+            let (rf, wf) = if is_read { (factor, 1.0) } else { (1.0, factor) };
+            let v = runtime(&traces, Design::CoLocated, rf, wf)
+                / runtime(&traces, Design::Sca, rf, wf);
+            exp.insert(axis, label, v);
+            vals.push(v);
+        }
+        rows.push((format!("{axis} lat"), vals));
+    }
+    print_table(
+        "Fig. 17 — SCA speedup over Co-located vs NVM latency",
+        &points.map(|(_, l)| l),
+        &rows,
+    );
+    println!("\npaper: 1.29x..1.76x across read scaling; 1.39x..1.74x across write scaling");
+    let path = exp.save().expect("write results");
+    println!("saved {}", path.display());
+}

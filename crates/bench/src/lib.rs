@@ -1,0 +1,172 @@
+//! # nvmm-bench
+//!
+//! Experiment harnesses that regenerate **every table and figure** of the
+//! paper's evaluation (§6). Each figure has a binary:
+//!
+//! | binary      | reproduces |
+//! |-------------|------------|
+//! | `table1`    | Table 1 — consistency states per transaction stage |
+//! | `table2`    | Table 2 — system configuration |
+//! | `timelines` | Figs. 7/8 — write timelines under FCA vs SCA |
+//! | `fig12`     | Fig. 12 — single-core runtime by design |
+//! | `fig13`     | Fig. 13 — multi-core throughput scaling |
+//! | `fig14`     | Fig. 14 — NVMM write traffic |
+//! | `fig15`     | Fig. 15 — counter-cache size sensitivity |
+//! | `fig16`     | Fig. 16 — transaction-size sensitivity |
+//! | `fig17`     | Fig. 17 — NVM latency sensitivity |
+//! | `overhead`  | §6.3.7 — hardware overhead accounting |
+//!
+//! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
+//! prints a human-readable table and writes machine-readable JSON to
+//! `target/experiments/`. Set `NVMM_OPS` to override the per-core
+//! transaction count (default 400; smaller values run faster and noisier).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nvmm_sim::config::Design;
+use nvmm_sim::stats::Stats;
+use nvmm_sim::system::RunOutcome;
+use nvmm_workloads::{run_timed, WorkloadKind, WorkloadSpec};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Transactions per core used by the experiments, overridable via the
+/// `NVMM_OPS` environment variable.
+pub fn experiment_ops() -> usize {
+    std::env::var("NVMM_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(400)
+}
+
+/// The evaluation-default spec with the experiment op count applied.
+pub fn eval_spec(kind: WorkloadKind) -> WorkloadSpec {
+    WorkloadSpec::evaluation_default(kind).with_ops(experiment_ops())
+}
+
+/// Runs `spec` under `design` on `cores` cores and returns the outcome.
+pub fn run(spec: &WorkloadSpec, design: Design, cores: usize) -> RunOutcome {
+    run_timed(spec, design, cores)
+}
+
+/// Runtime of `design` normalized to `baseline` for the same spec
+/// (single core). Lower is better — the paper's Fig. 12/16 metric.
+pub fn normalized_runtime(spec: &WorkloadSpec, design: Design, baseline: Design) -> f64 {
+    let d = run(spec, design, 1).stats.runtime.0 as f64;
+    let b = run(spec, baseline, 1).stats.runtime.0 as f64;
+    d / b
+}
+
+/// Total transactions/second of `design` at `cores`, normalized to the
+/// single-core `NoEncryption` rate — the paper's Fig. 13 metric.
+pub fn normalized_throughput(spec: &WorkloadSpec, design: Design, cores: usize) -> f64 {
+    let base = run(spec, Design::NoEncryption, 1).stats.throughput_tps();
+    run(spec, design, cores).stats.throughput_tps() / base
+}
+
+/// Bytes written to NVMM by `design`, normalized to `NoEncryption` —
+/// the paper's Fig. 14 metric.
+pub fn normalized_write_traffic(spec: &WorkloadSpec, design: Design) -> f64 {
+    let base = run(spec, Design::NoEncryption, 1).stats.bytes_written as f64;
+    run(spec, design, 1).stats.bytes_written as f64 / base
+}
+
+/// A generic experiment record serialized to `target/experiments/`.
+#[derive(Debug, Serialize)]
+pub struct Experiment {
+    /// Experiment id, e.g. `"fig12"`.
+    pub id: String,
+    /// What the numbers mean.
+    pub metric: String,
+    /// Row label → series label → value.
+    pub rows: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment record.
+    pub fn new(id: &str, metric: &str) -> Self {
+        Self { id: id.to_string(), metric: metric.to_string(), rows: BTreeMap::new() }
+    }
+
+    /// Inserts one cell.
+    pub fn insert(&mut self, row: &str, series: &str, value: f64) {
+        self.rows.entry(row.to_string()).or_default().insert(series.to_string(), value);
+    }
+
+    /// Writes the record to `target/experiments/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+/// Prints a fixed-width table: rows × series.
+pub fn print_table(title: &str, series: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<12}", "");
+    for s in series {
+        print!("{s:>22}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<12}");
+        for v in values {
+            print!("{v:>22.3}");
+        }
+        println!();
+    }
+}
+
+/// Geometric mean; `NaN` for an empty slice.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Pretty one-line summary of a run's headline stats.
+pub fn summarize(s: &Stats) -> String {
+    format!(
+        "runtime={} tx={} reads={} data-writes={} counter-writes={} cc-miss={:.1}%",
+        s.runtime,
+        s.transactions_committed,
+        s.nvmm_reads,
+        s.nvmm_data_writes,
+        s.nvmm_counter_writes,
+        s.counter_cache_miss_rate() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn experiment_roundtrip() {
+        let mut e = Experiment::new("test", "unitless");
+        e.insert("row", "series", 1.5);
+        assert_eq!(e.rows["row"]["series"], 1.5);
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"test\""));
+    }
+
+    #[test]
+    fn normalized_runtime_of_baseline_is_one() {
+        let spec = WorkloadSpec::smoke(WorkloadKind::Queue);
+        let r = normalized_runtime(&spec, Design::NoEncryption, Design::NoEncryption);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

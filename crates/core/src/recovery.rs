@@ -1,0 +1,351 @@
+//! Post-crash recovery.
+//!
+//! After a (simulated) power failure, the only surviving state is the
+//! NVMM image — ciphertext data lines plus whatever counters actually
+//! persisted. Recovery proceeds the way real hardware would:
+//!
+//! 1. every line the recovery procedure reads is decrypted with the
+//!    *persisted* counter ([`RecoveredMemory`]);
+//! 2. the undo-log protocol is replayed ([`recover_undo_log`]): if the
+//!    log is armed (`valid == 1`), every logged region is restored from
+//!    its backup payload; if disarmed, the in-place data is trusted.
+//!
+//! A counter/data version mismatch (the paper's Eq. 4) produces genuinely
+//! garbled bytes; [`RecoveredMemory`] additionally *detects* it (the
+//! simulator knows the ground-truth counter) and records which lines the
+//! recovery procedure observed garbled. A correct counter-atomicity
+//! design must never let recovery touch a garbled line — that is exactly
+//! the property the crash-consistency test suite asserts for FCA, SCA
+//! and the co-located designs, and refutes for the unsafe baseline.
+
+use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_sim::addr::{ByteAddr, LineAddr, LINE_BYTES};
+use nvmm_sim::nvmm::{LineRead, NvmmImage};
+use std::collections::{BTreeSet, HashMap};
+
+use crate::undo::UndoLog;
+
+pub use crate::redo::recover_redo_log;
+
+/// A read-write view over the post-crash NVMM image.
+///
+/// Reads decrypt with the persisted counters and track garbling; writes
+/// (the restores performed by recovery) land in an overlay, as they would
+/// land in fresh cache lines on a real machine.
+#[derive(Debug)]
+pub struct RecoveredMemory {
+    image: NvmmImage,
+    engine: EncryptionEngine,
+    overlay: HashMap<LineAddr, [u8; 64]>,
+    garbled_touched: BTreeSet<LineAddr>,
+    /// Osiris-style stop-loss search window (0 = disabled).
+    recovery_window: u64,
+    counters_recovered: u64,
+}
+
+impl RecoveredMemory {
+    /// Wraps a post-crash image with the system's encryption key.
+    pub fn new(image: NvmmImage, key: [u8; 16]) -> Self {
+        Self {
+            image,
+            engine: EncryptionEngine::new(key),
+            overlay: HashMap::new(),
+            garbled_touched: BTreeSet::new(),
+            recovery_window: 0,
+            counters_recovered: 0,
+        }
+    }
+
+    /// Enables Osiris-style counter recovery: a line whose persisted
+    /// counter mismatches is decrypted by searching up to `window`
+    /// candidate counters (the system must have run with a matching
+    /// `SimConfig::stop_loss`, which bounds the lag).
+    pub fn with_recovery_window(mut self, window: u64) -> Self {
+        self.recovery_window = window;
+        self
+    }
+
+    /// How many lines the candidate search recovered so far.
+    pub fn counters_recovered(&self) -> u64 {
+        self.counters_recovered
+    }
+
+    fn line_impl(&mut self, l: LineAddr, track: bool) -> [u8; 64] {
+        if let Some(d) = self.overlay.get(&l) {
+            return *d;
+        }
+        let read = if self.recovery_window > 0 {
+            let (read, searched) =
+                self.image.read_line_with_window(l, &self.engine, self.recovery_window);
+            if searched && read.is_clean() {
+                self.counters_recovered += 1;
+            }
+            read
+        } else {
+            self.image.read_line(l, &self.engine)
+        };
+        match read {
+            LineRead::Clean(d) => d,
+            LineRead::Unwritten => [0; 64],
+            LineRead::Garbled(d) => {
+                if track {
+                    self.garbled_touched.insert(l);
+                }
+                d
+            }
+        }
+    }
+
+    fn line(&mut self, l: LineAddr) -> [u8; 64] {
+        self.line_impl(l, true)
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, decrypting as the memory
+    /// controller would after the crash.
+    pub fn read(&mut self, addr: ByteAddr, buf: &mut [u8]) {
+        let mut copied = 0;
+        while copied < buf.len() {
+            let a = ByteAddr(addr.0 + copied as u64);
+            let off = a.offset_in_line();
+            let n = (LINE_BYTES as usize - off).min(buf.len() - copied);
+            let data = self.line(a.line());
+            buf[copied..copied + n].copy_from_slice(&data[off..off + n]);
+            copied += n;
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, addr: ByteAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// A recovery-time store (e.g. restoring a logged region).
+    ///
+    /// A sub-line store merges with the existing line contents; the
+    /// merge read does not count as a *consumed* garbled read — the
+    /// procedure is overwriting, not interpreting, those bytes.
+    pub fn write(&mut self, addr: ByteAddr, bytes: &[u8]) {
+        let mut copied = 0;
+        while copied < bytes.len() {
+            let a = ByteAddr(addr.0 + copied as u64);
+            let off = a.offset_in_line();
+            let n = (LINE_BYTES as usize - off).min(bytes.len() - copied);
+            let mut data =
+                if n == LINE_BYTES as usize { [0; 64] } else { self.line_impl(a.line(), false) };
+            data[off..off + n].copy_from_slice(&bytes[copied..copied + n]);
+            self.overlay.insert(a.line(), data);
+            copied += n;
+        }
+    }
+
+    /// Lines that recovery observed with mismatched counters so far.
+    ///
+    /// Empty for any correct counter-atomicity design, regardless of
+    /// crash point.
+    pub fn garbled_lines(&self) -> &BTreeSet<LineAddr> {
+        &self.garbled_touched
+    }
+
+    /// Whether all reads so far decrypted cleanly.
+    pub fn all_reads_clean(&self) -> bool {
+        self.garbled_touched.is_empty()
+    }
+
+    /// The underlying image (for low-level inspection).
+    pub fn image(&self) -> &NvmmImage {
+        &self.image
+    }
+}
+
+/// What the undo-log recovery pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` if the log was armed and mutations were rolled back.
+    pub rolled_back: bool,
+    /// Number of logged regions restored.
+    pub entries_restored: usize,
+    /// Whether every line recovery read decrypted with a matching
+    /// counter.
+    pub reads_clean: bool,
+}
+
+/// Replays the undo-log protocol over a recovered memory.
+///
+/// Reads the (CounterAtomic) `valid` flag; if armed, restores every
+/// logged region from its backup payload and disarms the log.
+pub fn recover_undo_log(mem: &mut RecoveredMemory, log: &UndoLog) -> RecoveryReport {
+    let valid = mem.read_u64(log.valid_addr());
+    if valid == 0 {
+        return RecoveryReport {
+            rolled_back: false,
+            entries_restored: 0,
+            reads_clean: mem.all_reads_clean(),
+        };
+    }
+    let count = mem.read_u64(log.count_addr());
+    let mut payload_cursor = log.payload_base().0;
+    let mut restored = 0;
+    // A garbled count (possible only in broken designs) could point past
+    // the log; clamp and bounds-check rather than run away — the
+    // garbled-line tracking already records the fault.
+    for i in 0..count.min(log.max_entries()) {
+        let desc = log.desc_addr(i);
+        let addr = mem.read_u64(desc);
+        let len = mem.read_u64(ByteAddr(desc.0 + 8));
+        if len == 0 || !len.is_multiple_of(LINE_BYTES) || payload_cursor + len > log.end().0 {
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        mem.read(ByteAddr(payload_cursor), &mut payload);
+        mem.write(ByteAddr(addr), &payload);
+        restored += 1;
+        payload_cursor += len;
+    }
+    // Disarm: recovery completed; the pre-transaction state is current.
+    mem.write(log.valid_addr(), &0u64.to_le_bytes());
+    RecoveryReport {
+        rolled_back: true,
+        entries_restored: restored,
+        reads_clean: mem.all_reads_clean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmem::{Pmem, RegionPlanner};
+    use crate::undo::Tx;
+    use nvmm_sim::config::{Design, SimConfig};
+    use nvmm_sim::system::{CrashSpec, System};
+
+    /// Builds the one-transaction workload trace (init 100, tx to 200);
+    /// returns (trace, log, data addr).
+    fn one_tx_trace() -> (nvmm_sim::Trace, UndoLog, ByteAddr) {
+        let mut pm = Pmem::for_core(0);
+        let mut plan = RegionPlanner::new(pm.region());
+        let log = UndoLog::new(plan.alloc_lines(64), 8, 64);
+        let data = plan.alloc_lines(1);
+        log.format(&mut pm);
+
+        pm.write_u64(data, 100);
+        pm.clwb(data, 8);
+        pm.counter_cache_writeback(data, 8);
+        pm.persist_barrier();
+
+        let mut tx = Tx::begin(&mut pm, &log, 0);
+        tx.log_region(data, 8);
+        tx.write_u64(data, 200);
+        tx.commit();
+
+        let (trace, _) = pm.into_parts();
+        (trace, log, data)
+    }
+
+    /// Runs the one-transaction workload under `design`, crashing after
+    /// `crash_after` events.
+    fn run_and_crash(
+        design: Design,
+        crash_after: Option<u64>,
+    ) -> (RecoveredMemory, UndoLog, ByteAddr) {
+        let (trace, log, data) = one_tx_trace();
+        let cfg = SimConfig::single_core(design);
+        let key = cfg.key;
+        let crash = match crash_after {
+            Some(n) => CrashSpec::AfterEvent(n),
+            None => CrashSpec::None,
+        };
+        let out = System::new(cfg, vec![trace]).run(crash);
+        (RecoveredMemory::new(out.image, key), log, data)
+    }
+
+    #[test]
+    fn no_crash_recovery_sees_committed_value() {
+        let (mut mem, log, data) = run_and_crash(Design::Sca, None);
+        let report = recover_undo_log(&mut mem, &log);
+        assert!(!report.rolled_back, "disarmed log must not roll back");
+        assert!(report.reads_clean);
+        assert_eq!(mem.read_u64(data), 200);
+    }
+
+    #[test]
+    fn sca_crash_sweep_always_recovers_old_or_new() {
+        // The central crash-consistency property: at *every* crash point,
+        // SCA recovery reads only clean lines and lands on exactly 100
+        // (rolled back) or 200 (committed).
+        let total = one_tx_trace().0.len() as u64;
+        for k in 0..total {
+            let (mut mem, log, data) = run_and_crash(Design::Sca, Some(k));
+            let report = recover_undo_log(&mut mem, &log);
+            let v = mem.read_u64(data);
+            assert!(
+                report.reads_clean && mem.all_reads_clean(),
+                "crash after event {k}: recovery touched garbled lines {:?}",
+                mem.garbled_lines()
+            );
+            assert!(
+                v == 100 || v == 200 || v == 0,
+                "crash after event {k}: recovered value {v} is neither old nor new"
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_design_garbles_somewhere_in_the_sweep() {
+        // The paper's motivation: without counter-atomicity, *some* crash
+        // point leaves recovery reading garbage.
+        let total = 40u64;
+        let mut any_garbled = false;
+        for k in 0..total {
+            let (mut mem, log, _) = run_and_crash(Design::UnsafeNoAtomicity, Some(k));
+            let _ = recover_undo_log(&mut mem, &log);
+            if !mem.all_reads_clean() {
+                any_garbled = true;
+                break;
+            }
+        }
+        assert!(any_garbled, "the unsafe baseline must exhibit the Fig. 4 failure");
+    }
+
+    #[test]
+    fn garbled_bytes_are_not_the_plaintext() {
+        let total = 40u64;
+        for k in 0..total {
+            let (mut mem, log, data) = run_and_crash(Design::UnsafeNoAtomicity, Some(k));
+            let _ = recover_undo_log(&mut mem, &log);
+            if !mem.all_reads_clean() {
+                // Whatever we read from a garbled location, it is real
+                // AES output, not a sentinel.
+                let v = mem.read_u64(data);
+                let _ = v; // value is arbitrary garbage; just ensure no panic
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_writes_visible_to_subsequent_reads() {
+        let (mut mem, _, data) = run_and_crash(Design::Sca, None);
+        mem.write(data, &7u64.to_le_bytes());
+        assert_eq!(mem.read_u64(data), 7);
+    }
+
+    #[test]
+    fn fca_crash_sweep_never_garbles() {
+        for k in (0..40).step_by(3) {
+            let (mut mem, log, _) = run_and_crash(Design::Fca, Some(k));
+            let report = recover_undo_log(&mut mem, &log);
+            assert!(report.reads_clean, "FCA crash after event {k} must stay clean");
+        }
+    }
+
+    #[test]
+    fn co_located_crash_sweep_never_garbles() {
+        for k in (0..40).step_by(3) {
+            let (mut mem, log, _) = run_and_crash(Design::CoLocated, Some(k));
+            let report = recover_undo_log(&mut mem, &log);
+            assert!(report.reads_clean, "co-located crash after event {k} must stay clean");
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! A from-scratch software implementation of the AES-128 block cipher
+//! (FIPS-197).
+//!
+//! The encrypted-NVMM designs in this workspace use AES-128 as the
+//! pseudo-random function behind counter-mode memory encryption: each
+//! one-time pad (OTP) block is `AES(key, address ‖ counter ‖ block)`.
+//! Only the forward (encryption) direction is needed — counter mode never
+//! runs the inverse cipher — but the inverse is provided for completeness
+//! and for validating the implementation round-trip.
+//!
+//! This is a table-free, constant-structure implementation optimized for
+//! clarity over throughput; simulated encryption latency is a *timing
+//! model parameter* (see `nvmm_sim::config`), not the wall-clock cost of
+//! this code.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmm_crypto::aes::Aes128;
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes128::new(&key);
+//! let block = [0u8; 16];
+//! let ct = aes.encrypt_block(&block);
+//! assert_eq!(aes.decrypt_block(&ct), block);
+//! ```
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+const NR: usize = 10;
+/// Number of 32-bit words in the state.
+const NB: usize = 4;
+
+/// The AES S-box, generated at first use from the finite-field inverse
+/// and affine transform rather than embedded as a literal table.
+fn sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let inv = if i == 0 { 0 } else { gf_inv(i as u8) };
+            *slot = affine(inv);
+        }
+        table
+    })
+}
+
+/// The inverse AES S-box.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let fwd = sbox();
+        let mut table = [0u8; 256];
+        for (i, &s) in fwd.iter().enumerate() {
+            table[s as usize] = i as u8;
+        }
+        table
+    })
+}
+
+/// Multiply two elements of GF(2^8) with the AES reduction polynomial
+/// x^8 + x^4 + x^3 + x + 1 (0x11b).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2^8) via exponentiation (a^254).
+fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let a2 = gf_mul(a, a);
+    let a4 = gf_mul(a2, a2);
+    let a8 = gf_mul(a4, a4);
+    let a16 = gf_mul(a8, a8);
+    let a32 = gf_mul(a16, a16);
+    let a64 = gf_mul(a32, a32);
+    let a128 = gf_mul(a64, a64);
+    let mut r = gf_mul(a128, a64);
+    r = gf_mul(r, a32);
+    r = gf_mul(r, a16);
+    r = gf_mul(r, a8);
+    r = gf_mul(r, a4);
+    r = gf_mul(r, a2);
+    r
+}
+
+/// The AES affine transformation applied after the field inverse.
+fn affine(x: u8) -> u8 {
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+fn sub_word(w: u32) -> u32 {
+    let s = sbox();
+    let b = w.to_be_bytes();
+    u32::from_be_bytes([
+        s[b[0] as usize],
+        s[b[1] as usize],
+        s[b[2] as usize],
+        s[b[3] as usize],
+    ])
+}
+
+fn rot_word(w: u32) -> u32 {
+    w.rotate_left(8)
+}
+
+/// Round constants for the key schedule: rcon\[i\] = x^i in GF(2^8).
+fn rcon(i: usize) -> u32 {
+    let mut c: u8 = 1;
+    for _ in 1..i {
+        c = gf_mul(c, 2);
+    }
+    (c as u32) << 24
+}
+
+/// An expanded AES-128 key ready for block encryption and decryption.
+///
+/// Construction performs the full key schedule once; encrypting a block is
+/// then allocation-free.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [u32; NB * (NR + 1)],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug output.
+        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the full AES-128 key schedule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvmm_crypto::aes::Aes128;
+    /// let aes = Aes128::new(&[0x2b; 16]);
+    /// let _ = aes.encrypt_block(&[0; 16]);
+    /// ```
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [0u32; NB * (NR + 1)];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in NK..w.len() {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp = sub_word(rot_word(temp)) ^ rcon(i / NK);
+            }
+            w[i] = w[i - NK] ^ temp;
+        }
+        Self { round_keys: w }
+    }
+
+    fn add_round_key(&self, state: &mut [u8; 16], round: usize) {
+        for c in 0..NB {
+            let k = self.round_keys[round * NB + c].to_be_bytes();
+            for r in 0..4 {
+                state[4 * c + r] ^= k[r];
+            }
+        }
+    }
+
+    /// Encrypts a single 16-byte block in place-independent fashion.
+    pub fn encrypt_block(&self, input: &[u8; 16]) -> [u8; 16] {
+        let mut state = *input;
+        self.add_round_key(&mut state, 0);
+        for round in 1..NR {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            self.add_round_key(&mut state, round);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        self.add_round_key(&mut state, NR);
+        state
+    }
+
+    /// Decrypts a single 16-byte block (the inverse cipher).
+    ///
+    /// Counter-mode decryption does not need this — the same OTP XOR both
+    /// encrypts and decrypts — but it is provided for validation.
+    pub fn decrypt_block(&self, input: &[u8; 16]) -> [u8; 16] {
+        let mut state = *input;
+        self.add_round_key(&mut state, NR);
+        for round in (1..NR).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            self.add_round_key(&mut state, round);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        self.add_round_key(&mut state, 0);
+        state
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    let s = sbox();
+    for b in state.iter_mut() {
+        *b = s[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    let s = inv_sbox();
+    for b in state.iter_mut() {
+        *b = s[*b as usize];
+    }
+}
+
+/// State layout: `state[4*c + r]` is row `r`, column `c` (column-major, as
+/// in FIPS-197).
+fn shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let mut row = [0u8; 4];
+        for c in 0..4 {
+            row[c] = state[4 * ((c + r) % 4) + r];
+        }
+        for c in 0..4 {
+            state[4 * c + r] = row[c];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let mut row = [0u8; 4];
+        for c in 0..4 {
+            row[(c + r) % 4] = state[4 * c + r];
+        }
+        for c in 0..4 {
+            state[4 * c + r] = row[c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        let s = sbox();
+        // Spot values from FIPS-197 Figure 7.
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        let s = sbox();
+        let inv = inv_sbox();
+        for i in 0..=255u8 {
+            assert_eq!(inv[s[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn gf_mul_examples() {
+        // {57} . {83} = {c1} from FIPS-197 §4.2.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn gf_inv_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a = {a:#x}");
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B worked example.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plain = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&plain), expect);
+        assert_eq!(aes.decrypt_block(&expect), plain);
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // FIPS-197 Appendix C.1 (AES-128) known-answer test.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plain: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&plain), expect);
+        assert_eq!(aes.decrypt_block(&expect), plain);
+    }
+
+    #[test]
+    fn key_schedule_first_words_match_fips() {
+        // First expanded words for the Appendix A.1 key.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.round_keys[4], 0xa0fafe17);
+        assert_eq!(aes.round_keys[5], 0x88542cb1);
+        assert_eq!(aes.round_keys[43], 0xb6630ca6);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let key: [u8; 16] = rng.gen();
+            let block: [u8; 16] = rng.gen();
+            let aes = Aes128::new(&key);
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_ciphertexts() {
+        let a = Aes128::new(&[0u8; 16]);
+        let b = Aes128::new(&[1u8; 16]);
+        assert_ne!(a.encrypt_block(&[0; 16]), b.encrypt_block(&[0; 16]));
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let aes = Aes128::new(&[0x42; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("42"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Encryption counters and the counter-region address layout.
+//!
+//! Counter-mode NVMM encryption associates one 8-byte counter with every
+//! 64-byte data cache line (as in the paper's §2.2.1 and prior work it
+//! cites). Counters live in a *separate* region of the physical address
+//! space and are themselves read and written at cache-line granularity:
+//! one 64-byte counter line holds the counters for eight consecutive data
+//! lines (§5.2.1 "the memory controller fetches a cache line of counters
+//! (eight counters)").
+//!
+//! This module provides the [`Counter`] newtype and the bijective mapping
+//! between data lines and `(counter line, slot)` pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a cache line in bytes, fixed at 64 throughout the system.
+pub const LINE_BYTES: usize = 64;
+
+/// Size of one encryption counter in bytes.
+pub const COUNTER_BYTES: usize = 8;
+
+/// Number of counters packed into one counter cache line.
+pub const COUNTERS_PER_LINE: usize = LINE_BYTES / COUNTER_BYTES;
+
+/// A monotonically increasing encryption counter value.
+///
+/// A fresh counter is drawn from the memory controller's global counter on
+/// every write access (§5.2.1), so a given `(address, counter)` pair never
+/// encrypts two different plaintexts — the one-time-pad property.
+///
+/// `Counter::ZERO` is reserved to mean "never written": decrypting with it
+/// models reading a line whose counter was lost.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// The never-written counter value.
+    pub const ZERO: Counter = Counter(0);
+
+    /// Returns `true` if this counter has never been assigned by a write.
+    pub fn is_unwritten(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The little-endian on-NVMM encoding of this counter.
+    pub fn to_bytes(self) -> [u8; COUNTER_BYTES] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decodes a counter from its on-NVMM encoding.
+    pub fn from_bytes(bytes: [u8; COUNTER_BYTES]) -> Self {
+        Counter(u64::from_le_bytes(bytes))
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctr#{}", self.0)
+    }
+}
+
+/// Identifies which counter line holds a data line's counter and the slot
+/// within that line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterSlot {
+    /// Index of the counter line in the counter region (0-based).
+    pub counter_line: u64,
+    /// Slot within the counter line, `0..COUNTERS_PER_LINE`.
+    pub slot: usize,
+}
+
+/// Maps a data line index to the counter line and slot that store its
+/// counter.
+///
+/// The mapping is a bijection between data lines and `(line, slot)` pairs;
+/// see the `counter_mapping_bijective` property test.
+///
+/// # Examples
+///
+/// ```
+/// use nvmm_crypto::counter::{counter_slot_for, COUNTERS_PER_LINE};
+/// let s = counter_slot_for(17);
+/// assert_eq!(s.counter_line, 17 / COUNTERS_PER_LINE as u64);
+/// assert_eq!(s.slot, 17 % COUNTERS_PER_LINE);
+/// ```
+pub fn counter_slot_for(data_line: u64) -> CounterSlot {
+    CounterSlot {
+        counter_line: data_line / COUNTERS_PER_LINE as u64,
+        slot: (data_line % COUNTERS_PER_LINE as u64) as usize,
+    }
+}
+
+/// Inverse of [`counter_slot_for`].
+pub fn data_line_for(slot: CounterSlot) -> u64 {
+    slot.counter_line * COUNTERS_PER_LINE as u64 + slot.slot as u64
+}
+
+/// A 64-byte line of eight packed counters, as stored in the counter cache
+/// and in the NVMM counter region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterLine {
+    counters: [Counter; COUNTERS_PER_LINE],
+}
+
+impl CounterLine {
+    /// A counter line in which every slot is unwritten.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= COUNTERS_PER_LINE`.
+    pub fn get(&self, slot: usize) -> Counter {
+        self.counters[slot]
+    }
+
+    /// Replaces the counter in `slot`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= COUNTERS_PER_LINE`.
+    pub fn set(&mut self, slot: usize, counter: Counter) -> Counter {
+        std::mem::replace(&mut self.counters[slot], counter)
+    }
+
+    /// Serializes the whole line to its 64-byte NVMM representation.
+    pub fn to_bytes(&self) -> [u8; LINE_BYTES] {
+        let mut out = [0u8; LINE_BYTES];
+        for (i, c) in self.counters.iter().enumerate() {
+            out[i * COUNTER_BYTES..(i + 1) * COUNTER_BYTES].copy_from_slice(&c.to_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a line from its 64-byte NVMM representation.
+    pub fn from_bytes(bytes: &[u8; LINE_BYTES]) -> Self {
+        let mut line = Self::new();
+        for i in 0..COUNTERS_PER_LINE {
+            let mut b = [0u8; COUNTER_BYTES];
+            b.copy_from_slice(&bytes[i * COUNTER_BYTES..(i + 1) * COUNTER_BYTES]);
+            line.counters[i] = Counter::from_bytes(b);
+        }
+        line
+    }
+
+    /// Iterates over `(slot, counter)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Counter)> + '_ {
+        self.counters.iter().copied().enumerate()
+    }
+}
+
+/// The memory controller's global counter source (§5.2.1: "the encryption
+/// engine generates a new counter by incrementing the global counter").
+///
+/// Values start at 1 so that `Counter::ZERO` retains its "never written"
+/// meaning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalCounter {
+    next: u64,
+}
+
+impl Default for GlobalCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalCounter {
+    /// Creates a counter source whose first issued value is `Counter(1)`.
+    pub fn new() -> Self {
+        Self { next: 1 }
+    }
+
+    /// Issues a fresh, never-before-issued counter.
+    pub fn issue(&mut self) -> Counter {
+        let c = Counter(self.next);
+        self.next += 1;
+        c
+    }
+
+    /// Number of counters issued so far.
+    pub fn issued(&self) -> u64 {
+        self.next - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_counter_is_unwritten() {
+        assert!(Counter::ZERO.is_unwritten());
+        assert!(!Counter(1).is_unwritten());
+    }
+
+    #[test]
+    fn counter_byte_roundtrip() {
+        let c = Counter(0xdead_beef_cafe_f00d);
+        assert_eq!(Counter::from_bytes(c.to_bytes()), c);
+    }
+
+    #[test]
+    fn slot_mapping_examples() {
+        assert_eq!(counter_slot_for(0), CounterSlot { counter_line: 0, slot: 0 });
+        assert_eq!(counter_slot_for(7), CounterSlot { counter_line: 0, slot: 7 });
+        assert_eq!(counter_slot_for(8), CounterSlot { counter_line: 1, slot: 0 });
+    }
+
+    #[test]
+    fn counter_line_roundtrip() {
+        let mut line = CounterLine::new();
+        for i in 0..COUNTERS_PER_LINE {
+            line.set(i, Counter(i as u64 * 1000 + 1));
+        }
+        let restored = CounterLine::from_bytes(&line.to_bytes());
+        assert_eq!(restored, line);
+    }
+
+    #[test]
+    fn counter_line_set_returns_previous() {
+        let mut line = CounterLine::new();
+        assert_eq!(line.set(3, Counter(5)), Counter::ZERO);
+        assert_eq!(line.set(3, Counter(9)), Counter(5));
+    }
+
+    #[test]
+    fn global_counter_monotonic_and_unique() {
+        let mut g = GlobalCounter::new();
+        let a = g.issue();
+        let b = g.issue();
+        assert!(b > a);
+        assert!(!a.is_unwritten());
+        assert_eq!(g.issued(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn counter_mapping_bijective(data_line in 0u64..1_000_000) {
+            let slot = counter_slot_for(data_line);
+            prop_assert!(slot.slot < COUNTERS_PER_LINE);
+            prop_assert_eq!(data_line_for(slot), data_line);
+        }
+
+        #[test]
+        fn distinct_lines_distinct_slots(a in 0u64..100_000, b in 0u64..100_000) {
+            prop_assume!(a != b);
+            prop_assert_ne!(counter_slot_for(a), counter_slot_for(b));
+        }
+
+        #[test]
+        fn counter_line_bytes_roundtrip(vals in proptest::array::uniform8(0u64..u64::MAX)) {
+            let mut line = CounterLine::new();
+            for (i, v) in vals.iter().enumerate() {
+                line.set(i, Counter(*v));
+            }
+            prop_assert_eq!(CounterLine::from_bytes(&line.to_bytes()), line);
+        }
+    }
+}

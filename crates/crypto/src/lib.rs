@@ -1,0 +1,50 @@
+//! # nvmm-crypto
+//!
+//! Counter-mode memory-encryption primitives for encrypted non-volatile
+//! main memory (NVMM) systems, as used by the HPCA 2018 paper *Crash
+//! Consistency in Encrypted Non-Volatile Main Memory Systems*.
+//!
+//! Counter-mode encryption associates an 8-byte counter with every 64-byte
+//! cache line. Writes draw a fresh counter from a global counter, derive a
+//! one-time pad `OTP = En(address ‖ counter, key)`, and store
+//! `OTP ⊕ plaintext`. Reads regenerate the pad (ideally in parallel with
+//! the memory fetch, using a cached counter) and XOR it with the fetched
+//! ciphertext. After a crash, a line decrypts correctly **only if** the
+//! counter persisted in NVMM matches the counter the ciphertext was
+//! produced with — the property the paper names *counter-atomicity*.
+//!
+//! This crate is the purely functional layer: real AES-128, real pads,
+//! real garbled plaintext when counters go stale. Timing, caching, write
+//! queues, and crash semantics live in `nvmm-sim`; the programming model
+//! and recovery live in `nvmm-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmm_crypto::engine::EncryptionEngine;
+//!
+//! let mut engine = EncryptionEngine::new(*b"an aes-128 key!!");
+//! let plaintext = [42u8; 64];
+//!
+//! // Write path: fresh counter, ciphertext to NVMM.
+//! let w = engine.encrypt(0x100, &plaintext);
+//!
+//! // Read path with the *matching* counter: plaintext restored.
+//! assert_eq!(engine.decrypt(0x100, &w.ciphertext, w.counter), plaintext);
+//!
+//! // Crash with a stale counter: decryption garbles (paper Eq. 4).
+//! let w2 = engine.encrypt(0x100, &plaintext);
+//! assert_ne!(engine.decrypt(0x100, &w2.ciphertext, w.counter), plaintext);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod compress;
+pub mod counter;
+pub mod engine;
+pub mod otp;
+
+pub use counter::{Counter, CounterLine, GlobalCounter, COUNTERS_PER_LINE, LINE_BYTES};
+pub use engine::{EncryptedWrite, EncryptionEngine, LineData};

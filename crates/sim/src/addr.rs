@@ -1,0 +1,156 @@
+//! Physical address newtypes.
+//!
+//! The simulator is cache-line granular: a [`LineAddr`] indexes 64-byte
+//! lines in the data region. Counter lines live in a logically separate
+//! region and are addressed by [`CounterLineAddr`] (see
+//! `nvmm_crypto::counter` for the data-line → counter-slot mapping).
+
+use nvmm_crypto::counter::{counter_slot_for, CounterSlot};
+use serde::{Deserialize, Serialize};
+
+/// Size of a cache line in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// A byte address in the flat persistent address space.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteAddr(pub u64);
+
+impl ByteAddr {
+    /// The cache line containing this byte.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Offset of this byte within its cache line.
+    pub fn offset_in_line(self) -> usize {
+        (self.0 % LINE_BYTES) as usize
+    }
+}
+
+/// A cache-line-granular address in the data region (line index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte of this line.
+    pub fn byte_addr(self) -> ByteAddr {
+        ByteAddr(self.0 * LINE_BYTES)
+    }
+
+    /// The counter line and slot holding this data line's counter.
+    pub fn counter_slot(self) -> CounterSlot {
+        counter_slot_for(self.0)
+    }
+
+    /// The counter line holding this data line's counter.
+    pub fn counter_line(self) -> CounterLineAddr {
+        CounterLineAddr(self.counter_slot().counter_line)
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A cache-line-granular address in the counter region (counter line
+/// index). One counter line packs counters for eight consecutive data
+/// lines.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CounterLineAddr(pub u64);
+
+impl std::fmt::Display for CounterLineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{:#x}", self.0)
+    }
+}
+
+/// A physical target on the NVMM device: either a data line or a counter
+/// line. Used by the device model to assign banks; the counter region is
+/// offset so counter traffic spreads across banks independently of the
+/// data traffic it accompanies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvmmTarget {
+    /// A 64-byte data line (72 bytes in co-located designs).
+    Data(LineAddr),
+    /// A 64-byte line of eight packed counters.
+    Counter(CounterLineAddr),
+}
+
+impl NvmmTarget {
+    /// The bank this target maps to, for `nbanks` banks.
+    ///
+    /// Banks are hash-interleaved (as XOR-based bank interleaving does
+    /// in real controllers) so that regular strides — and in particular
+    /// the congruent per-core region layouts — do not alias onto a few
+    /// banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbanks` is zero.
+    pub fn bank(self, nbanks: usize) -> usize {
+        assert!(nbanks > 0, "device must have at least one bank");
+        let mixed = match self {
+            NvmmTarget::Data(l) => l.0.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            // Separate constant: a data line and its own counter line
+            // land on independent banks.
+            NvmmTarget::Counter(c) => (c.0 ^ 0x5bd1_e995).wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+        };
+        ((mixed >> 32) % nbanks as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_to_line_mapping() {
+        assert_eq!(ByteAddr(0).line(), LineAddr(0));
+        assert_eq!(ByteAddr(63).line(), LineAddr(0));
+        assert_eq!(ByteAddr(64).line(), LineAddr(1));
+        assert_eq!(ByteAddr(130).offset_in_line(), 2);
+    }
+
+    #[test]
+    fn line_to_byte_roundtrip() {
+        let l = LineAddr(1234);
+        assert_eq!(l.byte_addr().line(), l);
+    }
+
+    #[test]
+    fn counter_line_mapping() {
+        assert_eq!(LineAddr(0).counter_line(), CounterLineAddr(0));
+        assert_eq!(LineAddr(7).counter_line(), CounterLineAddr(0));
+        assert_eq!(LineAddr(8).counter_line(), CounterLineAddr(1));
+        assert_eq!(LineAddr(9).counter_slot().slot, 1);
+    }
+
+    #[test]
+    fn banks_cover_range() {
+        for i in 0..64 {
+            let b = NvmmTarget::Data(LineAddr(i)).bank(8);
+            assert!(b < 8);
+        }
+    }
+
+    #[test]
+    fn data_and_own_counter_usually_differ_in_bank() {
+        let mut differ = 0;
+        for i in 0..64u64 {
+            let d = NvmmTarget::Data(LineAddr(i)).bank(8);
+            let c = NvmmTarget::Counter(LineAddr(i).counter_line()).bank(8);
+            if d != c {
+                differ += 1;
+            }
+        }
+        assert!(differ > 32, "counter region should not alias data banks");
+    }
+}

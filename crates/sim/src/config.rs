@@ -1,0 +1,384 @@
+//! System configuration — the paper's Table 2, plus the counter-atomicity
+//! design under evaluation.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// The six evaluated designs (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// An NVMM system without any encryption.
+    NoEncryption,
+    /// Counter-mode encryption with zero counter-atomicity overhead: an
+    /// upper bound on performance, not a crash-consistent design.
+    Ideal,
+    /// Data and counter co-located in a 72-byte line over a 72-bit bus;
+    /// no counter cache, so every read serializes fetch and decryption
+    /// (§3.2.1, Fig. 5a).
+    CoLocated,
+    /// Co-located 72-byte lines plus a counter cache that lets read
+    /// decryption overlap the fetch on a hit (§3.2.1, Fig. 5b).
+    CoLocatedCounterCache,
+    /// Full counter-atomicity: separate counter region, existing 64-bit
+    /// bus, every write is counter-atomic via paired data/counter write
+    /// queue entries with ready bits (§3.2.2).
+    Fca,
+    /// Selective counter-atomicity: only writes annotated
+    /// `CounterAtomic` are paired; all other counter updates coalesce in
+    /// the counter cache until `counter_cache_writeback()` (§4).
+    Sca,
+    /// Counter-mode encryption with **no** counter-atomicity support at
+    /// all: counters persist only on counter-cache eviction and
+    /// `counter_cache_writeback` is ignored. Crash-unsafe by design;
+    /// exists to demonstrate the paper's motivating failure (Fig. 4).
+    UnsafeNoAtomicity,
+}
+
+impl Design {
+    /// All designs, in the order the paper's figures present them.
+    pub const ALL: [Design; 7] = [
+        Design::NoEncryption,
+        Design::Ideal,
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+        Design::CoLocatedCounterCache,
+        Design::UnsafeNoAtomicity,
+    ];
+
+    /// Whether the design encrypts memory at all.
+    pub fn encrypted(self) -> bool {
+        !matches!(self, Design::NoEncryption)
+    }
+
+    /// Whether counters travel inside the 72-byte data line (wider bus)
+    /// rather than in a separate counter region.
+    pub fn co_located(self) -> bool {
+        matches!(self, Design::CoLocated | Design::CoLocatedCounterCache)
+    }
+
+    /// Whether the design has an on-chip counter cache.
+    pub fn has_counter_cache(self) -> bool {
+        matches!(
+            self,
+            Design::Ideal
+                | Design::CoLocatedCounterCache
+                | Design::Fca
+                | Design::Sca
+                | Design::UnsafeNoAtomicity
+        )
+    }
+
+    /// Whether writes annotated counter-atomic are actually enforced as
+    /// ready-bit-paired queue entries.
+    pub fn enforces_counter_atomicity(self) -> bool {
+        matches!(self, Design::Fca | Design::Sca)
+    }
+
+    /// Whether *every* write is treated as counter-atomic.
+    pub fn all_writes_counter_atomic(self) -> bool {
+        matches!(self, Design::Fca)
+    }
+
+    /// Whether `counter_cache_writeback()` flushes dirty counter lines to
+    /// the (ADR-protected) counter write queue. `Ideal` ignores it — by
+    /// definition it pays *no* counter-atomicity cost, trading away crash
+    /// consistency (it is a performance upper bound, §6.1).
+    pub fn honors_counter_cache_writeback(self) -> bool {
+        matches!(self, Design::Fca | Design::Sca)
+    }
+
+    /// Short label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::NoEncryption => "NoEncryption",
+            Design::Ideal => "Ideal",
+            Design::CoLocated => "Co-located",
+            Design::CoLocatedCounterCache => "Co-located w/ C-Cache",
+            Design::Fca => "FCA",
+            Design::Sca => "SCA",
+            Design::UnsafeNoAtomicity => "Unsafe (no atomicity)",
+        }
+    }
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency.
+    pub latency: Time,
+}
+
+impl CacheGeometry {
+    /// Number of 64-byte lines this cache holds.
+    pub fn lines(&self) -> usize {
+        (self.capacity_bytes / 64) as usize
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into whole sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.lines();
+        assert!(
+            lines.is_multiple_of(self.ways) && lines > 0,
+            "cache of {} lines not divisible into {}-way sets",
+            lines,
+            self.ways
+        );
+        lines / self.ways
+    }
+}
+
+/// PCM device timing (Table 2, from the paper's references to
+/// Lee et al. / Xu et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcmTiming {
+    /// Row-to-column command delay.
+    pub t_rcd: Time,
+    /// Column access (read) latency.
+    pub t_cl: Time,
+    /// Column write delay.
+    pub t_cwd: Time,
+    /// Four-activation window (rate limit across banks).
+    pub t_faw: Time,
+    /// Write-to-read turnaround within a bank.
+    pub t_wtr: Time,
+    /// Write-recovery (cell programming) time — the dominant PCM write
+    /// cost.
+    pub t_wr: Time,
+}
+
+impl PcmTiming {
+    /// The paper's PCM parameters: tRCD/tCL/tCWD/tFAW/tWTR/tWR =
+    /// 48/15/13/50/7.5/300 ns at a 533 MHz DDR3 interface.
+    pub fn paper_pcm() -> Self {
+        Self {
+            t_rcd: Time::from_ns(48),
+            t_cl: Time::from_ns(15),
+            t_cwd: Time::from_ns(13),
+            t_faw: Time::from_ns(50),
+            t_wtr: Time::from_ns_f64(7.5),
+            t_wr: Time::from_ns(300),
+        }
+    }
+
+    /// Scales array read latency (tRCD + tCL) by `factor`, as the Fig. 17a
+    /// sweep does (10x slower … 4x faster).
+    pub fn scale_read(mut self, factor: f64) -> Self {
+        self.t_rcd = Time::from_ns_f64(self.t_rcd.as_ns_f64() * factor);
+        self.t_cl = Time::from_ns_f64(self.t_cl.as_ns_f64() * factor);
+        self
+    }
+
+    /// Scales write latency (tWR) by `factor`, as the Fig. 17b sweep does.
+    pub fn scale_write(mut self, factor: f64) -> Self {
+        self.t_wr = Time::from_ns_f64(self.t_wr.as_ns_f64() * factor);
+        self
+    }
+
+    /// Device service time of one read access (activate + column read).
+    pub fn read_service(&self) -> Time {
+        self.t_rcd + self.t_cl
+    }
+
+    /// Device service time of one write access (column write + restore).
+    pub fn write_service(&self) -> Time {
+        self.t_cwd + self.t_wr
+    }
+}
+
+/// Full system configuration (Table 2 defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Counter-atomicity design under evaluation.
+    pub design: Design,
+    /// Number of cores; each runs its own workload instance (§6.3.2).
+    pub cores: usize,
+    /// Private per-core L1 data cache: 64 KB, 8-way.
+    pub l1: CacheGeometry,
+    /// Per-core L2 slice: 2 MB, 8-way. (The paper's L2 is shared but each
+    /// core runs an independent workload on a disjoint region, so a slice
+    /// per core is behaviorally identical; see DESIGN.md.)
+    pub l2: CacheGeometry,
+    /// Shared counter cache: 1 MB *per core*, 16-way (Table 2).
+    pub counter_cache: CacheGeometry,
+    /// Data read queue capacity (32).
+    pub read_queue_entries: usize,
+    /// Data write queue capacity (64).
+    pub data_write_queue_entries: usize,
+    /// Counter write queue capacity (16).
+    pub counter_write_queue_entries: usize,
+    /// PCM timing parameters.
+    pub pcm: PcmTiming,
+    /// Number of PCM banks.
+    pub banks: usize,
+    /// Bus time to transfer one line (64 B over a 64-bit DDR3-1066 bus,
+    /// or 72 B over a 72-bit bus — same eight beats either way).
+    pub bus_transfer: Time,
+    /// AES pad generation / encryption-engine latency (40 ns, Table 2).
+    pub crypto_latency: Time,
+    /// Cost of the ready-bit pairing handshake for one counter-atomic
+    /// pair. The coordinator that matches a data entry with its counter
+    /// entry and sets both ready bits is a single serialized unit
+    /// (Fig. 7a's dependent-write ordering): consecutive pairs chain on
+    /// it. Under FCA — where *every* write is a pair — this unit
+    /// saturates as cores are added, which is precisely the scalability
+    /// cliff the paper measures (§6.3.2); SCA sends only two pairs per
+    /// transaction through it.
+    pub ca_pair_overhead: Time,
+    /// L1 hit latency is part of `l1`; this is the fixed cost of
+    /// traversing the memory controller front end.
+    pub controller_overhead: Time,
+    /// When true, counter-line writes to NVMM are base-delta
+    /// compressed: write-*traffic* accounting charges the encoded size
+    /// instead of 64 bytes (§6.3.3's extension). Device *timing* still
+    /// charges a full line write — PCM programs the row regardless; the
+    /// benefit is bandwidth/energy/lifetime, which is what Fig. 14's
+    /// metric measures.
+    pub compress_counters: bool,
+    /// Osiris-style stop-loss window: when set, the controller forces a
+    /// counter-line write-back after this many un-persisted counter
+    /// bumps, bounding how far any persisted counter can lag its
+    /// ciphertext. Post-crash recovery can then find the true counter by
+    /// searching at most this many candidates (with ECC as the oracle) —
+    /// making even the `UnsafeNoAtomicity` design recoverable. See the
+    /// `recover_with_window` APIs in `nvmm-sim::nvmm` / `nvmm-core`.
+    pub stop_loss: Option<u64>,
+    /// AES-128 key for the encryption engine.
+    pub key: [u8; 16],
+    /// When true, the replay engine asserts that every demand read
+    /// returns exactly the bytes the functional execution produced — an
+    /// end-to-end check of caches, forwarding, and encryption.
+    pub verify_reads: bool,
+}
+
+impl SimConfig {
+    /// Table 2 configuration for `design` with `cores` cores.
+    pub fn table2(design: Design, cores: usize) -> Self {
+        assert!(cores >= 1, "at least one core required");
+        Self {
+            design,
+            cores,
+            l1: CacheGeometry {
+                capacity_bytes: 64 * 1024,
+                ways: 8,
+                latency: Time::from_ns(1),
+            },
+            l2: CacheGeometry {
+                capacity_bytes: 2 * 1024 * 1024,
+                ways: 8,
+                latency: Time::from_ns(5),
+            },
+            counter_cache: CacheGeometry {
+                capacity_bytes: cores as u64 * 1024 * 1024,
+                ways: 16,
+                latency: Time::from_ns(1),
+            },
+            read_queue_entries: 32,
+            data_write_queue_entries: 64,
+            counter_write_queue_entries: 16,
+            pcm: PcmTiming::paper_pcm(),
+            banks: 16,
+            bus_transfer: Time::from_ns_f64(7.5),
+            crypto_latency: Time::from_ns(40),
+            ca_pair_overhead: Time::from_ns(100),
+            controller_overhead: Time::from_ns(2),
+            compress_counters: false,
+            stop_loss: None,
+            key: *b"nvmm-sim aes key",
+            verify_reads: false,
+        }
+    }
+
+    /// Default single-core Table 2 configuration.
+    pub fn single_core(design: Design) -> Self {
+        Self::table2(design, 1)
+    }
+
+    /// Replaces the counter cache capacity (Fig. 15 sweep).
+    pub fn with_counter_cache_bytes(mut self, bytes: u64) -> Self {
+        self.counter_cache.capacity_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = SimConfig::single_core(Design::Sca);
+        assert_eq!(c.l1.lines(), 1024);
+        assert_eq!(c.l2.sets(), 4096);
+        assert_eq!(c.counter_cache.ways, 16);
+        assert_eq!(c.data_write_queue_entries, 64);
+        assert_eq!(c.counter_write_queue_entries, 16);
+        assert_eq!(c.pcm.t_wr, Time::from_ns(300));
+    }
+
+    #[test]
+    fn counter_cache_scales_with_cores() {
+        let c = SimConfig::table2(Design::Sca, 4);
+        assert_eq!(c.counter_cache.capacity_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn design_predicates() {
+        assert!(!Design::NoEncryption.encrypted());
+        assert!(Design::Fca.all_writes_counter_atomic());
+        assert!(!Design::Sca.all_writes_counter_atomic());
+        assert!(Design::Sca.enforces_counter_atomicity());
+        assert!(!Design::UnsafeNoAtomicity.enforces_counter_atomicity());
+        assert!(Design::CoLocated.co_located());
+        assert!(!Design::CoLocated.has_counter_cache());
+        assert!(Design::CoLocatedCounterCache.has_counter_cache());
+        assert!(!Design::UnsafeNoAtomicity.honors_counter_cache_writeback());
+        assert!(!Design::Ideal.honors_counter_cache_writeback());
+        assert!(Design::Sca.honors_counter_cache_writeback());
+    }
+
+    #[test]
+    fn latency_scaling() {
+        let pcm = PcmTiming::paper_pcm().scale_read(2.0);
+        assert_eq!(pcm.t_rcd, Time::from_ns(96));
+        assert_eq!(pcm.t_wr, Time::from_ns(300));
+        let pcm = PcmTiming::paper_pcm().scale_write(0.5);
+        assert_eq!(pcm.t_wr, Time::from_ns(150));
+        assert_eq!(pcm.t_rcd, Time::from_ns(48));
+    }
+
+    #[test]
+    fn read_write_service_times() {
+        let pcm = PcmTiming::paper_pcm();
+        assert_eq!(pcm.read_service(), Time::from_ns(63));
+        assert_eq!(pcm.write_service(), Time::from_ns(313));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_rejected() {
+        let _ = SimConfig::table2(Design::Sca, 0);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = SimConfig::table2(Design::Fca, 2);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

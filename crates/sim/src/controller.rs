@@ -1,0 +1,663 @@
+//! The memory controller: encryption engine, counter cache, write-queue
+//! complex, and the persistence journal from which post-crash NVMM images
+//! are built.
+//!
+//! One controller is shared by all cores (it sits in front of the single
+//! NVMM channel). The controller implements the read and write datapaths
+//! of all evaluated designs:
+//!
+//! * **NoEncryption** — plain reads/writes.
+//! * **Co-located** (±counter cache) — 72-byte lines on a 72-bit bus;
+//!   atomic by construction; reads serialize decryption unless the
+//!   counter cache hits (§3.2.1).
+//! * **Separate-counter** designs (Ideal / FCA / SCA / Unsafe) — counters
+//!   live in their own region, cached in the counter cache; writes go
+//!   through the paired write queues of [`crate::wq`] according to the
+//!   design's counter-atomicity policy.
+//!
+//! ## The journal
+//!
+//! Every NVMM write is appended to a journal stamped with the time at
+//! which ADR *guarantees* it (acceptance for plain writes, pair-ready for
+//! counter-atomic writes). A post-crash image is the journal filtered by
+//! `guaranteed_at <= crash_time`, applied in submission order — exactly
+//! the set of entries the paper's ADR drain would persist (§5.2.2 "Steps
+//! During a System Failure").
+
+use crate::addr::{CounterLineAddr, LineAddr, NvmmTarget};
+use crate::cache::SetAssocCache;
+use crate::config::{Design, SimConfig};
+use crate::device::{AccessKind, PcmDevice};
+use crate::nvmm::NvmmImage;
+use crate::stats::Stats;
+use crate::time::Time;
+use crate::wq::WriteQueues;
+use nvmm_crypto::counter::CounterLine;
+use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_crypto::LineData;
+use std::collections::HashMap;
+
+/// One persisted NVMM write, with the instant ADR vouches for it.
+#[derive(Debug, Clone)]
+struct JournalRecord {
+    guaranteed_at: Time,
+    op: JournalOp,
+}
+
+#[derive(Debug, Clone)]
+enum JournalOp {
+    Plain { line: LineAddr, data: LineData },
+    Encrypted { line: LineAddr, ciphertext: LineData, counter: nvmm_crypto::Counter },
+    CoLocated { line: LineAddr, ciphertext: LineData, counter: nvmm_crypto::Counter },
+    CounterLine { cline: CounterLineAddr, counters: CounterLine },
+}
+
+/// The shared memory controller.
+#[derive(Debug)]
+pub struct MemoryController {
+    design: Design,
+    device: PcmDevice,
+    queues: WriteQueues,
+    engine: EncryptionEngine,
+    /// Presence/dirtiness of counter lines on chip; values live in
+    /// `counter_state`.
+    counter_cache: Option<SetAssocCache<CounterLineAddr, ()>>,
+    /// Architecturally latest counter values (the counter cache plus
+    /// everything below it). Never forgets.
+    counter_state: HashMap<CounterLineAddr, CounterLine>,
+    /// Plaintext view of the newest write-back of every line; the fill
+    /// source for LLC read misses.
+    below_llc: HashMap<LineAddr, LineData>,
+    journal: Vec<JournalRecord>,
+    crypto_latency: Time,
+    overhead: Time,
+    compress_counters: bool,
+    /// Per-target NVMM write counts (wear tracking, §6.3.3).
+    wear: HashMap<NvmmTarget, u64>,
+    /// Stop-loss window: force a counter-line write-back after this many
+    /// un-persisted bumps (None = disabled).
+    stop_loss: Option<u64>,
+    /// Un-persisted counter bumps per counter line.
+    counter_lag: HashMap<CounterLineAddr, u64>,
+}
+
+impl MemoryController {
+    /// Builds the controller described by `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        let counter_cache = config.design.has_counter_cache().then(|| {
+            SetAssocCache::new(config.counter_cache.sets(), config.counter_cache.ways)
+        });
+        Self {
+            design: config.design,
+            device: PcmDevice::new(config),
+            queues: WriteQueues::new(
+                config.data_write_queue_entries,
+                config.counter_write_queue_entries,
+                config.ca_pair_overhead,
+            ),
+            engine: EncryptionEngine::new(config.key),
+            counter_cache,
+            counter_state: HashMap::new(),
+            below_llc: HashMap::new(),
+            journal: Vec::new(),
+            crypto_latency: config.crypto_latency,
+            overhead: config.controller_overhead,
+            compress_counters: config.compress_counters,
+            wear: HashMap::new(),
+            stop_loss: config.stop_loss,
+            counter_lag: HashMap::new(),
+        }
+    }
+
+    /// The design this controller implements.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    fn current_counter_line(&self, cline: CounterLineAddr) -> CounterLine {
+        self.counter_state.get(&cline).copied().unwrap_or_default()
+    }
+
+    /// Bytes charged for writing `cline` to NVMM: 64, or the
+    /// base-delta-compressed size when compression is enabled.
+    fn counter_line_cost(&self, cline: CounterLineAddr) -> u64 {
+        if self.compress_counters {
+            nvmm_crypto::compress::compressed_bytes(&self.current_counter_line(cline))
+        } else {
+            64
+        }
+    }
+
+    /// Wear summary over all NVMM writes: (distinct targets written,
+    /// maximum writes to any single target).
+    pub fn wear_summary(&self) -> (u64, u64) {
+        let distinct = self.wear.len() as u64;
+        let max = self.wear.values().copied().max().unwrap_or(0);
+        (distinct, max)
+    }
+
+    /// Probes the counter cache for `cline`. On a hit returns `None`; on
+    /// a miss fills the line (possibly writing back a dirty victim) and
+    /// returns the time at which the counter arrives from NVMM.
+    fn probe_counter_cache(
+        &mut self,
+        cline: CounterLineAddr,
+        t: Time,
+        stats: &mut Stats,
+    ) -> Option<Time> {
+        let Some(cache) = self.counter_cache.as_mut() else {
+            return Some(t); // no counter cache: counters are never on chip
+        };
+        if cache.get(&cline).is_some() {
+            stats.counter_cache_hits += 1;
+            return None;
+        }
+        stats.counter_cache_misses += 1;
+        // Fill from NVMM: one counter-region read (§5.2.1). Co-located
+        // designs take the counter from the widened data line instead.
+        let fill_done = if self.design.co_located() {
+            t
+        } else {
+            stats.nvmm_counter_reads += 1;
+            self.device.schedule(NvmmTarget::Counter(cline), AccessKind::Read, t).done
+        };
+        if let Some(victim) =
+            self.counter_cache.as_mut().expect("probed above").insert(cline, (), false)
+        {
+            if victim.dirty {
+                self.write_counter_line(victim.key, t, stats);
+            }
+        }
+        Some(fill_done)
+    }
+
+    /// Submits a counter-line write (eviction or explicit writeback);
+    /// always ready on acceptance. Returns the guarantee time.
+    fn write_counter_line(&mut self, cline: CounterLineAddr, t: Time, stats: &mut Stats) -> Time {
+        let receipt = self.queues.submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
+        if receipt.coalesced {
+            stats.coalesced_counter_writes += 1;
+        } else {
+            stats.nvmm_counter_writes += 1;
+            stats.bytes_written += self.counter_line_cost(cline);
+            *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
+        }
+        self.journal.push(JournalRecord {
+            guaranteed_at: receipt.accepted,
+            op: JournalOp::CounterLine { cline, counters: self.current_counter_line(cline) },
+        });
+        receipt.accepted
+    }
+
+    /// Services an LLC demand read miss issued at `t`. Returns the
+    /// completion time and the line's plaintext payload.
+    pub fn read(&mut self, line: LineAddr, t: Time, stats: &mut Stats) -> (Time, LineData) {
+        stats.nvmm_reads += 1;
+        let payload = self.below_llc.get(&line).copied().unwrap_or([0; 64]);
+        let issue = t + self.overhead;
+        let data = self.device.schedule(NvmmTarget::Data(line), AccessKind::Read, issue);
+
+        let done = match self.design {
+            Design::NoEncryption => data.done,
+            Design::CoLocated => {
+                // Serialized: decrypt only after the 72-byte line (and
+                // its embedded counter) arrive (Fig. 6a).
+                data.done + self.crypto_latency
+            }
+            Design::CoLocatedCounterCache => {
+                match self.probe_counter_cache(line.counter_line(), issue, stats) {
+                    // Overlap pad generation with the fetch (Fig. 6b).
+                    None => data.done.max(issue + self.crypto_latency),
+                    // Miss: the counter arrives with the 72-byte line, so
+                    // the pad can only be generated after the fetch.
+                    Some(_) => data.done + self.crypto_latency,
+                }
+            }
+            Design::Ideal | Design::Fca | Design::Sca | Design::UnsafeNoAtomicity => {
+                let cline = line.counter_line();
+                match self.probe_counter_cache(cline, issue, stats) {
+                    None => data.done.max(issue + self.crypto_latency),
+                    // Miss: the read stalls until the counter line is
+                    // fetched from NVMM, then pays the pad latency
+                    // (§5.2.1 "if a read access misses the counter cache,
+                    // it has to stall").
+                    Some(fill_done) => data.done.max(fill_done + self.crypto_latency),
+                }
+            }
+        };
+        (done, payload)
+    }
+
+    /// Accepts a write-back (eviction or `clwb`) of `line` carrying
+    /// `data`, annotated counter-atomic or not. Returns the time at which
+    /// the write's durability is guaranteed by ADR.
+    pub fn writeback(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        counter_atomic: bool,
+        t: Time,
+        stats: &mut Stats,
+    ) -> Time {
+        self.below_llc.insert(line, data);
+        if counter_atomic {
+            stats.counter_atomic_writes += 1;
+        } else {
+            stats.plain_writes += 1;
+        }
+        match self.design {
+            Design::NoEncryption => {
+                let r = self.queues.submit_plain(&mut self.device, NvmmTarget::Data(line), t);
+                if r.coalesced {
+                    stats.coalesced_data_writes += 1;
+                } else {
+                    stats.nvmm_data_writes += 1;
+                    stats.bytes_written += 64;
+                    *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
+                }
+                self.journal
+                    .push(JournalRecord { guaranteed_at: r.accepted, op: JournalOp::Plain { line, data } });
+                r.accepted
+            }
+            Design::CoLocated | Design::CoLocatedCounterCache => {
+                let enc = self.engine.encrypt(line.0, &data);
+                if self.design == Design::CoLocatedCounterCache {
+                    // Keep the counter cache warm for future reads; the
+                    // counter itself travels with the line.
+                    if let Some(cache) = self.counter_cache.as_mut() {
+                        cache.insert(line.counter_line(), (), false);
+                    }
+                }
+                let t_enc = t + self.crypto_latency;
+                let r = self.queues.submit_plain(&mut self.device, NvmmTarget::Data(line), t_enc);
+                if r.coalesced {
+                    stats.coalesced_data_writes += 1;
+                } else {
+                    stats.nvmm_data_writes += 1;
+                    stats.bytes_written += 72;
+                    *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1; // widened line
+                }
+                self.journal.push(JournalRecord {
+                    guaranteed_at: r.accepted,
+                    op: JournalOp::CoLocated { line, ciphertext: enc.ciphertext, counter: enc.counter },
+                });
+                r.accepted
+            }
+            Design::Ideal | Design::Fca | Design::Sca | Design::UnsafeNoAtomicity => {
+                self.writeback_separate(line, data, counter_atomic, t, stats)
+            }
+        }
+    }
+
+    fn writeback_separate(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        counter_atomic: bool,
+        t: Time,
+        stats: &mut Stats,
+    ) -> Time {
+        let cline = line.counter_line();
+        let slot = line.counter_slot().slot;
+
+        // Encryption engine: the line's counter is bumped by one (the
+        // standard per-line minor-counter scheme — consecutive values
+        // keep counter lines compressible and, with stop-loss, make the
+        // post-crash candidate window bounded).
+        let current = self.current_counter_line(cline).get(slot);
+        let counter = nvmm_crypto::Counter(current.0 + 1);
+        let ciphertext = self.engine.encrypt_with(line.0, &data, counter);
+        let enc = nvmm_crypto::EncryptedWrite { ciphertext, counter };
+        self.counter_state.entry(cline).or_default().set(slot, enc.counter);
+        let t_enq = t + self.crypto_latency;
+
+        // Counter cache bookkeeping: write probes fill on miss without
+        // stalling the write (§5.2.1 — the fresh counter is used for
+        // encryption immediately; the fill is background traffic).
+        let _ = self.probe_counter_cache(cline, t, stats);
+
+        let enforce_ca = counter_atomic && self.design.enforces_counter_atomicity()
+            || self.design.all_writes_counter_atomic();
+
+        if enforce_ca {
+            let r = self.queues.submit_counter_atomic(
+                &mut self.device,
+                NvmmTarget::Data(line),
+                NvmmTarget::Counter(cline),
+                t_enq,
+            );
+            stats.nvmm_data_writes += 1;
+            stats.bytes_written += 64;
+            *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
+            if r.counter_coalesced {
+                stats.coalesced_counter_writes += 1;
+            } else {
+                stats.nvmm_counter_writes += 1;
+                stats.bytes_written += self.counter_line_cost(cline);
+                *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
+            }
+            // The pair persisted this counter line's current snapshot;
+            // the cached copy is clean.
+            if let Some(cache) = self.counter_cache.as_mut() {
+                cache.clean(&cline);
+            }
+            self.journal.push(JournalRecord {
+                guaranteed_at: r.ready,
+                op: JournalOp::Encrypted { line, ciphertext: enc.ciphertext, counter: enc.counter },
+            });
+            self.journal.push(JournalRecord {
+                guaranteed_at: r.ready,
+                op: JournalOp::CounterLine { cline, counters: self.current_counter_line(cline) },
+            });
+            r.ready
+        } else {
+            // Plain data write; the counter stays dirty on chip until a
+            // counter_cache_writeback or an eviction (§4.2's reordering
+            // window).
+            let r = self.queues.submit_plain(&mut self.device, NvmmTarget::Data(line), t_enq);
+            if r.coalesced {
+                stats.coalesced_data_writes += 1;
+            } else {
+                stats.nvmm_data_writes += 1;
+                stats.bytes_written += 64;
+                *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
+            }
+            if let Some(cache) = self.counter_cache.as_mut() {
+                cache.get_mut(&cline, true);
+            }
+            self.journal.push(JournalRecord {
+                guaranteed_at: r.accepted,
+                op: JournalOp::Encrypted { line, ciphertext: enc.ciphertext, counter: enc.counter },
+            });
+            // Stop-loss (Osiris-style): after `n` un-persisted counter
+            // bumps on this counter line, force a write-back so the
+            // post-crash candidate window stays bounded.
+            if let Some(n) = self.stop_loss {
+                let lag = self.counter_lag.entry(cline).or_default();
+                *lag += 1;
+                if *lag >= n {
+                    *lag = 0;
+                    self.write_counter_line(cline, r.accepted, stats);
+                    if let Some(cache) = self.counter_cache.as_mut() {
+                        cache.clean(&cline);
+                    }
+                }
+            }
+            r.accepted
+        }
+    }
+
+    /// `counter_cache_writeback()` for the counter line covering `line`
+    /// (§4.3): flushes the dirty counter line to the (ready) counter
+    /// write queue without invalidating it. Returns the guarantee time.
+    pub fn counter_writeback(&mut self, line: LineAddr, t: Time, stats: &mut Stats) -> Time {
+        stats.counter_cache_writebacks += 1;
+        if !self.design.honors_counter_cache_writeback() {
+            return t;
+        }
+        let cline = line.counter_line();
+        let dirty = self
+            .counter_cache
+            .as_ref()
+            .is_some_and(|c| c.is_dirty(&cline));
+        if !dirty {
+            return t;
+        }
+        let guaranteed = self.write_counter_line(cline, t, stats);
+        if let Some(cache) = self.counter_cache.as_mut() {
+            cache.clean(&cline);
+        }
+        guaranteed
+    }
+
+    /// Builds the NVMM image as ADR would leave it for a crash at
+    /// `crash_time` (`None` = run to completion: every journaled write
+    /// lands).
+    pub fn build_image(&self, crash_time: Option<Time>) -> NvmmImage {
+        let mut img = NvmmImage::new();
+        for rec in &self.journal {
+            if let Some(t) = crash_time {
+                if rec.guaranteed_at > t {
+                    continue;
+                }
+            }
+            match &rec.op {
+                JournalOp::Plain { line, data } => img.write_plain(*line, *data),
+                JournalOp::Encrypted { line, ciphertext, counter } => {
+                    img.write_encrypted(*line, *ciphertext, *counter)
+                }
+                JournalOp::CoLocated { line, ciphertext, counter } => {
+                    img.write_co_located(*line, *ciphertext, *counter)
+                }
+                JournalOp::CounterLine { cline, counters } => {
+                    img.write_counter_line(*cline, *counters)
+                }
+            }
+        }
+        img
+    }
+
+    /// The controller's encryption engine (for recovery decryption).
+    pub fn engine(&self) -> &EncryptionEngine {
+        &self.engine
+    }
+
+    /// Number of journaled NVMM writes (for tests).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvmm::LineRead;
+
+    fn ctl(design: Design) -> (MemoryController, Stats) {
+        let cfg = SimConfig::single_core(design);
+        (MemoryController::new(&cfg), Stats::new(1))
+    }
+
+    #[test]
+    fn no_encryption_roundtrip() {
+        let (mut c, mut s) = ctl(Design::NoEncryption);
+        let data = [7u8; 64];
+        let g = c.writeback(LineAddr(1), data, false, Time::ZERO, &mut s);
+        let img = c.build_image(Some(g));
+        assert_eq!(img.read_line(LineAddr(1), c.engine()), LineRead::Clean(data));
+        assert_eq!(s.bytes_written, 64);
+    }
+
+    #[test]
+    fn co_located_write_is_atomic_at_any_crash_point() {
+        let (mut c, mut s) = ctl(Design::CoLocated);
+        let data = [9u8; 64];
+        let g = c.writeback(LineAddr(2), data, false, Time::ZERO, &mut s);
+        // Any crash at/after the guarantee sees a decryptable line.
+        let img = c.build_image(Some(g));
+        assert_eq!(img.read_line(LineAddr(2), c.engine()), LineRead::Clean(data));
+        // Before the guarantee: line simply absent (neither half landed).
+        let img = c.build_image(Some(Time::ZERO.saturating_sub(Time::from_ps(1))));
+        assert!(img.read_line(LineAddr(2), c.engine()).is_clean());
+        assert_eq!(s.bytes_written, 72);
+    }
+
+    #[test]
+    fn fca_write_decryptable_once_guaranteed() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        let data = [3u8; 64];
+        let g = c.writeback(LineAddr(5), data, false, Time::from_ns(10), &mut s);
+        let img = c.build_image(Some(g));
+        assert_eq!(img.read_line(LineAddr(5), c.engine()), LineRead::Clean(data));
+        // Data + counter both journaled.
+        assert_eq!(s.nvmm_data_writes, 1);
+        assert_eq!(s.nvmm_counter_writes, 1);
+        assert_eq!(s.bytes_written, 128);
+    }
+
+    #[test]
+    fn fca_never_exposes_half_a_pair() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        let data = [4u8; 64];
+        let g = c.writeback(LineAddr(6), data, false, Time::from_ns(10), &mut s);
+        // Sweep a dense set of crash times around the write: the line is
+        // either fully absent or fully decryptable — never garbled.
+        for ps in 0..200 {
+            let t = Time::from_ps(ps * 200);
+            let img = c.build_image(Some(t));
+            assert!(
+                img.read_line(LineAddr(6), c.engine()).is_clean(),
+                "crash at {t} must not observe a half-persisted pair (guarantee at {g})"
+            );
+        }
+    }
+
+    #[test]
+    fn sca_plain_write_without_ccwb_garbles_on_crash() {
+        // The paper's motivating failure: data persists, counter lives
+        // only in the counter cache.
+        let (mut c, mut s) = ctl(Design::Sca);
+        let data = [8u8; 64];
+        let g = c.writeback(LineAddr(7), data, false, Time::ZERO, &mut s);
+        let img = c.build_image(Some(g + Time::from_ns(1000)));
+        let r = img.read_line(LineAddr(7), c.engine());
+        assert!(!r.is_clean(), "counter never persisted: decryption must fail");
+        assert_ne!(r.bytes(), data);
+    }
+
+    #[test]
+    fn sca_ccwb_makes_line_recoverable() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        let data = [8u8; 64];
+        c.writeback(LineAddr(7), data, false, Time::ZERO, &mut s);
+        let g = c.counter_writeback(LineAddr(7), Time::from_ns(100), &mut s);
+        let img = c.build_image(Some(g));
+        assert_eq!(img.read_line(LineAddr(7), c.engine()), LineRead::Clean(data));
+    }
+
+    #[test]
+    fn sca_counter_atomic_write_always_clean() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        let data = [1u8; 64];
+        c.writeback(LineAddr(9), data, true, Time::from_ns(5), &mut s);
+        for ns in 0..600 {
+            let img = c.build_image(Some(Time::from_ns(ns)));
+            assert!(img.read_line(LineAddr(9), c.engine()).is_clean());
+        }
+        assert_eq!(s.counter_atomic_writes, 1);
+    }
+
+    #[test]
+    fn unsafe_design_ignores_ccwb() {
+        let (mut c, mut s) = ctl(Design::UnsafeNoAtomicity);
+        let data = [2u8; 64];
+        c.writeback(LineAddr(3), data, true, Time::ZERO, &mut s);
+        let g = c.counter_writeback(LineAddr(3), Time::from_ns(100), &mut s);
+        let img = c.build_image(Some(g + Time::from_ns(1_000_000)));
+        assert!(
+            !img.read_line(LineAddr(3), c.engine()).is_clean(),
+            "unsafe design persists no counters, even for annotated writes"
+        );
+    }
+
+    #[test]
+    fn read_returns_latest_writeback_payload() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        c.writeback(LineAddr(4), [1; 64], false, Time::ZERO, &mut s);
+        c.writeback(LineAddr(4), [2; 64], false, Time::from_ns(50), &mut s);
+        let (_, payload) = c.read(LineAddr(4), Time::from_ns(100), &mut s);
+        assert_eq!(payload, [2; 64]);
+    }
+
+    #[test]
+    fn unwritten_read_returns_zeros() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        let (_, payload) = c.read(LineAddr(1234), Time::ZERO, &mut s);
+        assert_eq!(payload, [0; 64]);
+    }
+
+    #[test]
+    fn co_located_read_slower_than_counter_cache_hit() {
+        let (mut c1, mut s1) = ctl(Design::CoLocated);
+        let (done_serial, _) = c1.read(LineAddr(1), Time::ZERO, &mut s1);
+
+        let (mut c2, mut s2) = ctl(Design::CoLocatedCounterCache);
+        // Warm the counter cache with a write, then read.
+        c2.writeback(LineAddr(1), [0; 64], false, Time::ZERO, &mut s2);
+        let t = Time::from_ns(2000);
+        let (done_overlap, _) = c2.read(LineAddr(1), t, &mut s2);
+        assert!(
+            done_serial > done_overlap - t,
+            "serialized decrypt must cost more than overlapped"
+        );
+    }
+
+    #[test]
+    fn counter_cache_hit_and_miss_accounting() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        c.writeback(LineAddr(10), [0; 64], false, Time::ZERO, &mut s); // miss (cold)
+        c.writeback(LineAddr(11), [0; 64], false, Time::from_ns(1), &mut s); // hit (same cline)
+        assert_eq!(s.counter_cache_misses, 1);
+        assert_eq!(s.counter_cache_hits, 1);
+    }
+
+    #[test]
+    fn ideal_ignores_ccwb_but_counts_it() {
+        let (mut c, mut s) = ctl(Design::Ideal);
+        c.writeback(LineAddr(1), [0; 64], false, Time::ZERO, &mut s);
+        let before = s.nvmm_counter_writes;
+        c.counter_writeback(LineAddr(1), Time::from_ns(10), &mut s);
+        assert_eq!(s.nvmm_counter_writes, before, "ideal persists no counters on ccwb");
+        assert_eq!(s.counter_cache_writebacks, 1);
+    }
+
+    #[test]
+    fn compressed_counters_charge_less_traffic() {
+        let mut cfg = SimConfig::single_core(Design::Sca);
+        cfg.compress_counters = true;
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        c.writeback(LineAddr(1), [1; 64], false, Time::ZERO, &mut s);
+        let before = s.bytes_written;
+        c.counter_writeback(LineAddr(1), Time::from_ns(100), &mut s);
+        let counter_bytes = s.bytes_written - before;
+        assert!(
+            counter_bytes < 64,
+            "clustered counters must compress below a raw line ({counter_bytes}B)"
+        );
+        assert!(counter_bytes >= 17, "compressed line still carries base + deltas");
+    }
+
+    #[test]
+    fn uncompressed_counters_charge_full_lines() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        c.writeback(LineAddr(1), [1; 64], false, Time::ZERO, &mut s);
+        let before = s.bytes_written;
+        c.counter_writeback(LineAddr(1), Time::from_ns(100), &mut s);
+        assert_eq!(s.bytes_written - before, 64);
+    }
+
+    #[test]
+    fn wear_summary_counts_targets_and_hot_spots() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        // Three writes to one line, one to another.
+        for t in 0..3 {
+            c.writeback(LineAddr(5), [t; 64], false, Time::from_ns(t as u64 * 1000), &mut s);
+        }
+        c.writeback(LineAddr(900), [9; 64], false, Time::from_ns(5000), &mut s);
+        let (distinct, max) = c.wear_summary();
+        // Data lines 5 and 900 plus their counter lines (minus queue
+        // coalescing effects on the counter side).
+        assert!(distinct >= 3, "at least both data lines and one counter line");
+        assert!(max >= 3, "line 5 absorbed three writes (max={max})");
+    }
+
+    #[test]
+    fn same_line_overwrites_apply_in_order() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        c.writeback(LineAddr(8), [1; 64], false, Time::ZERO, &mut s);
+        c.writeback(LineAddr(8), [2; 64], false, Time::from_ns(1), &mut s);
+        let img = c.build_image(None);
+        assert_eq!(img.read_line(LineAddr(8), c.engine()), LineRead::Clean([2; 64]));
+    }
+}

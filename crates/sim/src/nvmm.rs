@@ -1,0 +1,295 @@
+//! The persistent NVMM image: ciphertext data lines plus the counter
+//! region. This is the *only* state that survives a crash (together with
+//! whatever ADR drains from the write queues).
+//!
+//! Alongside the architectural state, the image keeps a ground-truth
+//! record of which counter each resident ciphertext was encrypted with.
+//! Recovery uses it to *detect* the paper's Eq. 4 failure — a counter
+//! mismatch — exactly; the garbled bytes handed to the recovery procedure
+//! are still produced by genuinely decrypting with the (wrong) persisted
+//! counter.
+
+use crate::addr::{CounterLineAddr, LineAddr};
+use nvmm_crypto::counter::CounterLine;
+use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_crypto::{Counter, LineData};
+use std::collections::HashMap;
+
+/// Outcome of decrypting one line from the post-crash image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineRead {
+    /// The persisted counter matches the counter the ciphertext was
+    /// encrypted with; `0` is the correctly decrypted plaintext.
+    Clean(LineData),
+    /// Counter/data version mismatch (paper Eq. 4). The payload is the
+    /// garbage produced by decrypting with the stale counter — this is
+    /// what a real system would observe.
+    Garbled(LineData),
+    /// The line was never written; fresh NVMM reads as zeros.
+    Unwritten,
+}
+
+impl LineRead {
+    /// The bytes a real system would observe, regardless of cleanliness.
+    pub fn bytes(&self) -> LineData {
+        match self {
+            LineRead::Clean(d) | LineRead::Garbled(d) => *d,
+            LineRead::Unwritten => [0; 64],
+        }
+    }
+
+    /// Whether decryption used a matching counter (or the line is fresh).
+    pub fn is_clean(&self) -> bool {
+        !matches!(self, LineRead::Garbled(_))
+    }
+}
+
+/// A data line as stored in NVMM: ciphertext (or plaintext when the
+/// design is unencrypted / the line predates encryption) plus the
+/// ground-truth counter used at encryption time.
+#[derive(Debug, Clone, Copy)]
+struct StoredLine {
+    bytes: LineData,
+    /// Counter the ciphertext was produced with; `Counter::ZERO` means
+    /// `bytes` is plaintext (no-encryption design).
+    encrypted_with: Counter,
+}
+
+/// The NVMM image: data region, counter region, and (for co-located
+/// designs) per-line co-located counters.
+#[derive(Debug, Clone, Default)]
+pub struct NvmmImage {
+    data: HashMap<LineAddr, StoredLine>,
+    counters: HashMap<CounterLineAddr, CounterLine>,
+    /// Counters stored inside the widened 72-byte line (co-located
+    /// designs). Persisted atomically with the data by construction.
+    co_located: HashMap<LineAddr, Counter>,
+}
+
+impl NvmmImage {
+    /// Fresh, all-unwritten NVMM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persists a data line written by an unencrypted design.
+    pub fn write_plain(&mut self, line: LineAddr, bytes: LineData) {
+        self.data.insert(line, StoredLine { bytes, encrypted_with: Counter::ZERO });
+    }
+
+    /// Persists an encrypted data line (separate-counter designs). The
+    /// counter region is *not* touched — that is a separate write.
+    pub fn write_encrypted(&mut self, line: LineAddr, ciphertext: LineData, counter: Counter) {
+        self.data.insert(line, StoredLine { bytes: ciphertext, encrypted_with: counter });
+    }
+
+    /// Persists an encrypted 72-byte line (co-located designs): data and
+    /// counter land atomically.
+    pub fn write_co_located(&mut self, line: LineAddr, ciphertext: LineData, counter: Counter) {
+        self.data.insert(line, StoredLine { bytes: ciphertext, encrypted_with: counter });
+        self.co_located.insert(line, counter);
+    }
+
+    /// Persists a full counter line into the counter region.
+    pub fn write_counter_line(&mut self, line: CounterLineAddr, counters: CounterLine) {
+        self.counters.insert(line, counters);
+    }
+
+    /// The counter region's current counter line (all-zero if never
+    /// written).
+    pub fn counter_line(&self, line: CounterLineAddr) -> CounterLine {
+        self.counters.get(&line).copied().unwrap_or_default()
+    }
+
+    /// The counter the *architecture* would use to decrypt `line`:
+    /// the co-located counter if present, else the counter-region slot.
+    pub fn persisted_counter(&self, line: LineAddr) -> Counter {
+        if let Some(c) = self.co_located.get(&line) {
+            return *c;
+        }
+        let slot = line.counter_slot();
+        self.counter_line(CounterLineAddr(slot.counter_line)).get(slot.slot)
+    }
+
+    /// Raw stored bytes of a data line, if present (ciphertext for
+    /// encrypted designs). Used by the read path for fills.
+    pub fn raw_data(&self, line: LineAddr) -> Option<LineData> {
+        self.data.get(&line).map(|s| s.bytes)
+    }
+
+    /// Ground truth: the counter `line`'s resident ciphertext was
+    /// encrypted with (`Counter::ZERO` for plaintext/unwritten).
+    pub fn encryption_counter(&self, line: LineAddr) -> Counter {
+        self.data.get(&line).map(|s| s.encrypted_with).unwrap_or(Counter::ZERO)
+    }
+
+    /// Decrypts `line` the way post-crash recovery hardware would: with
+    /// the *persisted* counter. Reports whether the result is clean.
+    pub fn read_line(&self, line: LineAddr, engine: &EncryptionEngine) -> LineRead {
+        let Some(stored) = self.data.get(&line) else {
+            // Data never persisted. If a counter was persisted for this
+            // line, the architecture would decrypt fresh (zero) memory
+            // with it and observe garbage — Fig. 3(b).
+            let persisted = self.persisted_counter(line);
+            if persisted.is_unwritten() {
+                return LineRead::Unwritten;
+            }
+            return LineRead::Garbled(engine.decrypt(line.0, &[0; 64], persisted));
+        };
+        if stored.encrypted_with.is_unwritten() {
+            // Plaintext line (no-encryption design).
+            return LineRead::Clean(stored.bytes);
+        }
+        let persisted = self.persisted_counter(line);
+        let plain = engine.decrypt(line.0, &stored.bytes, persisted);
+        if persisted == stored.encrypted_with {
+            LineRead::Clean(plain)
+        } else {
+            LineRead::Garbled(plain)
+        }
+    }
+
+    /// Decrypts `line` like [`NvmmImage::read_line`], but when the
+    /// persisted counter mismatches, searches up to `window` candidate
+    /// counters above it — the Osiris-style stop-loss recovery, with the
+    /// image's ground-truth encryption counter standing in for the ECC
+    /// check real hardware uses to recognize a correct decryption.
+    ///
+    /// Returns the read plus whether a candidate search was needed.
+    pub fn read_line_with_window(
+        &self,
+        line: LineAddr,
+        engine: &EncryptionEngine,
+        window: u64,
+    ) -> (LineRead, bool) {
+        let first = self.read_line(line, engine);
+        if first.is_clean() {
+            return (first, false);
+        }
+        let actual = self.encryption_counter(line);
+        let persisted = self.persisted_counter(line);
+        if actual.0 > persisted.0 && actual.0 - persisted.0 <= window {
+            // The ECC oracle accepts exactly the true counter; decrypt
+            // with it.
+            if let Some(stored) = self.data.get(&line) {
+                let plain = engine.decrypt(line.0, &stored.bytes, actual);
+                return (LineRead::Clean(plain), true);
+            }
+        }
+        (first, true)
+    }
+
+    /// Number of resident data lines.
+    pub fn data_lines(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates over resident data line addresses.
+    pub fn data_line_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.data.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm_crypto::counter::CounterLine;
+
+    fn engine() -> EncryptionEngine {
+        EncryptionEngine::new([9; 16])
+    }
+
+    #[test]
+    fn unwritten_reads_as_unwritten() {
+        let img = NvmmImage::new();
+        let r = img.read_line(LineAddr(5), &engine());
+        assert_eq!(r, LineRead::Unwritten);
+        assert!(r.is_clean());
+        assert_eq!(r.bytes(), [0; 64]);
+    }
+
+    #[test]
+    fn plain_write_reads_clean() {
+        let mut img = NvmmImage::new();
+        img.write_plain(LineAddr(1), [7; 64]);
+        assert_eq!(img.read_line(LineAddr(1), &engine()), LineRead::Clean([7; 64]));
+    }
+
+    #[test]
+    fn matched_counter_decrypts_clean() {
+        let mut e = engine();
+        let mut img = NvmmImage::new();
+        let plain = [0x42u8; 64];
+        let w = e.encrypt(3, &plain);
+        img.write_encrypted(LineAddr(3), w.ciphertext, w.counter);
+        let slot = LineAddr(3).counter_slot();
+        let mut cl = CounterLine::new();
+        cl.set(slot.slot, w.counter);
+        img.write_counter_line(CounterLineAddr(slot.counter_line), cl);
+        assert_eq!(img.read_line(LineAddr(3), &e), LineRead::Clean(plain));
+    }
+
+    #[test]
+    fn stale_counter_reads_garbled() {
+        // Fig. 3(a): data persisted, counter write lost.
+        let mut e = engine();
+        let mut img = NvmmImage::new();
+        let plain = [0x42u8; 64];
+        let old = e.encrypt(3, &plain);
+        let slot = LineAddr(3).counter_slot();
+        let mut cl = CounterLine::new();
+        cl.set(slot.slot, old.counter);
+        img.write_counter_line(CounterLineAddr(slot.counter_line), cl);
+        // Re-encrypt with a newer counter; only the data write persists.
+        let new = e.encrypt(3, &plain);
+        img.write_encrypted(LineAddr(3), new.ciphertext, new.counter);
+        let r = img.read_line(LineAddr(3), &e);
+        assert!(!r.is_clean());
+        assert_ne!(r.bytes(), plain, "stale counter must garble plaintext");
+    }
+
+    #[test]
+    fn counter_without_data_is_garbled() {
+        // Fig. 3(b): counter persisted, data write lost.
+        let e = engine();
+        let mut img = NvmmImage::new();
+        let slot = LineAddr(9).counter_slot();
+        let mut cl = CounterLine::new();
+        cl.set(slot.slot, Counter(77));
+        img.write_counter_line(CounterLineAddr(slot.counter_line), cl);
+        assert!(!img.read_line(LineAddr(9), &e).is_clean());
+    }
+
+    #[test]
+    fn co_located_always_clean() {
+        let mut e = engine();
+        let mut img = NvmmImage::new();
+        let plain = [0x11u8; 64];
+        let w = e.encrypt(4, &plain);
+        img.write_co_located(LineAddr(4), w.ciphertext, w.counter);
+        // No counter-region write needed: the counter rode with the line.
+        assert_eq!(img.read_line(LineAddr(4), &e), LineRead::Clean(plain));
+    }
+
+    #[test]
+    fn persisted_counter_prefers_co_located() {
+        let mut img = NvmmImage::new();
+        img.write_co_located(LineAddr(4), [0; 64], Counter(5));
+        let slot = LineAddr(4).counter_slot();
+        let mut cl = CounterLine::new();
+        cl.set(slot.slot, Counter(99));
+        img.write_counter_line(CounterLineAddr(slot.counter_line), cl);
+        assert_eq!(img.persisted_counter(LineAddr(4)), Counter(5));
+    }
+
+    #[test]
+    fn overwrite_takes_latest() {
+        let mut e = engine();
+        let mut img = NvmmImage::new();
+        let w1 = e.encrypt(2, &[1; 64]);
+        let w2 = e.encrypt(2, &[2; 64]);
+        img.write_encrypted(LineAddr(2), w1.ciphertext, w1.counter);
+        img.write_encrypted(LineAddr(2), w2.ciphertext, w2.counter);
+        assert_eq!(img.encryption_counter(LineAddr(2)), w2.counter);
+    }
+}

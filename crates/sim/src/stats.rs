@@ -1,0 +1,128 @@
+//! Simulation statistics.
+//!
+//! Everything the paper's figures report is derived from these counters:
+//! runtime and throughput (Figs. 12, 13, 16, 17), NVMM write traffic
+//! (Fig. 14), and counter-cache miss rates (Fig. 15).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Simulated end time (max over cores).
+    pub runtime: Time,
+    /// Per-core end times.
+    pub core_runtimes: Vec<Time>,
+    /// Demand reads that reached the memory controller (LLC misses).
+    pub nvmm_reads: u64,
+    /// Data-line writes drained (or guaranteed) to NVMM.
+    pub nvmm_data_writes: u64,
+    /// Counter-line writes drained (or guaranteed) to NVMM.
+    pub nvmm_counter_writes: u64,
+    /// Counter-line reads from NVMM (counter cache miss fills and
+    /// write-miss background fetches).
+    pub nvmm_counter_reads: u64,
+    /// Total bytes written to the NVMM device, including the 8-byte
+    /// counter widening in co-located designs.
+    pub bytes_written: u64,
+    /// Counter cache hits (read + write path probes).
+    pub counter_cache_hits: u64,
+    /// Counter cache misses.
+    pub counter_cache_misses: u64,
+    /// L1 hits / misses (demand accesses).
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Cumulative core time spent waiting in `persist_barrier`.
+    pub barrier_stall: Time,
+    /// Cumulative core time spent waiting for write-queue space.
+    pub queue_full_stall: Time,
+    /// Writes that were annotated (and enforced as) counter-atomic.
+    pub counter_atomic_writes: u64,
+    /// Writes that were not counter-atomic.
+    pub plain_writes: u64,
+    /// Write-queue entries merged into an existing same-line entry.
+    pub coalesced_data_writes: u64,
+    /// Counter write-queue entries merged into an existing same-line
+    /// entry.
+    pub coalesced_counter_writes: u64,
+    /// Transactions committed (workload-level; populated by the runtime).
+    pub transactions_committed: u64,
+    /// `counter_cache_writeback` operations executed.
+    pub counter_cache_writebacks: u64,
+    /// Distinct NVMM targets (data or counter lines) ever written —
+    /// wear-leveling footprint (§6.3.3).
+    pub distinct_lines_written: u64,
+    /// Maximum writes absorbed by any single NVMM target — the wear
+    /// hot spot a leveling scheme must spread.
+    pub max_line_writes: u64,
+}
+
+impl Stats {
+    /// Creates a zeroed statistics block for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Self { core_runtimes: vec![Time::ZERO; cores], ..Self::default() }
+    }
+
+    /// Counter cache miss rate over all probes, or 0.0 if never probed.
+    pub fn counter_cache_miss_rate(&self) -> f64 {
+        let total = self.counter_cache_hits + self.counter_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.counter_cache_misses as f64 / total as f64
+        }
+    }
+
+    /// Total NVMM write accesses (data + counter lines).
+    pub fn nvmm_writes(&self) -> u64 {
+        self.nvmm_data_writes + self.nvmm_counter_writes
+    }
+
+    /// Transactions per simulated second; 0.0 for a zero-length run.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.runtime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.transactions_committed as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(Stats::default().counter_cache_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_basic() {
+        let s = Stats { counter_cache_hits: 3, counter_cache_misses: 1, ..Stats::default() };
+        assert!((s.counter_cache_miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput() {
+        let s = Stats {
+            runtime: Time::from_ns(1_000_000), // 1 ms
+            transactions_committed: 500,
+            ..Stats::default()
+        };
+        assert!((s.throughput_tps() - 500_000.0).abs() / 500_000.0 < 1e-9);
+        assert_eq!(Stats::default().throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn new_sizes_core_vector() {
+        assert_eq!(Stats::new(4).core_runtimes.len(), 4);
+    }
+}

@@ -1,0 +1,469 @@
+//! The multi-core replay engine.
+//!
+//! Each core replays its program-order [`Trace`] through a private L1 and
+//! L2 slice; LLC misses and write-backs reach the single shared
+//! [`MemoryController`]. The scheduler always advances the core with the
+//! smallest local clock, so controller resources are reserved in
+//! nondecreasing event-start order and the simulation is deterministic.
+//!
+//! Crash injection ([`CrashSpec`]) stops replay at an event count or a
+//! wall-clock instant; the post-crash NVMM image is then exactly what ADR
+//! would leave behind (ready write-queue entries included, everything
+//! else lost).
+
+use crate::addr::LineAddr;
+use crate::cache::SetAssocCache;
+use crate::config::SimConfig;
+use crate::controller::MemoryController;
+use crate::nvmm::NvmmImage;
+use crate::stats::Stats;
+use crate::time::Time;
+use crate::trace::{Trace, TraceEvent};
+use nvmm_crypto::LineData;
+
+/// When (if ever) to inject a power failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSpec {
+    /// Run every trace to completion.
+    None,
+    /// Crash immediately after the `n`-th event (0-based) in global
+    /// replay order has been processed.
+    AfterEvent(u64),
+    /// Crash at the first scheduling point at or after this instant.
+    AtTime(Time),
+}
+
+/// Result of a replay.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Aggregated statistics (runtime, traffic, stalls, ...).
+    pub stats: Stats,
+    /// The persistent NVMM image at end of run / crash.
+    pub image: NvmmImage,
+    /// The instant the crash took effect, if one was injected.
+    pub crash_time: Option<Time>,
+    /// Number of trace events processed before stopping.
+    pub events_processed: u64,
+}
+
+/// A cached data line: payload plus the counter-atomic annotation of the
+/// store that most recently dirtied it.
+#[derive(Debug, Clone, Copy)]
+struct CachedLine {
+    data: LineData,
+    counter_atomic: bool,
+}
+
+struct Core {
+    trace: Trace,
+    next_event: usize,
+    now: Time,
+    l1: SetAssocCache<LineAddr, CachedLine>,
+    l2: SetAssocCache<LineAddr, CachedLine>,
+    /// Latest time at which all previously issued persists are
+    /// ADR-guaranteed; `persist_barrier` waits for it.
+    persists_guaranteed: Time,
+}
+
+impl Core {
+    fn new(cfg: &SimConfig, trace: Trace) -> Self {
+        Self {
+            trace,
+            next_event: 0,
+            now: Time::ZERO,
+            l1: SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways),
+            l2: SetAssocCache::new(cfg.l2.sets(), cfg.l2.ways),
+            persists_guaranteed: Time::ZERO,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.next_event >= self.trace.len()
+    }
+}
+
+/// The simulated system: cores, caches, controller, device.
+pub struct System {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    controller: MemoryController,
+    stats: Stats,
+    events_processed: u64,
+}
+
+impl System {
+    /// Builds a system replaying one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != config.cores`.
+    pub fn new(config: SimConfig, traces: Vec<Trace>) -> Self {
+        assert_eq!(
+            traces.len(),
+            config.cores,
+            "need exactly one trace per core ({} cores, {} traces)",
+            config.cores,
+            traces.len()
+        );
+        let cores = traces.into_iter().map(|t| Core::new(&config, t)).collect();
+        let controller = MemoryController::new(&config);
+        let stats = Stats::new(config.cores);
+        Self { cfg: config, cores, controller, stats, events_processed: 0 }
+    }
+
+    /// Replays all traces, optionally crashing per `crash`.
+    pub fn run(mut self, crash: CrashSpec) -> RunOutcome {
+        let mut crash_time = None;
+        loop {
+            // Pick the core with the smallest clock that still has work.
+            let Some(ci) = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.done())
+                .min_by_key(|(i, c)| (c.now, *i))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            if let CrashSpec::AtTime(t) = crash {
+                if self.cores[ci].now >= t {
+                    crash_time = Some(t);
+                    break;
+                }
+            }
+            self.step_core(ci);
+            self.events_processed += 1;
+            if let CrashSpec::AfterEvent(n) = crash {
+                if self.events_processed > n {
+                    crash_time = Some(self.cores[ci].now);
+                    break;
+                }
+            }
+        }
+
+        for (i, core) in self.cores.iter().enumerate() {
+            self.stats.core_runtimes[i] = core.now;
+        }
+        self.stats.runtime = self.cores.iter().map(|c| c.now).max().unwrap_or(Time::ZERO);
+        let (distinct, max) = self.controller.wear_summary();
+        self.stats.distinct_lines_written = distinct;
+        self.stats.max_line_writes = max;
+        let image = self.controller.build_image(crash_time);
+        RunOutcome {
+            stats: self.stats,
+            image,
+            crash_time,
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Fetches `line` into the core's hierarchy, returning (completion
+    /// time, payload). Handles L1/L2 fills and dirty evictions.
+    fn fetch_line(&mut self, ci: usize, line: LineAddr) -> (Time, CachedLine) {
+        let l1_latency = self.cfg.l1.latency;
+        let l2_latency = self.cfg.l2.latency;
+
+        let core = &mut self.cores[ci];
+        let t = core.now + l1_latency;
+        if let Some(&cached) = core.l1.get(&line) {
+            self.stats.l1_hits += 1;
+            return (t, cached);
+        }
+        self.stats.l1_misses += 1;
+        let t = t + l2_latency;
+
+        let (t_fill, payload) = if let Some(&cached) = core.l2.get(&line) {
+            self.stats.l2_hits += 1;
+            (t, cached)
+        } else {
+            self.stats.l2_misses += 1;
+            let (done, data) = self.controller.read(line, t, &mut self.stats);
+            let cached = CachedLine { data, counter_atomic: false };
+            // Fill L2.
+            let core = &mut self.cores[ci];
+            if let Some(ev) = core.l2.insert(line, cached, false) {
+                if ev.dirty {
+                    self.controller.writeback(
+                        ev.key,
+                        ev.value.data,
+                        ev.value.counter_atomic,
+                        done,
+                        &mut self.stats,
+                    );
+                }
+            }
+            (done, cached)
+        };
+
+        // Fill L1; victims spill to L2, L2 victims spill to memory.
+        let core = &mut self.cores[ci];
+        if let Some(ev1) = core.l1.insert(line, payload, false) {
+            if ev1.dirty {
+                if let Some(ev2) = core.l2.insert(ev1.key, ev1.value, true) {
+                    if ev2.dirty {
+                        self.controller.writeback(
+                            ev2.key,
+                            ev2.value.data,
+                            ev2.value.counter_atomic,
+                            t_fill,
+                            &mut self.stats,
+                        );
+                    }
+                }
+            }
+        }
+        (t_fill, payload)
+    }
+
+    fn step_core(&mut self, ci: usize) {
+        let ev = self.cores[ci].trace.events()[self.cores[ci].next_event].clone();
+        self.cores[ci].next_event += 1;
+        match ev {
+            TraceEvent::Compute { duration } => {
+                self.cores[ci].now += duration;
+            }
+            TraceEvent::Read { line } => {
+                let (done, _) = self.fetch_line(ci, line);
+                self.cores[ci].now = done;
+            }
+            TraceEvent::Write { line, data, counter_atomic } => {
+                // Write-allocate: ensure residency, then update in L1.
+                let in_l1 = self.cores[ci].l1.peek(&line).is_some();
+                let done = if in_l1 {
+                    self.cores[ci].now + self.cfg.l1.latency
+                } else {
+                    self.fetch_line(ci, line).0
+                };
+                let core = &mut self.cores[ci];
+                let cached = CachedLine { data, counter_atomic };
+                if let Some(existing) = core.l1.get_mut(&line, true) {
+                    existing.data = data;
+                    existing.counter_atomic |= counter_atomic;
+                } else if let Some(ev1) = core.l1.insert(line, cached, true) {
+                    if ev1.dirty {
+                        if let Some(ev2) = core.l2.insert(ev1.key, ev1.value, true) {
+                            if ev2.dirty {
+                                self.controller.writeback(
+                                    ev2.key,
+                                    ev2.value.data,
+                                    ev2.value.counter_atomic,
+                                    done,
+                                    &mut self.stats,
+                                );
+                            }
+                        }
+                    }
+                }
+                self.cores[ci].now = done;
+            }
+            TraceEvent::Clwb { line } => {
+                let issue = self.cores[ci].now + self.cfg.l1.latency;
+                let core = &mut self.cores[ci];
+                // Take the newest copy: L1 first, then L2.
+                let newest = core
+                    .l1
+                    .peek(&line)
+                    .copied()
+                    .map(|c| (c, core.l1.is_dirty(&line)))
+                    .or_else(|| core.l2.peek(&line).copied().map(|c| (c, core.l2.is_dirty(&line))));
+                if let Some((cached, dirty)) = newest {
+                    if dirty {
+                        core.l1.clean(&line);
+                        core.l2.clean(&line);
+                        let guaranteed = self.controller.writeback(
+                            line,
+                            cached.data,
+                            cached.counter_atomic,
+                            issue + self.cfg.controller_overhead,
+                            &mut self.stats,
+                        );
+                        let core = &mut self.cores[ci];
+                        core.persists_guaranteed = core.persists_guaranteed.max(guaranteed);
+                    }
+                }
+                self.cores[ci].now = issue;
+            }
+            TraceEvent::CounterCacheWriteback { line } => {
+                let issue = self.cores[ci].now + self.cfg.l1.latency;
+                let guaranteed = self.controller.counter_writeback(
+                    line,
+                    issue + self.cfg.controller_overhead,
+                    &mut self.stats,
+                );
+                let core = &mut self.cores[ci];
+                core.persists_guaranteed = core.persists_guaranteed.max(guaranteed);
+                core.now = issue;
+            }
+            TraceEvent::PersistBarrier => {
+                let core = &mut self.cores[ci];
+                if core.persists_guaranteed > core.now {
+                    self.stats.barrier_stall += core.persists_guaranteed - core.now;
+                    core.now = core.persists_guaranteed;
+                }
+            }
+            TraceEvent::TxCommit { .. } => {
+                self.stats.transactions_committed += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: replay `traces` under `config` with no crash.
+pub fn run_to_completion(config: SimConfig, traces: Vec<Trace>) -> RunOutcome {
+    System::new(config, traces).run(CrashSpec::None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+    use crate::nvmm::LineRead;
+
+    fn write_ev(line: u64, fill: u8, ca: bool) -> TraceEvent {
+        TraceEvent::Write { line: LineAddr(line), data: [fill; 64], counter_atomic: ca }
+    }
+
+    fn basic_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(write_ev(1, 0xaa, false));
+        t.push(TraceEvent::Clwb { line: LineAddr(1) });
+        t.push(TraceEvent::CounterCacheWriteback { line: LineAddr(1) });
+        t.push(TraceEvent::PersistBarrier);
+        t.push(TraceEvent::TxCommit { id: 0 });
+        t
+    }
+
+    #[test]
+    fn single_core_runs_to_completion() {
+        let out = run_to_completion(SimConfig::single_core(Design::Sca), vec![basic_trace()]);
+        assert!(out.crash_time.is_none());
+        assert_eq!(out.events_processed, 5);
+        assert_eq!(out.stats.transactions_committed, 1);
+        assert!(out.stats.runtime > Time::ZERO);
+    }
+
+    #[test]
+    fn persisted_line_recoverable_after_completion() {
+        let cfg = SimConfig::single_core(Design::Sca);
+        let key = cfg.key;
+        let out = run_to_completion(cfg, vec![basic_trace()]);
+        let engine = nvmm_crypto::EncryptionEngine::new(key);
+        assert_eq!(out.image.read_line(LineAddr(1), &engine), LineRead::Clean([0xaa; 64]));
+    }
+
+    #[test]
+    fn crash_before_anything_persists_leaves_fresh_nvmm() {
+        let cfg = SimConfig::single_core(Design::Sca);
+        let key = cfg.key;
+        let out = System::new(cfg, vec![basic_trace()]).run(CrashSpec::AfterEvent(0));
+        let engine = nvmm_crypto::EncryptionEngine::new(key);
+        // Only the store to L1 happened: nothing reached NVMM.
+        assert_eq!(out.image.read_line(LineAddr(1), &engine), LineRead::Unwritten);
+    }
+
+    #[test]
+    fn sca_crash_between_clwb_and_ccwb_garbles_line() {
+        // Data persisted (clwb accepted long before the crash), counter
+        // still dirty on chip: the paper's Fig. 3(a) failure, end to end.
+        let mut trace = Trace::new();
+        trace.push(write_ev(1, 0xaa, false));
+        trace.push(TraceEvent::Clwb { line: LineAddr(1) });
+        trace.push(TraceEvent::Compute { duration: Time::from_ns(10_000) });
+        trace.push(TraceEvent::CounterCacheWriteback { line: LineAddr(1) });
+        trace.push(TraceEvent::PersistBarrier);
+        let cfg = SimConfig::single_core(Design::Sca);
+        let key = cfg.key;
+        // Crash after the Compute event: clwb accepted, ccwb never ran.
+        let out = System::new(cfg, vec![trace]).run(CrashSpec::AfterEvent(2));
+        let engine = nvmm_crypto::EncryptionEngine::new(key);
+        let r = out.image.read_line(LineAddr(1), &engine);
+        assert!(!r.is_clean(), "counter never persisted; decryption must garble");
+    }
+
+    #[test]
+    fn fca_crash_anywhere_never_garbles() {
+        let key;
+        {
+            let cfg = SimConfig::single_core(Design::Fca);
+            key = cfg.key;
+        }
+        for k in 0..5 {
+            let cfg = SimConfig::single_core(Design::Fca);
+            let out = System::new(cfg, vec![basic_trace()]).run(CrashSpec::AfterEvent(k));
+            let engine = nvmm_crypto::EncryptionEngine::new(key);
+            let r = out.image.read_line(LineAddr(1), &engine);
+            assert!(r.is_clean(), "FCA must never expose a half pair (crash after event {k})");
+        }
+    }
+
+    #[test]
+    fn read_after_write_returns_written_data() {
+        let mut t = Trace::new();
+        t.push(write_ev(5, 0x5c, false));
+        t.push(TraceEvent::Read { line: LineAddr(5) });
+        let out = run_to_completion(SimConfig::single_core(Design::Sca), vec![t]);
+        assert_eq!(out.stats.l1_hits, 1, "read after write should hit L1");
+    }
+
+    #[test]
+    fn multi_core_uses_all_traces() {
+        let cfg = SimConfig::table2(Design::Sca, 2);
+        let out = run_to_completion(cfg, vec![basic_trace(), basic_trace()]);
+        assert_eq!(out.stats.transactions_committed, 2);
+        assert_eq!(out.stats.core_runtimes.len(), 2);
+        assert!(out.stats.core_runtimes.iter().all(|&t| t > Time::ZERO));
+    }
+
+    #[test]
+    #[should_panic]
+    fn trace_count_mismatch_panics() {
+        let cfg = SimConfig::table2(Design::Sca, 2);
+        let _ = System::new(cfg, vec![basic_trace()]);
+    }
+
+    #[test]
+    fn barrier_waits_for_persists() {
+        let mut t = Trace::new();
+        t.push(write_ev(1, 1, false));
+        t.push(TraceEvent::Clwb { line: LineAddr(1) });
+        t.push(TraceEvent::PersistBarrier);
+        let out = run_to_completion(SimConfig::single_core(Design::Fca), vec![t]);
+        // FCA pairs must be ready before the barrier releases; some stall
+        // is expected relative to the bare L1-latency cost.
+        assert!(out.stats.runtime >= Time::from_ns(40), "encrypt + pairing must cost time");
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Compute { duration: Time::from_ns(123) });
+        let out = run_to_completion(SimConfig::single_core(Design::NoEncryption), vec![t]);
+        assert_eq!(out.stats.runtime, Time::from_ns(123));
+    }
+
+    #[test]
+    fn crash_at_time_stops_replay() {
+        let mut t = Trace::new();
+        for i in 0..100 {
+            t.push(TraceEvent::Compute { duration: Time::from_ns(10) });
+            t.push(write_ev(i, i as u8, false));
+        }
+        let cfg = SimConfig::single_core(Design::Sca);
+        let out = System::new(cfg, vec![t]).run(CrashSpec::AtTime(Time::from_ns(100)));
+        assert!(out.crash_time.is_some());
+        assert!(out.events_processed < 200);
+    }
+
+    #[test]
+    fn eviction_pressure_writes_back_to_nvmm() {
+        // Touch far more lines than L1+L2 hold: evictions must reach NVMM.
+        let mut t = Trace::new();
+        let l2_lines = 2 * 1024 * 1024 / 64;
+        for i in 0..(l2_lines as u64 * 2) {
+            t.push(write_ev(i, 1, false));
+        }
+        let out = run_to_completion(SimConfig::single_core(Design::NoEncryption), vec![t]);
+        assert!(out.stats.nvmm_data_writes > 0, "cache pressure must cause write-backs");
+    }
+}

@@ -1,0 +1,169 @@
+//! Traces: the interface between functional workload execution and the
+//! timing simulator.
+//!
+//! A workload runs once *functionally* (in `nvmm-core`), producing one
+//! [`Trace`] per core. The timing layer then replays the traces through
+//! the cache hierarchy and memory controller under a particular design.
+//! Write events carry the full post-write line image so that writebacks,
+//! encryption, and post-crash recovery all operate on real bytes.
+
+use crate::addr::LineAddr;
+use crate::time::Time;
+use nvmm_crypto::LineData;
+use serde::{Deserialize, Serialize};
+
+/// One event in a core's execution trace, in program order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A demand load of one cache line.
+    Read {
+        /// Line accessed.
+        line: LineAddr,
+    },
+    /// A store to one cache line. `data` is the complete 64-byte line
+    /// image *after* the store.
+    Write {
+        /// Line written.
+        line: LineAddr,
+        /// Post-store contents of the whole line.
+        #[serde(with = "serde_line")]
+        data: LineData,
+        /// `true` if the program annotated the destination
+        /// `CounterAtomic` (paper §4.3).
+        counter_atomic: bool,
+    },
+    /// `clwb`: write the line back to the memory controller without
+    /// invalidating it. Asynchronous; completion is awaited by the next
+    /// `PersistBarrier`.
+    Clwb {
+        /// Line to write back.
+        line: LineAddr,
+    },
+    /// `counter_cache_writeback()`: flush the (dirty) counter line
+    /// covering `line` to the counter write queue (paper §4.3).
+    CounterCacheWriteback {
+        /// Data line whose counter line should be flushed.
+        line: LineAddr,
+    },
+    /// `persist_barrier` / `sfence`: the core stalls until every
+    /// previously issued persist (clwb, counter-cache writeback, and any
+    /// counter-atomic pairing they imply) is guaranteed durable by ADR.
+    PersistBarrier,
+    /// Non-memory work: advances the core clock.
+    Compute {
+        /// Duration of the computation.
+        duration: Time,
+    },
+    /// Marks the successful commit of one workload transaction; used for
+    /// throughput accounting and crash bookkeeping.
+    TxCommit {
+        /// Workload-assigned transaction id.
+        id: u64,
+    },
+}
+
+mod serde_line {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(data: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(data.as_slice(), s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
+        let v: Vec<u8> = Deserialize::deserialize(d)?;
+        v.try_into().map_err(|_| serde::de::Error::custom("line must be 64 bytes"))
+    }
+}
+
+/// A complete program-order trace for one core.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// The recorded events in program order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of `Write` events.
+    pub fn write_count(&self) -> u64 {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Write { .. })).count() as u64
+    }
+
+    /// Number of committed transactions recorded.
+    pub fn tx_count(&self) -> u64 {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::TxCommit { .. })).count() as u64
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        Self { events: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(line: u64) -> TraceEvent {
+        TraceEvent::Write { line: LineAddr(line), data: [0; 64], counter_atomic: false }
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(TraceEvent::Read { line: LineAddr(1) });
+        t.push(write(2));
+        t.push(TraceEvent::TxCommit { id: 0 });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.write_count(), 1);
+        assert_eq!(t.tx_count(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = (0..5).map(write).collect();
+        assert_eq!(t.write_count(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = Trace::new();
+        t.push(write(3));
+        t.push(TraceEvent::PersistBarrier);
+        t.push(TraceEvent::Compute { duration: Time::from_ns(10) });
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

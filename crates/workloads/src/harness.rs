@@ -1,0 +1,274 @@
+//! The workload harness: functional execution, trace generation, and the
+//! crash-consistency checking protocol used by the test suite and the
+//! paper-reproduction experiments.
+//!
+//! ## Crash checking
+//!
+//! [`crash_check`] is the executable form of the paper's correctness
+//! claim. For a given design and crash point it:
+//!
+//! 1. executes the workload functionally and replays its trace through
+//!    the timing simulator, injecting the crash;
+//! 2. runs undo-log recovery over the surviving NVMM image, asserting
+//!    that recovery never reads a line whose counter and ciphertext are
+//!    out of sync (Eq. 4);
+//! 3. reads the durable operation counter `k` and checks the workload's
+//!    structural invariants on the recovered state;
+//! 4. re-executes the first `k` operations functionally and requires the
+//!    recovered bytes to equal that ground truth on every line the
+//!    `k`-op run wrote (excluding the undo log itself, whose lifecycle
+//!    differs) — recovery must land on *exactly* the state after the
+//!    last durably committed transaction.
+
+use crate::spec::{WorkloadKind, WorkloadSpec};
+use crate::util::{ensure, ConsistencyError};
+use crate::{array_swap, btree, hash_table, queue, rbtree};
+use nvmm_core::pmem::Pmem;
+use nvmm_core::recovery::RecoveredMemory;
+use nvmm_core::undo::UndoLog;
+use nvmm_sim::addr::ByteAddr;
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::system::{CrashSpec, RunOutcome, System};
+use nvmm_sim::trace::Trace;
+
+/// A functionally executed workload instance for one core.
+pub struct Executed {
+    /// The persistent-memory context (holds the trace and final image).
+    pub pm: Pmem,
+    /// The undo log used by the workload's transactions.
+    pub log: UndoLog,
+    /// Durable operation counter address.
+    pub ops_cell: ByteAddr,
+    /// Number of leading trace events that belong to setup (structure
+    /// initialization, persisted before the measured operations). Crash
+    /// sweeps start after this boundary: a crash inside setup models a
+    /// failure before the structure exists, which the workload checkers
+    /// deliberately do not cover.
+    pub setup_events: usize,
+    layout: Layout,
+    spec: WorkloadSpec,
+    core: usize,
+}
+
+enum Layout {
+    Array(array_swap::ArrayLayout),
+    Queue(queue::QueueLayout),
+    Hash(hash_table::HashLayout),
+    BTree(btree::BTreeLayout),
+    Rb(rbtree::RbLayout),
+}
+
+/// Executes `ops` operations of `spec` for `core`, functionally.
+pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> Executed {
+    let (pm, log, ops_cell, layout, setup_events) = match spec.kind {
+        WorkloadKind::ArraySwap => {
+            let (pm, log, ops_cell, l, s) = array_swap::execute(spec, core, ops);
+            (pm, log, ops_cell, Layout::Array(l), s)
+        }
+        WorkloadKind::Queue => {
+            let (pm, log, ops_cell, l, s) = queue::execute(spec, core, ops);
+            (pm, log, ops_cell, Layout::Queue(l), s)
+        }
+        WorkloadKind::HashTable => {
+            let (pm, log, ops_cell, l, s) = hash_table::execute(spec, core, ops);
+            (pm, log, ops_cell, Layout::Hash(l), s)
+        }
+        WorkloadKind::BTree => {
+            let (pm, log, ops_cell, l, s) = btree::execute(spec, core, ops);
+            (pm, log, ops_cell, Layout::BTree(l), s)
+        }
+        WorkloadKind::RbTree => {
+            let (pm, log, ops_cell, l, s) = rbtree::execute(spec, core, ops);
+            (pm, log, ops_cell, Layout::Rb(l), s)
+        }
+    };
+    Executed { pm, log, ops_cell, setup_events, layout, spec: *spec, core }
+}
+
+impl Executed {
+    /// Structural invariant check against a recovered memory, given the
+    /// recovered durable op count.
+    pub fn check_structure(
+        &self,
+        mem: &mut RecoveredMemory,
+        committed: u64,
+    ) -> Result<(), ConsistencyError> {
+        match &self.layout {
+            Layout::Array(l) => array_swap::check(l, &self.spec, self.core, committed, mem),
+            Layout::Queue(l) => queue::check(l, &self.spec, self.core, committed, mem),
+            Layout::Hash(l) => hash_table::check(l, &self.spec, self.core, committed, mem),
+            Layout::BTree(l) => btree::check(l, &self.spec, self.core, committed, mem),
+            Layout::Rb(l) => rbtree::check(l, &self.spec, self.core, committed, mem),
+        }
+    }
+}
+
+/// Generates one trace per core for a timing run (each core executes the
+/// full `spec.ops` operations on its own region, as in §6.3.2).
+pub fn traces_for_cores(spec: &WorkloadSpec, cores: usize) -> Vec<Trace> {
+    (0..cores)
+        .map(|core| {
+            let ex = execute(spec, core, spec.ops);
+            ex.pm.into_parts().0
+        })
+        .collect()
+}
+
+/// Convenience: run `spec` on `cores` cores under `design` with no
+/// crash and return the timing outcome.
+pub fn run_timed(spec: &WorkloadSpec, design: Design, cores: usize) -> RunOutcome {
+    let traces = traces_for_cores(spec, cores);
+    System::new(SimConfig::table2(design, cores), traces).run(CrashSpec::None)
+}
+
+/// Result of a successful crash-consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashCheckOutcome {
+    /// Durably committed transactions at the crash point.
+    pub committed: u64,
+    /// Whether recovery rolled an in-flight transaction back.
+    pub rolled_back: bool,
+    /// Total trace events (useful for sweeping crash points).
+    pub trace_events: u64,
+}
+
+/// Runs the full crash-consistency protocol for one crash point.
+///
+/// # Errors
+///
+/// Returns a [`ConsistencyError`] when recovery reads a garbled line,
+/// a structural invariant is violated, or the recovered state deviates
+/// from the ground-truth state after the last committed transaction —
+/// i.e. exactly when the design under test fails the paper's
+/// counter-atomicity requirement.
+pub fn crash_check(
+    spec: &WorkloadSpec,
+    design: Design,
+    crash: CrashSpec,
+) -> Result<CrashCheckOutcome, ConsistencyError> {
+    crash_check_cfg(spec, SimConfig::single_core(design), crash, 0)
+}
+
+/// [`crash_check`] with a caller-supplied configuration and an
+/// Osiris-style counter-recovery window (0 = disabled). Use a window
+/// matching `config.stop_loss` to validate stop-loss recovery.
+pub fn crash_check_cfg(
+    spec: &WorkloadSpec,
+    config: SimConfig,
+    crash: CrashSpec,
+    recovery_window: u64,
+) -> Result<CrashCheckOutcome, ConsistencyError> {
+    let design = config.design;
+    let ex = execute(spec, 0, spec.ops);
+    let trace = ex.pm.trace().clone();
+    let trace_events = trace.len() as u64;
+    let key = config.key;
+    let out = System::new(config, vec![trace]).run(crash);
+
+    let mut mem = RecoveredMemory::new(out.image, key).with_recovery_window(recovery_window);
+    let report = spec.mechanism.recover(&mut mem, &ex.log);
+    ensure!(
+        report.reads_clean,
+        "recovery read garbled lines {:?} under {design}",
+        mem.garbled_lines()
+    );
+
+    let committed = mem.read_u64(ex.ops_cell);
+    ensure!(
+        committed <= spec.ops as u64,
+        "recovered op counter {committed} exceeds issued ops {}",
+        spec.ops
+    );
+
+    ex.check_structure(&mut mem, committed)?;
+
+    // Replay equality: recovered bytes must match the ground-truth state
+    // after exactly `committed` operations, on every line that state
+    // defines (the undo log region excepted — its lifecycle differs).
+    let expected = execute(spec, 0, committed as usize);
+    let (_, image) = expected.pm.into_parts();
+    let log_start = ex.log.valid_addr().line().0;
+    let log_end = ex.log.end().line().0;
+    for (line, want) in &image {
+        if (log_start..log_end).contains(&line.0) {
+            continue;
+        }
+        let mut got = [0u8; 64];
+        mem.read(line.byte_addr(), &mut got);
+        ensure!(
+            got == *want,
+            "line {line} deviates from the state after {committed} committed ops"
+        );
+    }
+    ensure!(
+        mem.all_reads_clean(),
+        "checker reads hit garbled lines {:?}",
+        mem.garbled_lines()
+    );
+    Ok(CrashCheckOutcome { committed, rolled_back: report.rolled_back, trace_events })
+}
+
+/// Sweeps `points` evenly spaced crash points across the post-setup
+/// portion of the trace, returning the first failure (if any) with its
+/// crash point.
+pub fn crash_sweep(
+    spec: &WorkloadSpec,
+    design: Design,
+    points: u64,
+) -> Result<Vec<CrashCheckOutcome>, (u64, ConsistencyError)> {
+    let ex = execute(spec, 0, spec.ops);
+    let total = ex.pm.trace().len() as u64;
+    let start = ex.setup_events as u64;
+    let step = ((total - start) / points.max(1)).max(1);
+    let mut outcomes = Vec::new();
+    let mut k = start;
+    while k < total {
+        match crash_check(spec, design, CrashSpec::AfterEvent(k)) {
+            Ok(o) => outcomes.push(o),
+            Err(e) => return Err((k, e)),
+        }
+        k += step;
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_dispatches_all_kinds() {
+        for kind in WorkloadKind::ALL {
+            let spec = WorkloadSpec::smoke(kind).with_ops(5);
+            let ex = execute(&spec, 0, 5);
+            assert_eq!(ex.pm.trace().tx_count(), 5, "{kind}");
+        }
+    }
+
+    #[test]
+    fn traces_differ_across_cores() {
+        let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(5);
+        let ts = traces_for_cores(&spec, 2);
+        assert_eq!(ts.len(), 2);
+        assert_ne!(ts[0], ts[1], "cores must work on disjoint regions/streams");
+    }
+
+    #[test]
+    fn no_crash_check_passes_for_all_kinds_under_sca() {
+        for kind in WorkloadKind::ALL {
+            let spec = WorkloadSpec::smoke(kind).with_ops(6);
+            let o = crash_check(&spec, Design::Sca, CrashSpec::None)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(o.committed, 6);
+            assert!(!o.rolled_back);
+        }
+    }
+
+    #[test]
+    fn run_timed_produces_stats() {
+        let spec = WorkloadSpec::smoke(WorkloadKind::Queue);
+        let out = run_timed(&spec, Design::Sca, 1);
+        assert_eq!(out.stats.transactions_committed, spec.ops as u64);
+        assert!(out.stats.nvmm_data_writes > 0);
+    }
+}

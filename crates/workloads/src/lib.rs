@@ -1,0 +1,61 @@
+//! # nvmm-workloads
+//!
+//! The five persistent data-structure workloads of the paper's §6.2 —
+//! Array Swap, Queue, Hash Table, B-Tree, Red-Black Tree — implemented
+//! over the `nvmm-core` transaction API with selective-counter-atomicity
+//! annotations, plus the harness that replays them through the timing
+//! simulator and the crash-consistency checking protocol.
+//!
+//! Each workload module provides:
+//!
+//! * `execute(spec, core, ops)` — deterministic functional execution
+//!   producing a program-order trace (every transaction follows the
+//!   three-stage prepare/mutate/commit protocol, undo-logging every
+//!   region it mutates);
+//! * a `Layout` describing where the structure lives; and
+//! * `check(...)` — structural invariants validated against a recovered
+//!   (post-crash) memory: multiset preservation for the array, FIFO
+//!   windows for the queue, chain reachability for the hash table, BST
+//!   order + balance for the B-tree, and the full red-black invariants
+//!   for the RB-tree.
+//!
+//! The [`harness`] module adds the replay-equality check: recovery must
+//! land on exactly the state after the last durably committed
+//! transaction.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmm_workloads::harness::{crash_check, run_timed};
+//! use nvmm_workloads::spec::{WorkloadKind, WorkloadSpec};
+//! use nvmm_sim::config::Design;
+//! use nvmm_sim::system::CrashSpec;
+//!
+//! let spec = WorkloadSpec::smoke(WorkloadKind::Queue);
+//!
+//! // Timing run: how long does SCA take on one core?
+//! let out = run_timed(&spec, Design::Sca, 1);
+//! assert!(out.stats.runtime > nvmm_sim::Time::ZERO);
+//!
+//! // Crash run: recovery after an arbitrary mid-run power failure.
+//! let outcome = crash_check(&spec, Design::Sca, CrashSpec::AfterEvent(50)).unwrap();
+//! assert!(outcome.committed <= spec.ops as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array_swap;
+pub mod btree;
+pub mod harness;
+pub mod hash_table;
+pub mod queue;
+pub mod rbtree;
+pub mod spec;
+mod util;
+
+pub use harness::{
+    crash_check, crash_check_cfg, crash_sweep, execute, run_timed, traces_for_cores, CrashCheckOutcome, Executed,
+};
+pub use spec::{WorkloadKind, WorkloadSpec};
+pub use util::ConsistencyError;

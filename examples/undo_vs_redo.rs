@@ -1,0 +1,77 @@
+//! Undo vs redo logging under crashes: the same transfer transaction run
+//! with both mechanisms, crashed at every point, showing where each
+//! mechanism's durable commit point lands.
+//!
+//! Undo logging commits when the log is *disarmed* (valid = 0 persists);
+//! redo logging commits when the log is *armed* (valid = 1 persists) —
+//! before the in-place apply has happened. At every crash point both
+//! must recover a consistent state; they just differ in which
+//! transactions survive.
+//!
+//! ```sh
+//! cargo run --release --example undo_vs_redo
+//! ```
+
+use nvmm::core::pmem::{Pmem, RegionPlanner};
+use nvmm::core::recovery::RecoveredMemory;
+use nvmm::core::txn::{Mechanism, Txn};
+use nvmm::core::undo::UndoLog;
+use nvmm::sim::addr::ByteAddr;
+use nvmm::sim::config::{Design, SimConfig};
+use nvmm::sim::system::{CrashSpec, System};
+
+/// Builds the trace for one 100 → 250 transfer under `mech`.
+fn build(mech: Mechanism) -> (nvmm::sim::Trace, UndoLog, ByteAddr) {
+    let mut pm = Pmem::for_core(0);
+    let mut plan = RegionPlanner::new(pm.region());
+    let log = UndoLog::new(plan.alloc_lines(64), 8, 64);
+    let balance = plan.alloc_lines(1);
+    log.format(&mut pm);
+
+    pm.write_u64(balance, 100);
+    pm.clwb(balance, 8);
+    pm.counter_cache_writeback(balance, 8);
+    pm.persist_barrier();
+
+    let mut tx = Txn::begin(&mut pm, &log, 0, mech);
+    tx.log_region(balance, 8);
+    tx.write_u64(balance, 250);
+    tx.commit();
+
+    let (trace, _) = pm.into_parts();
+    (trace, log, balance)
+}
+
+fn main() {
+    println!("crash-sweeping one transaction under each mechanism (SCA)\n");
+    for mech in Mechanism::ALL {
+        let (trace, log, balance) = build(mech);
+        let total = trace.len() as u64;
+        let key = SimConfig::single_core(Design::Sca).key;
+        let mut first_committed_at = None;
+        for k in 0..total {
+            let (trace, ..) = build(mech);
+            let out = System::new(SimConfig::single_core(Design::Sca), vec![trace])
+                .run(CrashSpec::AfterEvent(k));
+            let mut mem = RecoveredMemory::new(out.image, key);
+            let report = mech.recover(&mut mem, &log);
+            assert!(report.reads_clean, "{mech}: crash after event {k} garbled recovery");
+            // 0 = crash before the setup write persisted (fresh memory).
+            let v = mem.read_u64(balance);
+            assert!(v == 0 || v == 100 || v == 250, "{mech}: inconsistent balance {v} at {k}");
+            if v == 250 && first_committed_at.is_none() {
+                first_committed_at = Some(k);
+            }
+        }
+        let commit_point = first_committed_at.expect("the transfer commits eventually");
+        println!(
+            "{mech:>5} logging: consistent at all {total} crash points; \
+             new value durable from event {commit_point} ({}% through the trace)",
+            commit_point * 100 / total
+        );
+        let _ = trace;
+    }
+    println!("\nRedo's commit point lands earlier: the staged log is the truth the");
+    println!("moment its valid flag persists, while undo must finish the in-place");
+    println!("update first. Both need exactly two CounterAtomic stores per transaction.");
+}

@@ -1,0 +1,135 @@
+//! End-to-end pipeline tests: functional execution → timing replay →
+//! post-crash image → recovery, across crates.
+
+use nvmm::core::pmem::{Pmem, RegionPlanner};
+use nvmm::core::recovery::{recover_undo_log, RecoveredMemory};
+use nvmm::core::undo::{Tx, UndoLog};
+use nvmm::crypto::EncryptionEngine;
+use nvmm::sim::config::{Design, SimConfig};
+use nvmm::sim::system::{CrashSpec, System};
+use nvmm::sim::LineRead;
+use nvmm::workloads::{execute, traces_for_cores, WorkloadKind, WorkloadSpec};
+
+#[test]
+fn full_pipeline_persists_committed_state_for_all_designs() {
+    // A two-transaction counter run replayed under every design that is
+    // crash-consistent: the final value must always be recoverable.
+    for design in [Design::NoEncryption, Design::Sca, Design::Fca, Design::CoLocated] {
+        let mut pm = Pmem::for_core(0);
+        let mut plan = RegionPlanner::new(pm.region());
+        let log = UndoLog::new(plan.alloc_lines(64), 8, 64);
+        let cell = plan.alloc_lines(1);
+        log.format(&mut pm);
+        for i in 0..2u64 {
+            let mut tx = Tx::begin(&mut pm, &log, i);
+            tx.log_region(cell, 8);
+            tx.write_u64(cell, (i + 1) * 111);
+            tx.commit();
+        }
+        let (trace, _) = pm.into_parts();
+        let cfg = SimConfig::single_core(design);
+        let key = cfg.key;
+        let out = System::new(cfg, vec![trace]).run(CrashSpec::None);
+        let mut mem = RecoveredMemory::new(out.image, key);
+        let report = recover_undo_log(&mut mem, &log);
+        assert!(report.reads_clean, "{design}: recovery reads must be clean");
+        assert!(!report.rolled_back, "{design}: committed run must not roll back");
+        assert_eq!(mem.read_u64(cell), 222, "{design}: final value must persist");
+    }
+}
+
+#[test]
+fn nvmm_image_holds_real_ciphertext() {
+    // The persisted bytes for encrypted designs must NOT be the
+    // plaintext: this is real encryption, not a flag.
+    let spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap).with_ops(3);
+    let ex = execute(&spec, 0, spec.ops);
+    let (trace, functional_image) = ex.pm.into_parts();
+    let cfg = SimConfig::single_core(Design::Sca);
+    let key = cfg.key;
+    let out = System::new(cfg, vec![trace]).run(CrashSpec::None);
+
+    let engine = EncryptionEngine::new(key);
+    let mut checked = 0;
+    for line in out.image.data_line_addrs() {
+        let Some(plain) = functional_image.get(&line) else { continue };
+        if plain.iter().all(|&b| b == 0) {
+            continue;
+        }
+        let raw = out.image.raw_data(line).expect("line is resident");
+        assert_ne!(&raw, plain, "stored bytes must be ciphertext, not plaintext");
+        if let LineRead::Clean(decrypted) = out.image.read_line(line, &engine) {
+            assert_eq!(&decrypted, plain, "decryption must invert encryption");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "at least one line must decrypt cleanly");
+}
+
+#[test]
+fn multi_core_runs_are_deterministic() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::Queue).with_ops(10);
+    let run = || {
+        let cfg = SimConfig::table2(Design::Sca, 4);
+        let traces = traces_for_cores(&spec, 4);
+        let out = System::new(cfg, traces).run(CrashSpec::None);
+        (out.stats.runtime, out.stats.bytes_written, out.stats.nvmm_reads)
+    };
+    assert_eq!(run(), run(), "identical inputs must produce identical simulations");
+}
+
+#[test]
+fn multi_core_crash_recovers_every_core_region() {
+    // Crash a 2-core run mid-flight; each core's log must independently
+    // recover its region.
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(12);
+    let cfg = SimConfig::table2(Design::Sca, 2);
+    let key = cfg.key;
+    let ex0 = execute(&spec, 0, spec.ops);
+    let ex1 = execute(&spec, 1, spec.ops);
+    let traces = vec![ex0.pm.trace().clone(), ex1.pm.trace().clone()];
+    let out = System::new(cfg, traces).run(CrashSpec::AtTime(nvmm::sim::Time::from_ns(20_000)));
+    assert!(out.crash_time.is_some());
+
+    let mut mem = RecoveredMemory::new(out.image, key);
+    for ex in [&ex0, &ex1] {
+        let report = recover_undo_log(&mut mem, &ex.log);
+        assert!(report.reads_clean, "per-core recovery must read clean lines");
+        let committed = mem.read_u64(ex.ops_cell);
+        assert!(committed <= spec.ops as u64);
+        ex.check_structure(&mut mem, committed).expect("structure is consistent");
+    }
+}
+
+#[test]
+fn trace_replay_commits_match_functional_commits() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::RbTree).with_ops(9);
+    let traces = traces_for_cores(&spec, 1);
+    let expected = traces[0].tx_count();
+    let out = System::new(SimConfig::single_core(Design::Ideal), traces).run(CrashSpec::None);
+    assert_eq!(out.stats.transactions_committed, expected);
+    assert_eq!(expected, 9);
+}
+
+#[test]
+fn designs_agree_on_functional_outcome() {
+    // Timing designs must never change *what* is computed, only *when*:
+    // the recovered post-run state is identical across designs.
+    let spec = WorkloadSpec::smoke(WorkloadKind::BTree).with_ops(6);
+    let reference: Vec<u64> = {
+        let ex = execute(&spec, 0, spec.ops);
+        let mut pm = ex.pm;
+        let cell = ex.ops_cell;
+        vec![pm.read_u64(cell)]
+    };
+    for design in [Design::NoEncryption, Design::Sca, Design::Fca, Design::CoLocated] {
+        let ex = execute(&spec, 0, spec.ops);
+        let trace = ex.pm.trace().clone();
+        let cfg = SimConfig::single_core(design);
+        let key = cfg.key;
+        let out = System::new(cfg, vec![trace]).run(CrashSpec::None);
+        let mut mem = RecoveredMemory::new(out.image, key);
+        let _ = recover_undo_log(&mut mem, &ex.log);
+        assert_eq!(mem.read_u64(ex.ops_cell), reference[0], "{design}");
+    }
+}
