@@ -14,7 +14,9 @@ fn bench_aes_block(c: &mut Criterion) {
     let block = [0x5au8; 16];
     let mut g = c.benchmark_group("aes");
     g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| b.iter(|| aes.encrypt_block(black_box(&block))));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
     g.finish();
 }
 
@@ -37,7 +39,9 @@ fn bench_engine_roundtrip(c: &mut Criterion) {
     let plain = [0xa5u8; 64];
     let mut g = c.benchmark_group("engine");
     g.throughput(Throughput::Bytes(64));
-    g.bench_function("encrypt_line", |b| b.iter(|| engine.encrypt(black_box(77), &plain)));
+    g.bench_function("encrypt_line", |b| {
+        b.iter(|| engine.encrypt(black_box(77), &plain))
+    });
     let w = engine.encrypt(77, &plain);
     g.bench_function("decrypt_line", |b| {
         b.iter(|| engine.decrypt(black_box(77), &w.ciphertext, w.counter))
@@ -45,5 +49,10 @@ fn bench_engine_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_aes_block, bench_line_pad, bench_engine_roundtrip);
+criterion_group!(
+    benches,
+    bench_aes_block,
+    bench_line_pad,
+    bench_engine_roundtrip
+);
 criterion_main!(benches);

@@ -18,7 +18,11 @@ fn bench_fig12(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sca_vs_noenc_hash", |b| {
         b.iter(|| {
-            normalized_runtime(black_box(&small(WorkloadKind::HashTable)), Design::Sca, Design::NoEncryption)
+            normalized_runtime(
+                black_box(&small(WorkloadKind::HashTable)),
+                Design::Sca,
+                Design::NoEncryption,
+            )
         })
     });
     g.finish();

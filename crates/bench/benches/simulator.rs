@@ -16,7 +16,12 @@ fn bench_replay(c: &mut Criterion) {
     let mut g = c.benchmark_group("replay");
     g.throughput(Throughput::Elements(events));
     g.sample_size(20);
-    for design in [Design::NoEncryption, Design::Sca, Design::Fca, Design::CoLocated] {
+    for design in [
+        Design::NoEncryption,
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(design.label()),
             &design,
@@ -36,9 +41,11 @@ fn bench_trace_generation(c: &mut Criterion) {
     g.sample_size(20);
     for kind in WorkloadKind::ALL {
         let spec = WorkloadSpec::smoke(kind).with_ops(50);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &spec, |b, spec| {
-            b.iter(|| traces_for_cores(black_box(spec), 1))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &spec,
+            |b, spec| b.iter(|| traces_for_cores(black_box(spec), 1)),
+        );
     }
     g.finish();
 }
@@ -61,5 +68,10 @@ fn bench_recovery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_replay, bench_trace_generation, bench_recovery);
+criterion_group!(
+    benches,
+    bench_replay,
+    bench_trace_generation,
+    bench_recovery
+);
 criterion_main!(benches);

@@ -10,87 +10,153 @@
 //! 3. **PCM bank count** (unspecified in Table 2) — drain parallelism.
 //! 4. **Counter compression** (§6.3.3's extension) — write traffic and
 //!    the wear/lifetime proxy with base-delta-compressed counter lines.
+//!
+//! All variants replay one workload execution: the sweep's trace cache
+//! generates the 4-core hash-table trace once for ablations 1–3 and the
+//! single-core trace once for ablation 4.
 
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{eval_spec, experiment_ops, print_table, Experiment};
 use nvmm_sim::config::{Design, SimConfig};
-use nvmm_sim::system::{CrashSpec, System};
 use nvmm_sim::time::Time;
-use nvmm_sim::trace::Trace;
-use nvmm_workloads::{traces_for_cores, WorkloadKind};
-
-fn throughput(traces: &[Trace], mut cfg: SimConfig, design: Design) -> f64 {
-    cfg.design = design;
-    System::new(cfg, traces.to_vec()).run(CrashSpec::None).stats.throughput_tps()
-}
+use nvmm_workloads::WorkloadKind;
 
 fn main() {
     let ops = (experiment_ops() / 2).max(100);
     let spec = eval_spec(WorkloadKind::HashTable).with_ops(ops);
     let cores = 4;
-    let traces = traces_for_cores(&spec, cores);
+
+    let mut cells = Vec::new();
+    for entries in [4usize, 8, 16, 32, 64] {
+        for d in [Design::Sca, Design::Fca] {
+            let mut cfg = SimConfig::table2(d, cores);
+            cfg.counter_write_queue_entries = entries;
+            cells.push(SweepCell::new(
+                &format!("wq/{entries}"),
+                d.label(),
+                &spec,
+                cfg,
+            ));
+        }
+    }
+    for ns in [0u64, 50, 100, 200, 400] {
+        for d in [Design::Sca, Design::Fca, Design::Ideal] {
+            let mut cfg = SimConfig::table2(d, cores);
+            cfg.ca_pair_overhead = Time::from_ns(ns);
+            cells.push(SweepCell::new(
+                &format!("handshake/{ns}"),
+                d.label(),
+                &spec,
+                cfg,
+            ));
+        }
+    }
+    for banks in [8usize, 16, 32] {
+        for d in [Design::Sca, Design::Fca] {
+            let mut cfg = SimConfig::table2(d, cores);
+            cfg.banks = banks;
+            cells.push(SweepCell::new(
+                &format!("banks/{banks}"),
+                d.label(),
+                &spec,
+                cfg,
+            ));
+        }
+    }
+    for (label, compress) in [("raw counters", false), ("compressed", true)] {
+        let mut cfg = SimConfig::single_core(Design::Sca);
+        cfg.compress_counters = compress;
+        cells.push(SweepCell::new(
+            &format!("compression/{label}"),
+            "SCA",
+            &spec,
+            cfg,
+        ));
+    }
+    let outs = SweepRunner::from_env().run(cells);
+    let tput = |row: &str, d: Design| outs.get(row, d.label()).stats.throughput_tps();
+
     let mut exp = Experiment::new("ablations", "design-parameter sensitivity");
 
     // 1. Counter write-queue size.
     let mut rows = Vec::new();
     for entries in [4usize, 8, 16, 32, 64] {
-        let mut cfg = SimConfig::table2(Design::Sca, cores);
-        cfg.counter_write_queue_entries = entries;
-        let sca = throughput(&traces, cfg.clone(), Design::Sca);
-        let fca = throughput(&traces, cfg, Design::Fca);
-        exp.insert("counter_wq/sca_over_fca", &format!("{entries}"), sca / fca);
-        rows.push((format!("{entries} entries"), vec![sca / fca]));
+        let row = format!("wq/{entries}");
+        let ratio = tput(&row, Design::Sca) / tput(&row, Design::Fca);
+        outs.record(&mut exp, &row, Design::Sca.label(), tput(&row, Design::Sca));
+        exp.insert("counter_wq/sca_over_fca", &format!("{entries}"), ratio);
+        rows.push((format!("{entries} entries"), vec![ratio]));
     }
-    print_table("Ablation 1 — SCA/FCA throughput ratio vs counter WQ size (4 cores)",
-        &["SCA / FCA"], &rows);
+    print_table(
+        "Ablation 1 — SCA/FCA throughput ratio vs counter WQ size (4 cores)",
+        &["SCA / FCA"],
+        &rows,
+    );
 
     // 2. Pairing handshake cost.
     let mut rows = Vec::new();
     for ns in [0u64, 50, 100, 200, 400] {
-        let mut cfg = SimConfig::table2(Design::Sca, cores);
-        cfg.ca_pair_overhead = Time::from_ns(ns);
-        let sca = throughput(&traces, cfg.clone(), Design::Sca);
-        let fca = throughput(&traces, cfg.clone(), Design::Fca);
-        let ideal = throughput(&traces, cfg, Design::Ideal);
+        let row = format!("handshake/{ns}");
+        let (sca, fca, ideal) = (
+            tput(&row, Design::Sca),
+            tput(&row, Design::Fca),
+            tput(&row, Design::Ideal),
+        );
+        outs.record(&mut exp, &row, Design::Sca.label(), sca);
         exp.insert("handshake/sca_over_fca", &format!("{ns}"), sca / fca);
         exp.insert("handshake/sca_over_ideal", &format!("{ns}"), sca / ideal);
         rows.push((format!("{ns} ns"), vec![sca / fca, sca / ideal]));
     }
-    print_table("Ablation 2 — pairing handshake cost (4 cores)",
-        &["SCA / FCA", "SCA / Ideal"], &rows);
+    print_table(
+        "Ablation 2 — pairing handshake cost (4 cores)",
+        &["SCA / FCA", "SCA / Ideal"],
+        &rows,
+    );
 
     // 3. Bank count.
     let mut rows = Vec::new();
     for banks in [8usize, 16, 32] {
-        let mut cfg = SimConfig::table2(Design::Sca, cores);
-        cfg.banks = banks;
-        let sca = throughput(&traces, cfg.clone(), Design::Sca);
-        let fca = throughput(&traces, cfg, Design::Fca);
-        exp.insert("banks/sca_over_fca", &format!("{banks}"), sca / fca);
-        rows.push((format!("{banks} banks"), vec![sca / fca]));
+        let row = format!("banks/{banks}");
+        let ratio = tput(&row, Design::Sca) / tput(&row, Design::Fca);
+        outs.record(&mut exp, &row, Design::Sca.label(), tput(&row, Design::Sca));
+        exp.insert("banks/sca_over_fca", &format!("{banks}"), ratio);
+        rows.push((format!("{banks} banks"), vec![ratio]));
     }
-    print_table("Ablation 3 — SCA/FCA throughput ratio vs PCM banks (4 cores)",
-        &["SCA / FCA"], &rows);
+    print_table(
+        "Ablation 3 — SCA/FCA throughput ratio vs PCM banks (4 cores)",
+        &["SCA / FCA"],
+        &rows,
+    );
 
     // 4. Counter compression (§6.3.3): traffic + lifetime proxy.
-    let single = traces_for_cores(&spec, 1);
     let mut rows = Vec::new();
-    for (label, compress) in [("raw counters", false), ("compressed", true)] {
-        let mut cfg = SimConfig::single_core(Design::Sca);
-        cfg.compress_counters = compress;
-        let out = System::new(cfg, single.clone()).run(CrashSpec::None);
-        let bytes = out.stats.bytes_written as f64;
+    for (label, _) in [("raw counters", false), ("compressed", true)] {
+        let row = format!("compression/{label}");
+        let stats = &outs.get(&row, "SCA").stats;
+        let bytes = stats.bytes_written as f64;
         // Lifetime under uniform wear leveling is inversely proportional
         // to bytes written (§6.3.3).
+        outs.record(&mut exp, &row, "SCA", bytes);
         exp.insert("compression/bytes", label, bytes);
         rows.push((
             label.to_string(),
-            vec![bytes, out.stats.max_line_writes as f64, out.stats.distinct_lines_written as f64],
+            vec![
+                bytes,
+                stats.max_line_writes as f64,
+                stats.distinct_lines_written as f64,
+            ],
         ));
     }
     let gain = rows[0].1[0] / rows[1].1[0];
-    print_table("Ablation 4 — counter compression (SCA, 1 core)",
-        &["bytes written", "max line writes", "distinct lines"], &rows);
-    println!("lifetime proxy improvement from compression: {:.1}%", (gain - 1.0) * 100.0);
+    print_table(
+        "Ablation 4 — counter compression (SCA, 1 core)",
+        &["bytes written", "max line writes", "distinct lines"],
+        &rows,
+    );
+    println!(
+        "lifetime proxy improvement from compression: {:.1}%",
+        (gain - 1.0) * 100.0
+    );
     println!("(the paper predicts the SCA lifetime advantage grows with counter compression)");
 
     let path = exp.save().expect("write results");

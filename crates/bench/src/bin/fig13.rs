@@ -6,9 +6,12 @@
 //! 6.3/11.5/21.8/40.3 % at 1/2/4/8 cores; FCA and plain Co-located
 //! flatten as cores are added.
 
-use nvmm_bench::{eval_spec, normalized_throughput, print_table, Experiment};
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
+use nvmm_bench::{eval_spec, print_table, Experiment};
 use nvmm_sim::config::Design;
 use nvmm_workloads::WorkloadKind;
+
+const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let designs = [
@@ -19,18 +22,36 @@ fn main() {
         Design::CoLocated,
         Design::CoLocatedCounterCache,
     ];
+
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let spec = eval_spec(kind);
+        for cores in CORE_COUNTS {
+            for d in designs {
+                let row = format!("{}/{}c", kind.label(), cores);
+                cells.push(SweepCell::eval(&row, d.label(), &spec, d, cores));
+            }
+        }
+    }
+    let outs = SweepRunner::from_env().run(cells);
+
     let mut exp = Experiment::new(
         "fig13",
         "throughput normalized to 1-core NoEncryption (higher is better)",
     );
     for kind in WorkloadKind::ALL {
-        let spec = eval_spec(kind);
+        let base_row = format!("{}/1c", kind.label());
+        let base = outs
+            .get(&base_row, Design::NoEncryption.label())
+            .stats
+            .throughput_tps();
         let mut rows = Vec::new();
-        for cores in [1usize, 2, 4, 8] {
+        for cores in CORE_COUNTS {
+            let row = format!("{}/{}c", kind.label(), cores);
             let mut vals = Vec::new();
             for d in designs {
-                let v = normalized_throughput(&spec, d, cores);
-                exp.insert(&format!("{}/{}c", kind.label(), cores), d.label(), v);
+                let v = outs.get(&row, d.label()).stats.throughput_tps() / base;
+                outs.record(&mut exp, &row, d.label(), v);
                 vals.push(v);
             }
             rows.push((format!("{cores} cores"), vals));
@@ -41,7 +62,9 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper: SCA over FCA by 6.3/11.5/21.8/40.3% at 1/2/4/8 cores; SCA within 4.7% of Ideal");
+    println!(
+        "\npaper: SCA over FCA by 6.3/11.5/21.8/40.3% at 1/2/4/8 cores; SCA within 4.7% of Ideal"
+    );
     let path = exp.save().expect("write results");
     println!("saved {}", path.display());
 }

@@ -5,28 +5,52 @@
 //! coalescing in the counter cache); co-located designs pay a fixed
 //! 12.5 % line-widening tax.
 
-use nvmm_bench::{eval_spec, geo_mean, normalized_write_traffic, print_table, Experiment};
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
+use nvmm_bench::{eval_spec, geo_mean, print_table, Experiment};
 use nvmm_sim::config::Design;
 use nvmm_workloads::WorkloadKind;
 
 fn main() {
-    let designs = [Design::Sca, Design::Fca, Design::CoLocated, Design::CoLocatedCounterCache];
-    let mut exp =
-        Experiment::new("fig14", "bytes written normalized to NoEncryption (lower is better)");
+    let designs = [
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+        Design::CoLocatedCounterCache,
+    ];
+
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let spec = eval_spec(kind);
+        for d in designs.iter().chain([Design::NoEncryption].iter()) {
+            cells.push(SweepCell::eval(kind.label(), d.label(), &spec, *d, 1));
+        }
+    }
+    let outs = SweepRunner::from_env().run(cells);
+
+    let mut exp = Experiment::new(
+        "fig14",
+        "bytes written normalized to NoEncryption (lower is better)",
+    );
     let mut rows = Vec::new();
     let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
     for kind in WorkloadKind::ALL {
-        let spec = eval_spec(kind);
+        let base = outs
+            .get(kind.label(), Design::NoEncryption.label())
+            .stats
+            .bytes_written as f64;
         let mut vals = Vec::new();
         for (i, d) in designs.iter().enumerate() {
-            let v = normalized_write_traffic(&spec, *d);
-            exp.insert(kind.label(), d.label(), v);
+            let v = outs.get(kind.label(), d.label()).stats.bytes_written as f64 / base;
+            outs.record(&mut exp, kind.label(), d.label(), v);
             per_design[i].push(v);
             vals.push(v);
         }
         rows.push((kind.label().to_string(), vals));
     }
-    rows.push(("geomean".to_string(), per_design.iter().map(|v| geo_mean(v)).collect()));
+    rows.push((
+        "geomean".to_string(),
+        per_design.iter().map(|v| geo_mean(v)).collect(),
+    ));
     print_table(
         "Fig. 14 — NVMM write traffic normalized to NoEncryption",
         &designs.map(|d| d.label()),

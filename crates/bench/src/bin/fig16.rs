@@ -6,20 +6,37 @@
 //! under 1 % at 4 KB — the counter-atomic fraction of writes shrinks as
 //! transactions grow.
 
-use nvmm_bench::{eval_spec, experiment_ops, normalized_runtime, print_table, Experiment};
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
+use nvmm_bench::{eval_spec, experiment_ops, print_table, Experiment};
 use nvmm_sim::config::Design;
 use nvmm_workloads::WorkloadKind;
 
+const TX_LINES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
 fn main() {
-    let tx_lines = [1usize, 2, 4, 8, 16, 32, 64];
     let ops = (experiment_ops() / 2).max(50);
+
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for lines in TX_LINES {
+            let spec = eval_spec(kind).with_ops(ops).with_payload_lines(lines);
+            let row = format!("{}/{}", kind.label(), lines);
+            for d in [Design::Sca, Design::Ideal] {
+                cells.push(SweepCell::eval(&row, d.label(), &spec, d, 1));
+            }
+        }
+    }
+    let outs = SweepRunner::from_env().run(cells);
+
     let mut exp = Experiment::new("fig16", "SCA runtime normalized to Ideal (lower is better)");
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
         let mut vals = Vec::new();
-        for lines in tx_lines {
-            let spec = eval_spec(kind).with_ops(ops).with_payload_lines(lines);
-            let v = normalized_runtime(&spec, Design::Sca, Design::Ideal);
+        for lines in TX_LINES {
+            let row = format!("{}/{}", kind.label(), lines);
+            let v = outs.get(&row, Design::Sca.label()).stats.runtime.0 as f64
+                / outs.get(&row, Design::Ideal.label()).stats.runtime.0 as f64;
+            outs.record(&mut exp, &row, Design::Sca.label(), v);
             exp.insert(kind.label(), &format!("{lines}"), v);
             vals.push(v);
         }

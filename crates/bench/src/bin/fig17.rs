@@ -12,50 +12,81 @@
 //! can hold (so SCA reads overlap decryption while the co-located
 //! design serializes it).
 
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{eval_spec, geo_mean, print_table, Experiment};
 use nvmm_sim::config::{Design, SimConfig};
-use nvmm_sim::system::{CrashSpec, System};
-use nvmm_sim::trace::Trace;
-use nvmm_workloads::{traces_for_cores, WorkloadKind};
+use nvmm_workloads::WorkloadKind;
 
-fn runtime(traces: &[Vec<Trace>], design: Design, read_f: f64, write_f: f64) -> f64 {
-    let runtimes: Vec<f64> = traces
-        .iter()
-        .map(|t| {
-            let mut cfg = SimConfig::single_core(design);
-            cfg.pcm = cfg.pcm.scale_read(read_f).scale_write(write_f);
-            System::new(cfg, t.clone()).run(CrashSpec::None).stats.runtime.0 as f64
-        })
-        .collect();
-    geo_mean(&runtimes)
-}
+const POINTS: [(f64, &str); 5] = [
+    (10.0, "10x slower"),
+    (5.0, "5x slower"),
+    (3.0, "3x slower"),
+    (1.0, "PCM"),
+    (0.25, "4x faster"),
+];
 
 fn main() {
-    let points: [(f64, &str); 5] = [
-        (10.0, "10x slower"),
-        (5.0, "5x slower"),
-        (3.0, "3x slower"),
-        (1.0, "PCM"),
-        (0.25, "4x faster"),
-    ];
-    let ops = std::env::var("NVMM_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(800);
-    let traces: Vec<_> = WorkloadKind::ALL
-        .iter()
-        .map(|&kind| {
-            let spec =
-                eval_spec(kind).with_ops(ops).with_read_probes(48).with_footprint(6 << 20);
-            traces_for_cores(&spec, 1)
-        })
-        .collect();
+    let ops = std::env::var("NVMM_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
 
-    let mut exp = Experiment::new("fig17", "avg SCA speedup over Co-located (higher is better)");
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (axis, is_read) in [("read", true), ("write", false)] {
+        for (factor, label) in POINTS {
+            let (rf, wf) = if is_read {
+                (factor, 1.0)
+            } else {
+                (1.0, factor)
+            };
+            for kind in WorkloadKind::ALL {
+                let spec = eval_spec(kind)
+                    .with_ops(ops)
+                    .with_read_probes(48)
+                    .with_footprint(6 << 20);
+                for d in [Design::CoLocated, Design::Sca] {
+                    let mut cfg = SimConfig::single_core(d);
+                    cfg.pcm = cfg.pcm.scale_read(rf).scale_write(wf);
+                    cells.push(SweepCell::new(
+                        &format!("{axis}/{label}"),
+                        &format!("{}/{}", d.label(), kind.label()),
+                        &spec,
+                        cfg,
+                    ));
+                }
+            }
+        }
+    }
+    // The two "PCM" points (read × 1.0, write × 1.0) are the same
+    // configuration; the sweep's sim dedupe runs them once.
+    let outs = SweepRunner::from_env().run(cells);
+
+    let avg = |row: &str, design: Design, outs: &nvmm_bench::sweep::SweepOutcomes| {
+        geo_mean(&WorkloadKind::ALL.map(|kind| {
+            outs.get(row, &format!("{}/{}", design.label(), kind.label()))
+                .stats
+                .runtime
+                .0 as f64
+        }))
+    };
+
+    let mut exp = Experiment::new(
+        "fig17",
+        "avg SCA speedup over Co-located (higher is better)",
+    );
+    let mut rows = Vec::new();
+    for axis in ["read", "write"] {
         let mut vals = Vec::new();
-        for (factor, label) in points {
-            let (rf, wf) = if is_read { (factor, 1.0) } else { (1.0, factor) };
-            let v = runtime(&traces, Design::CoLocated, rf, wf)
-                / runtime(&traces, Design::Sca, rf, wf);
+        for (_, label) in POINTS {
+            let row = format!("{axis}/{label}");
+            let v = avg(&row, Design::CoLocated, &outs) / avg(&row, Design::Sca, &outs);
+            for kind in WorkloadKind::ALL {
+                for d in [Design::CoLocated, Design::Sca] {
+                    let series = format!("{}/{}", d.label(), kind.label());
+                    let runtime = outs.get(&row, &series).stats.runtime.0 as f64;
+                    outs.record(&mut exp, &row, &series, runtime);
+                }
+            }
             exp.insert(axis, label, v);
             vals.push(v);
         }
@@ -63,7 +94,7 @@ fn main() {
     }
     print_table(
         "Fig. 17 — SCA speedup over Co-located vs NVM latency",
-        &points.map(|(_, l)| l),
+        &POINTS.map(|(_, l)| l),
         &rows,
     );
     println!("\npaper: 1.29x..1.76x across read scaling; 1.39x..1.74x across write scaling");

@@ -10,33 +10,47 @@
 //! data twice (log + apply) but never needs a backup read, and its
 //! commit point lands earlier.
 
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{eval_spec, experiment_ops, print_table, Experiment};
 use nvmm_core::txn::Mechanism;
 use nvmm_sim::config::Design;
-use nvmm_workloads::{run_timed, WorkloadKind};
+use nvmm_workloads::WorkloadKind;
+
+const DESIGNS: [Design; 3] = [Design::Sca, Design::Fca, Design::Ideal];
 
 fn main() {
     let ops = (experiment_ops() / 2).max(100);
-    let mut exp = Experiment::new("mechanisms", "undo vs redo logging (runtime ns / bytes)");
-    for design in [Design::Sca, Design::Fca, Design::Ideal] {
-        let mut rows = Vec::new();
+
+    let mut cells = Vec::new();
+    for design in DESIGNS {
         for kind in WorkloadKind::ALL {
-            let mut vals = Vec::new();
             for mech in Mechanism::ALL {
                 let spec = eval_spec(kind).with_ops(ops).with_mechanism(mech);
-                let out = run_timed(&spec, design, 1);
-                exp.insert(
-                    &format!("{}/{}", design.label(), kind.label()),
-                    &format!("{mech}-runtime"),
-                    out.stats.runtime.as_ns_f64(),
+                let row = format!("{}/{}", design.label(), kind.label());
+                cells.push(SweepCell::eval(&row, &format!("{mech}"), &spec, design, 1));
+            }
+        }
+    }
+    let outs = SweepRunner::from_env().run(cells);
+
+    let mut exp = Experiment::new("mechanisms", "undo vs redo logging (runtime ns / bytes)");
+    for design in DESIGNS {
+        let mut rows = Vec::new();
+        for kind in WorkloadKind::ALL {
+            let row = format!("{}/{}", design.label(), kind.label());
+            let mut vals = Vec::new();
+            for mech in Mechanism::ALL {
+                let stats = &outs.get(&row, &format!("{mech}")).stats;
+                outs.record(
+                    &mut exp,
+                    &row,
+                    &format!("{mech}"),
+                    stats.runtime.as_ns_f64(),
                 );
-                exp.insert(
-                    &format!("{}/{}", design.label(), kind.label()),
-                    &format!("{mech}-bytes"),
-                    out.stats.bytes_written as f64,
-                );
-                vals.push(out.stats.runtime.as_ns_f64() / 1000.0);
-                vals.push(out.stats.bytes_written as f64 / 1024.0);
+                exp.insert(&row, &format!("{mech}-runtime"), stats.runtime.as_ns_f64());
+                exp.insert(&row, &format!("{mech}-bytes"), stats.bytes_written as f64);
+                vals.push(stats.runtime.as_ns_f64() / 1000.0);
+                vals.push(stats.bytes_written as f64 / 1024.0);
             }
             rows.push((kind.label().to_string(), vals));
         }

@@ -12,13 +12,24 @@ fn main() {
     let data_wq_bytes = cfg.data_write_queue_entries as u64 * 64;
     let ready_bits = cfg.counter_write_queue_entries + cfg.data_write_queue_entries;
     println!("== §6.3.7 — hardware overhead ==\n");
-    println!("Counter cache (shared by any counter-mode design): {} MB",
-        cfg.counter_cache.capacity_bytes >> 20);
-    println!("Data write queue (existing): {} entries = {} KB",
-        cfg.data_write_queue_entries, data_wq_bytes >> 10);
-    println!("Counter write queue (NEW)  : {} entries = {} KB  <- SCA's main addition",
-        cfg.counter_write_queue_entries, counter_wq_bytes >> 10);
+    println!(
+        "Counter cache (shared by any counter-mode design): {} MB",
+        cfg.counter_cache.capacity_bytes >> 20
+    );
+    println!(
+        "Data write queue (existing): {} entries = {} KB",
+        cfg.data_write_queue_entries,
+        data_wq_bytes >> 10
+    );
+    println!(
+        "Counter write queue (NEW)  : {} entries = {} KB  <- SCA's main addition",
+        cfg.counter_write_queue_entries,
+        counter_wq_bytes >> 10
+    );
     println!("Ready bits (NEW)           : {ready_bits} bits");
-    println!("ADR must additionally drain: {} KB on power failure", counter_wq_bytes >> 10);
+    println!(
+        "ADR must additionally drain: {} KB on power failure",
+        counter_wq_bytes >> 10
+    );
     println!("\npaper: 1kB counter write queue + ready bits; ADR extension deemed modest");
 }

@@ -8,34 +8,64 @@
 //! backup entries it restored — the cost profile that motivates undo
 //! logging's tiny recovery time (restore at most one transaction's
 //! regions) versus its runtime logging cost.
+//!
+//! The crash simulations (one per crash point) are independent, so they
+//! run as a parallel sweep; the recovery replays over the surviving
+//! images run sequentially afterwards.
 
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{print_table, Experiment};
 use nvmm_core::recovery::RecoveredMemory;
 use nvmm_core::txn::Mechanism;
 use nvmm_sim::config::{Design, SimConfig};
-use nvmm_sim::system::{CrashSpec, System};
+use nvmm_sim::system::CrashSpec;
 use nvmm_workloads::{execute, WorkloadKind, WorkloadSpec};
 
 fn main() {
+    // Phase 1: enumerate every (mechanism, workload, crash point) cell.
+    let mut cells = Vec::new();
+    let mut executed = Vec::new();
+    for mech in Mechanism::ALL {
+        for kind in WorkloadKind::ALL {
+            let spec = WorkloadSpec::smoke(kind).with_ops(10).with_mechanism(mech);
+            let ex = execute(&spec, 0, spec.ops);
+            let total = ex.pm.trace().len() as u64;
+            let start = ex.setup_events as u64;
+            let row = format!("{mech}/{}", kind.label());
+            let mut k = start;
+            while k < total {
+                cells.push(
+                    SweepCell::eval(&row, &format!("{k}"), &spec, Design::Sca, 1)
+                        .with_crash(CrashSpec::AfterEvent(k)),
+                );
+                k += (total - start) / 40 + 1;
+            }
+            executed.push((row, ex));
+        }
+    }
+    let outs = SweepRunner::from_env().run(cells);
+    let key = SimConfig::single_core(Design::Sca).key;
+
+    // Phase 2: replay recovery over each crash image, sequentially.
     let mut exp = Experiment::new("recovery_cost", "recovery work per crash point (SCA)");
     for mech in Mechanism::ALL {
         let mut rows = Vec::new();
         for kind in WorkloadKind::ALL {
-            let spec = WorkloadSpec::smoke(kind).with_ops(10).with_mechanism(mech);
-            let ex = execute(&spec, 0, spec.ops);
-            let trace = ex.pm.trace().clone();
-            let total = trace.len() as u64;
-            let start = ex.setup_events as u64;
-            let key = SimConfig::single_core(Design::Sca).key;
-
+            let row = format!("{mech}/{}", kind.label());
+            let ex = &executed
+                .iter()
+                .find(|(r, _)| *r == row)
+                .expect("executed workload")
+                .1;
             let (mut noop, mut armed, mut restored_total, mut points) = (0u64, 0u64, 0u64, 0u64);
-            let mut k = start;
-            while k < total {
-                let out = System::new(SimConfig::single_core(Design::Sca), vec![trace.clone()])
-                    .run(CrashSpec::AfterEvent(k));
-                let mut mem = RecoveredMemory::new(out.image, key);
+            for (cell, out) in outs.iter().filter(|(c, _)| c.row == row) {
+                let mut mem = RecoveredMemory::new(out.image.clone(), key);
                 let report = mech.recover(&mut mem, &ex.log);
-                assert!(report.reads_clean, "{kind}/{mech}: garbled recovery at {k}");
+                assert!(
+                    report.reads_clean,
+                    "{row}: garbled recovery at event {}",
+                    cell.series
+                );
                 if report.rolled_back {
                     armed += 1;
                     restored_total += report.entries_restored as u64;
@@ -43,12 +73,15 @@ fn main() {
                     noop += 1;
                 }
                 points += 1;
-                k += (total - start) / 40 + 1;
             }
             let armed_frac = armed as f64 / points as f64;
-            let avg_restored = if armed > 0 { restored_total as f64 / armed as f64 } else { 0.0 };
-            exp.insert(&format!("{mech}/{}", kind.label()), "armed_fraction", armed_frac);
-            exp.insert(&format!("{mech}/{}", kind.label()), "avg_entries_restored", avg_restored);
+            let avg_restored = if armed > 0 {
+                restored_total as f64 / armed as f64
+            } else {
+                0.0
+            };
+            exp.insert(&row, "armed_fraction", armed_frac);
+            exp.insert(&row, "avg_entries_restored", avg_restored);
             rows.push((
                 kind.label().to_string(),
                 vec![points as f64, noop as f64, armed as f64, avg_restored],

@@ -9,41 +9,73 @@
 //! `RecoveredMemory::with_recovery_window`; `tests/stop_loss.rs` proves
 //! the crash-consistency claim. This binary measures what it costs.
 
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{eval_spec, experiment_ops, print_table, Experiment};
 use nvmm_sim::config::{Design, SimConfig};
-use nvmm_sim::system::{CrashSpec, System};
-use nvmm_workloads::{traces_for_cores, WorkloadKind};
+use nvmm_workloads::WorkloadKind;
+
+const WINDOWS: [u64; 3] = [2, 8, 32];
 
 fn main() {
     let ops = (experiment_ops() / 2).max(100);
-    let mut exp = Experiment::new("stop_loss", "SCA vs stop-loss windows (runtime/traffic)");
-    let mut rows = Vec::new();
+
+    let mut cells = Vec::new();
     for kind in WorkloadKind::ALL {
         let spec = eval_spec(kind).with_ops(ops);
-        let traces = traces_for_cores(&spec, 1);
-
-        let sca = System::new(SimConfig::single_core(Design::Sca), traces.clone())
-            .run(CrashSpec::None);
-
-        let mut vals =
-            vec![sca.stats.runtime.as_ns_f64() / 1000.0, sca.stats.bytes_written as f64 / 1024.0];
-        for window in [2u64, 8, 32] {
+        cells.push(SweepCell::eval(kind.label(), "SCA", &spec, Design::Sca, 1));
+        for window in WINDOWS {
             // Stop-loss runs need none of the SCA primitives: the
             // UnsafeNoAtomicity design ignores them, and bounded lag +
             // windowed recovery supplies the crash consistency instead.
             let mut cfg = SimConfig::single_core(Design::UnsafeNoAtomicity);
             cfg.stop_loss = Some(window);
-            let out = System::new(cfg, traces.clone()).run(CrashSpec::None);
-            exp.insert(kind.label(), &format!("w{window}-runtime"), out.stats.runtime.as_ns_f64());
-            exp.insert(kind.label(), &format!("w{window}-bytes"), out.stats.bytes_written as f64);
-            vals.push(out.stats.runtime.as_ns_f64() / 1000.0);
-            vals.push(out.stats.bytes_written as f64 / 1024.0);
+            cells.push(SweepCell::new(
+                kind.label(),
+                &format!("w{window}"),
+                &spec,
+                cfg,
+            ));
+        }
+    }
+    let outs = SweepRunner::from_env().run(cells);
+
+    let mut exp = Experiment::new("stop_loss", "SCA vs stop-loss windows (runtime/traffic)");
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let sca = &outs.get(kind.label(), "SCA").stats;
+        outs.record(&mut exp, kind.label(), "SCA", sca.runtime.as_ns_f64());
+        let mut vals = vec![
+            sca.runtime.as_ns_f64() / 1000.0,
+            sca.bytes_written as f64 / 1024.0,
+        ];
+        for window in WINDOWS {
+            let stats = &outs.get(kind.label(), &format!("w{window}")).stats;
+            outs.record(
+                &mut exp,
+                kind.label(),
+                &format!("w{window}"),
+                stats.runtime.as_ns_f64(),
+            );
+            exp.insert(
+                kind.label(),
+                &format!("w{window}-runtime"),
+                stats.runtime.as_ns_f64(),
+            );
+            exp.insert(
+                kind.label(),
+                &format!("w{window}-bytes"),
+                stats.bytes_written as f64,
+            );
+            vals.push(stats.runtime.as_ns_f64() / 1000.0);
+            vals.push(stats.bytes_written as f64 / 1024.0);
         }
         rows.push((kind.label().to_string(), vals));
     }
     print_table(
         "SCA vs stop-loss (Osiris-lite), 1 core",
-        &["SCA µs", "SCA KiB", "w=2 µs", "w=2 KiB", "w=8 µs", "w=8 KiB", "w=32 µs", "w=32 KiB"],
+        &[
+            "SCA µs", "SCA KiB", "w=2 µs", "w=2 KiB", "w=8 µs", "w=8 KiB", "w=32 µs", "w=32 KiB",
+        ],
         &rows,
     );
     println!("\nSmaller windows persist counters more often (more traffic, cheaper");

@@ -18,24 +18,48 @@
 //!
 //! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
 //! prints a human-readable table and writes machine-readable JSON to
-//! `target/experiments/`. Set `NVMM_OPS` to override the per-core
-//! transaction count (default 400; smaller values run faster and noisier).
+//! `target/experiments/` — the plotted `rows` plus a `cells` array
+//! carrying the full [`Stats`] (and optional
+//! [`Timeline`](nvmm_sim::telemetry::Timeline)) behind every number.
+//!
+//! The binaries enumerate their grids as [`sweep::SweepCell`]s and run
+//! them through the [`sweep`] engine, which caches functional
+//! executions, deduplicates identical simulations (baselines in
+//! particular), and fans unique simulations across worker threads with
+//! bit-identical results for any thread count.
+//!
+//! Environment knobs, honored by every binary:
+//!
+//! * `NVMM_OPS` — transactions per core (default 400; a few binaries
+//!   document larger defaults). Smaller runs faster and noisier.
+//! * `NVMM_THREADS` — sweep worker threads (default: available
+//!   parallelism; `1` forces sequential execution).
+//! * `NVMM_EPOCH_NS` — when set, enables per-epoch telemetry with this
+//!   epoch length on every sweep cell; the timelines land in the JSON
+//!   artifacts' `cells` entries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
+use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
 use nvmm_sim::config::Design;
 use nvmm_sim::stats::Stats;
 use nvmm_sim::system::RunOutcome;
+use nvmm_sim::telemetry::Timeline;
 use nvmm_workloads::{run_timed, WorkloadKind, WorkloadSpec};
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use sweep::{SweepCell, SweepRunner};
 
 /// Transactions per core used by the experiments, overridable via the
 /// `NVMM_OPS` environment variable.
 pub fn experiment_ops() -> usize {
-    std::env::var("NVMM_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(400)
+    std::env::var("NVMM_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400)
 }
 
 /// The evaluation-default spec with the experiment op count applied.
@@ -48,30 +72,99 @@ pub fn run(spec: &WorkloadSpec, design: Design, cores: usize) -> RunOutcome {
     run_timed(spec, design, cores)
 }
 
+/// Runs `design` and `baseline` as one deduplicated two-cell sweep and
+/// returns `f(design outcome) / f(baseline outcome)`.
+///
+/// The sweep's trace cache and sim dedupe mean the workload is executed
+/// functionally once and, when `design == baseline`, simulated once —
+/// earlier revisions re-simulated the baseline on every call.
+fn normalized(
+    spec: &WorkloadSpec,
+    design: (Design, usize),
+    baseline: (Design, usize),
+    f: impl Fn(&Stats) -> f64,
+) -> f64 {
+    let cells = vec![
+        SweepCell::eval("cell", "design", spec, design.0, design.1),
+        SweepCell::eval("cell", "baseline", spec, baseline.0, baseline.1),
+    ];
+    let outs = SweepRunner::from_env().run(cells);
+    f(&outs.outcome(0).stats) / f(&outs.outcome(1).stats)
+}
+
 /// Runtime of `design` normalized to `baseline` for the same spec
 /// (single core). Lower is better — the paper's Fig. 12/16 metric.
 pub fn normalized_runtime(spec: &WorkloadSpec, design: Design, baseline: Design) -> f64 {
-    let d = run(spec, design, 1).stats.runtime.0 as f64;
-    let b = run(spec, baseline, 1).stats.runtime.0 as f64;
-    d / b
+    normalized(spec, (design, 1), (baseline, 1), |s| s.runtime.0 as f64)
 }
 
 /// Total transactions/second of `design` at `cores`, normalized to the
 /// single-core `NoEncryption` rate — the paper's Fig. 13 metric.
 pub fn normalized_throughput(spec: &WorkloadSpec, design: Design, cores: usize) -> f64 {
-    let base = run(spec, Design::NoEncryption, 1).stats.throughput_tps();
-    run(spec, design, cores).stats.throughput_tps() / base
+    normalized(spec, (design, cores), (Design::NoEncryption, 1), |s| {
+        s.throughput_tps()
+    })
 }
 
 /// Bytes written to NVMM by `design`, normalized to `NoEncryption` —
 /// the paper's Fig. 14 metric.
 pub fn normalized_write_traffic(spec: &WorkloadSpec, design: Design) -> f64 {
-    let base = run(spec, Design::NoEncryption, 1).stats.bytes_written as f64;
-    run(spec, design, 1).stats.bytes_written as f64 / base
+    normalized(spec, (design, 1), (Design::NoEncryption, 1), |s| {
+        s.bytes_written as f64
+    })
+}
+
+/// One fully resolved sweep cell in an experiment artifact: the metric
+/// value plus the complete [`Stats`] (and [`Timeline`], when telemetry
+/// was enabled) of the run it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Row label (matches a key of [`Experiment::rows`]).
+    pub row: String,
+    /// Series label within the row.
+    pub series: String,
+    /// Display label of the design simulated.
+    pub design: String,
+    /// Core count simulated.
+    pub cores: usize,
+    /// The metric value plotted for this cell.
+    pub value: f64,
+    /// Full end-of-run statistics.
+    pub stats: Stats,
+    /// Per-epoch telemetry, when the run had it enabled.
+    pub timeline: Option<Timeline>,
+}
+
+impl ToJson for CellRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("row".to_string(), self.row.to_json()),
+            ("series".to_string(), self.series.to_json()),
+            ("design".to_string(), self.design.to_json()),
+            ("cores".to_string(), self.cores.to_json()),
+            ("value".to_string(), self.value.to_json()),
+            ("stats".to_string(), self.stats.to_json()),
+            ("timeline".to_string(), self.timeline.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellRecord {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            row: field(json, "row")?,
+            series: field(json, "series")?,
+            design: field(json, "design")?,
+            cores: field(json, "cores")?,
+            value: field(json, "value")?,
+            stats: field(json, "stats")?,
+            timeline: field(json, "timeline")?,
+        })
+    }
 }
 
 /// A generic experiment record serialized to `target/experiments/`.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Experiment {
     /// Experiment id, e.g. `"fig12"`.
     pub id: String,
@@ -79,17 +172,67 @@ pub struct Experiment {
     pub metric: String,
     /// Row label → series label → value.
     pub rows: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Full per-cell records (stats and telemetry), in insertion order.
+    /// Populated by sweep-driven experiments; plain `insert` calls leave
+    /// it untouched.
+    pub cells: Vec<CellRecord>,
+}
+
+impl ToJson for Experiment {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_string(), self.id.to_json()),
+            ("metric".to_string(), self.metric.to_json()),
+            ("rows".to_string(), self.rows.to_json()),
+            ("cells".to_string(), self.cells.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Experiment {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            id: field(json, "id")?,
+            metric: field(json, "metric")?,
+            rows: field(json, "rows")?,
+            // Absent in artifacts written before telemetry existed.
+            cells: match json.get("cells") {
+                Some(c) => Vec::<CellRecord>::from_json(c)
+                    .map_err(|e| FromJsonError(format!("in field `cells`: {}", e.0)))?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl Experiment {
     /// Creates an empty experiment record.
     pub fn new(id: &str, metric: &str) -> Self {
-        Self { id: id.to_string(), metric: metric.to_string(), rows: BTreeMap::new() }
+        Self {
+            id: id.to_string(),
+            metric: metric.to_string(),
+            rows: BTreeMap::new(),
+            cells: Vec::new(),
+        }
     }
 
     /// Inserts one cell.
     pub fn insert(&mut self, row: &str, series: &str, value: f64) {
-        self.rows.entry(row.to_string()).or_default().insert(series.to_string(), value);
+        self.rows
+            .entry(row.to_string())
+            .or_default()
+            .insert(series.to_string(), value);
+    }
+
+    /// Inserts one fully resolved cell: the value lands in [`rows`]
+    /// (like [`insert`]) and the complete record in [`cells`].
+    ///
+    /// [`rows`]: Experiment::rows
+    /// [`insert`]: Experiment::insert
+    /// [`cells`]: Experiment::cells
+    pub fn insert_cell(&mut self, record: CellRecord) {
+        self.insert(&record.row, &record.series, record.value);
+        self.cells.push(record);
     }
 
     /// Writes the record to `target/experiments/<id>.json`.
@@ -101,7 +244,7 @@ impl Experiment {
         let dir = PathBuf::from("target/experiments");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(&path, self.to_json().to_pretty())?;
         Ok(path)
     }
 }
@@ -159,8 +302,11 @@ mod tests {
         let mut e = Experiment::new("test", "unitless");
         e.insert("row", "series", 1.5);
         assert_eq!(e.rows["row"]["series"], 1.5);
-        let json = serde_json::to_string(&e).unwrap();
-        assert!(json.contains("\"test\""));
+        let text = e.to_json().to_compact();
+        assert!(text.contains("\"test\""));
+        let back = Experiment::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.id, e.id);
+        assert_eq!(back.rows, e.rows);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! The parallel sweep engine behind every figure binary.
+//!
+//! An experiment is a grid of **cells** — (workload × design × cores ×
+//! config-override), optionally with a crash point. Running a grid
+//! naively costs far more than it needs to: figure binaries normalize
+//! against baselines (so the same baseline simulation is demanded many
+//! times), and every simulation of the same spec re-executes the
+//! workload functionally to regenerate identical traces. The sweep
+//! runner deduplicates both:
+//!
+//! 1. **Trace cache** — one functional execution per unique
+//!    (spec, cores), shared by every design/override simulated on it.
+//! 2. **Sim dedupe** — one simulation per unique (spec, config, crash);
+//!    cells demanding the same run (e.g. a design cell and the baseline
+//!    it normalizes against) share one [`RunOutcome`].
+//!
+//! Unique trace generations and simulations are fanned out across
+//! worker threads with [`std::thread::scope`] (thread count from
+//! `NVMM_THREADS`, default: available parallelism). Work items are
+//! independent — each simulation owns its whole system state — and
+//! results are reassembled **by cell index**, so the outcome vector is
+//! bit-identical whatever the thread count or completion order. The
+//! determinism test in `tests/sweep.rs` pins this.
+//!
+//! Telemetry: setting `NVMM_EPOCH_NS` enables per-epoch telemetry
+//! ([`nvmm_sim::telemetry`]) for every cell that does not already carry
+//! an explicit epoch, and the timelines land in the experiment artifact
+//! next to each cell's stats.
+//!
+//! Memory: completed-run (`CrashSpec::None`) outcomes have their NVMM
+//! image dropped before being retained — no figure consumes it, and a
+//! large grid would otherwise hold every image live at once. Crash
+//! cells keep theirs: post-crash recovery is exactly what their
+//! consumers (`table1`, `recovery_cost`) need the image for.
+
+use crate::{CellRecord, Experiment};
+use nvmm_json::ToJson;
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::nvmm::NvmmImage;
+use nvmm_sim::system::{CrashSpec, RunOutcome, System};
+use nvmm_sim::time::Time;
+use nvmm_sim::trace::Trace;
+use nvmm_workloads::{traces_for_cores, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One point of an experiment grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Row label in the experiment (e.g. the workload).
+    pub row: String,
+    /// Series label in the experiment (e.g. the design).
+    pub series: String,
+    /// Workload to execute.
+    pub spec: WorkloadSpec,
+    /// Full simulator configuration, including the design and any
+    /// overrides; `cfg.cores` is the core count simulated.
+    pub cfg: SimConfig,
+    /// Crash injection for this cell (`CrashSpec::None` = run to
+    /// completion).
+    pub crash: CrashSpec,
+}
+
+impl SweepCell {
+    /// A cell with an explicit configuration.
+    pub fn new(row: &str, series: &str, spec: &WorkloadSpec, cfg: SimConfig) -> Self {
+        Self {
+            row: row.to_string(),
+            series: series.to_string(),
+            spec: *spec,
+            cfg,
+            crash: CrashSpec::None,
+        }
+    }
+
+    /// A cell using the paper's Table 2 configuration for `design` at
+    /// `cores` — what the figure experiments run.
+    pub fn eval(
+        row: &str,
+        series: &str,
+        spec: &WorkloadSpec,
+        design: Design,
+        cores: usize,
+    ) -> Self {
+        Self::new(row, series, spec, SimConfig::table2(design, cores))
+    }
+
+    /// Returns the cell with a crash point.
+    pub fn with_crash(mut self, crash: CrashSpec) -> Self {
+        self.crash = crash;
+        self
+    }
+
+    /// Trace-cache key: one functional execution per unique value.
+    fn trace_key(&self) -> (String, usize) {
+        (self.spec.to_json().to_compact(), self.cfg.cores)
+    }
+
+    /// Sim-dedupe key: one simulation per unique value.
+    fn sim_key(&self) -> String {
+        format!(
+            "{}|{}|{:?}",
+            self.spec.to_json().to_compact(),
+            self.cfg.to_json().to_compact(),
+            self.crash
+        )
+    }
+}
+
+/// Executes sweep grids over a bounded worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// Thread count from the `NVMM_THREADS` environment variable,
+    /// defaulting to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("NVMM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::with_threads(threads)
+    }
+
+    /// An explicit thread count (clamped to at least 1). `1` runs every
+    /// work item on the calling thread, in order.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runs the grid: generates each unique trace set once, simulates
+    /// each unique (spec, config, crash) once, and returns the outcomes
+    /// aligned with `cells` — deterministic for any thread count.
+    pub fn run(&self, mut cells: Vec<SweepCell>) -> SweepOutcomes {
+        // Env-driven telemetry: cells without an explicit epoch inherit
+        // NVMM_EPOCH_NS. Applied before keying so the dedupe sees it.
+        if let Some(ns) = std::env::var("NVMM_EPOCH_NS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            for cell in &mut cells {
+                if cell.cfg.telemetry_epoch.is_none() && ns > 0 {
+                    cell.cfg.telemetry_epoch = Some(Time::from_ns(ns));
+                }
+            }
+        }
+
+        // Phase 1: functional execution of each unique (spec, cores).
+        let mut trace_index: HashMap<(String, usize), usize> = HashMap::new();
+        let mut trace_jobs: Vec<(WorkloadSpec, usize)> = Vec::new();
+        for cell in &cells {
+            trace_index.entry(cell.trace_key()).or_insert_with(|| {
+                trace_jobs.push((cell.spec, cell.cfg.cores));
+                trace_jobs.len() - 1
+            });
+        }
+        let traces: Vec<Arc<Vec<Trace>>> = run_parallel(self.threads, &trace_jobs, |job| {
+            Arc::new(traces_for_cores(&job.0, job.1))
+        });
+
+        // Phase 2: one simulation per unique (spec, config, crash).
+        let mut sim_index: HashMap<String, usize> = HashMap::new();
+        let mut sim_jobs: Vec<usize> = Vec::new(); // representative cell index
+        for (i, cell) in cells.iter().enumerate() {
+            sim_index.entry(cell.sim_key()).or_insert_with(|| {
+                sim_jobs.push(i);
+                sim_jobs.len() - 1
+            });
+        }
+        let unique: Vec<Arc<RunOutcome>> = run_parallel(self.threads, &sim_jobs, |&ci| {
+            let cell = &cells[ci];
+            let t = &traces[trace_index[&cell.trace_key()]];
+            let mut out = System::new(cell.cfg.clone(), (**t).clone()).run(cell.crash);
+            if cell.crash == CrashSpec::None {
+                // No consumer reads a completed run's image; drop it so
+                // big grids don't hold every image live at once.
+                out.image = NvmmImage::new();
+            }
+            Arc::new(out)
+        });
+
+        // Phase 3: deterministic reassembly in cell order.
+        let outcomes = cells
+            .iter()
+            .map(|cell| unique[sim_index[&cell.sim_key()]].clone())
+            .collect();
+        SweepOutcomes { cells, outcomes }
+    }
+}
+
+/// Distributes `jobs` over up to `threads` workers, returning results in
+/// job order. A single thread (or a single job) runs inline.
+fn run_parallel<T: Sync, R: Send>(
+    threads: usize,
+    jobs: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let result = f(job);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed")
+        })
+        .collect()
+}
+
+/// The result of a sweep: outcomes aligned one-to-one with the cells
+/// that produced them (shared when cells deduplicated to one run).
+#[derive(Debug)]
+pub struct SweepOutcomes {
+    cells: Vec<SweepCell>,
+    outcomes: Vec<Arc<RunOutcome>>,
+}
+
+impl SweepOutcomes {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the sweep was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The `i`-th cell, in submission order.
+    pub fn cell(&self, i: usize) -> &SweepCell {
+        &self.cells[i]
+    }
+
+    /// The `i`-th cell's outcome, in submission order.
+    pub fn outcome(&self, i: usize) -> &RunOutcome {
+        &self.outcomes[i]
+    }
+
+    /// Iterates (cell, outcome) pairs in submission order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SweepCell, &RunOutcome)> {
+        self.cells
+            .iter()
+            .zip(self.outcomes.iter().map(|o| o.as_ref()))
+    }
+
+    /// The outcome of the cell labelled (`row`, `series`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such cell exists — a typo in an experiment's labels,
+    /// caught loudly rather than plotted wrongly.
+    pub fn get(&self, row: &str, series: &str) -> &RunOutcome {
+        self.cells
+            .iter()
+            .position(|c| c.row == row && c.series == series)
+            .map(|i| self.outcomes[i].as_ref())
+            .unwrap_or_else(|| panic!("no sweep cell labelled ({row}, {series})"))
+    }
+
+    /// Records the (`row`, `series`) cell into `exp` with the given
+    /// metric value, carrying its stats and timeline into the artifact.
+    pub fn record(&self, exp: &mut Experiment, row: &str, series: &str, value: f64) {
+        let i = self
+            .cells
+            .iter()
+            .position(|c| c.row == row && c.series == series)
+            .unwrap_or_else(|| panic!("no sweep cell labelled ({row}, {series})"));
+        let cell = &self.cells[i];
+        let out = &self.outcomes[i];
+        exp.insert_cell(CellRecord {
+            row: cell.row.clone(),
+            series: cell.series.clone(),
+            design: cell.cfg.design.label().to_string(),
+            cores: cell.cfg.cores,
+            value,
+            stats: out.stats.clone(),
+            timeline: out.timeline.clone(),
+        });
+    }
+
+    /// Records every cell into `exp`, computing each value with `f` —
+    /// for experiments whose metric is a plain per-cell quantity.
+    pub fn record_all(&self, exp: &mut Experiment, f: impl Fn(&SweepCell, &RunOutcome) -> f64) {
+        for (cell, out) in self.iter() {
+            let value = f(cell, out);
+            self.record(exp, &cell.row.clone(), &cell.series.clone(), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm_workloads::{WorkloadKind, WorkloadSpec};
+
+    fn smoke_cells() -> Vec<SweepCell> {
+        let spec = WorkloadSpec::smoke(WorkloadKind::Queue);
+        vec![
+            SweepCell::eval("q", "Sca", &spec, Design::Sca, 1),
+            SweepCell::eval("q", "NoEnc", &spec, Design::NoEncryption, 1),
+            // Duplicate of the first cell under a different label:
+            // must dedupe to the same simulation.
+            SweepCell::eval("q", "Sca-again", &spec, Design::Sca, 1),
+        ]
+    }
+
+    #[test]
+    fn duplicate_cells_share_one_outcome() {
+        let outs = SweepRunner::with_threads(1).run(smoke_cells());
+        assert_eq!(outs.len(), 3);
+        assert!(
+            Arc::ptr_eq(&outs.outcomes[0], &outs.outcomes[2]),
+            "dedupe must share"
+        );
+        assert!(!Arc::ptr_eq(&outs.outcomes[0], &outs.outcomes[1]));
+    }
+
+    #[test]
+    fn lookup_by_labels() {
+        let outs = SweepRunner::with_threads(1).run(smoke_cells());
+        let sca = outs.get("q", "Sca");
+        assert!(sca.stats.runtime > Time::ZERO);
+        assert_eq!(
+            sca.stats.transactions_committed,
+            outs.get("q", "Sca-again").stats.transactions_committed
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no sweep cell labelled")]
+    fn unknown_label_panics() {
+        let outs = SweepRunner::with_threads(1).run(smoke_cells());
+        let _ = outs.get("q", "nope");
+    }
+
+    #[test]
+    fn completed_runs_drop_images_crash_runs_keep_them() {
+        let spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap);
+        let cells = vec![
+            SweepCell::eval("a", "done", &spec, Design::Sca, 1),
+            SweepCell::eval("a", "crash", &spec, Design::Sca, 1)
+                .with_crash(CrashSpec::AfterEvent(40)),
+        ];
+        let outs = SweepRunner::with_threads(1).run(cells);
+        assert_eq!(
+            outs.get("a", "done").image.data_lines(),
+            0,
+            "completed image dropped"
+        );
+        assert!(
+            outs.get("a", "crash").image.data_lines() > 0,
+            "crash image retained"
+        );
+    }
+
+    #[test]
+    fn record_all_fills_rows_and_cells() {
+        let outs = SweepRunner::with_threads(1).run(smoke_cells());
+        let mut exp = Experiment::new("sweep-test", "runtime ns");
+        outs.record_all(&mut exp, |_, out| out.stats.runtime.as_ns_f64());
+        assert_eq!(exp.cells.len(), 3);
+        assert!(exp.rows["q"]["Sca"] > 0.0);
+        assert_eq!(
+            exp.cells[0].design,
+            "SCA".to_string().as_str(),
+            "design label recorded"
+        );
+    }
+}

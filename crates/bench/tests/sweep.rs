@@ -1,0 +1,107 @@
+//! Integration tests for the sweep engine: parallel execution must be
+//! bit-identical to sequential, and telemetry must reconcile with the
+//! end-of-run statistics it samples.
+
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::time::Time;
+use nvmm_workloads::{WorkloadKind, WorkloadSpec};
+
+fn grid() -> Vec<SweepCell> {
+    let designs = [Design::Sca, Design::Fca, Design::NoEncryption];
+    let mut cells = Vec::new();
+    for kind in [WorkloadKind::Queue, WorkloadKind::BTree] {
+        let spec = WorkloadSpec::smoke(kind);
+        for d in designs {
+            cells.push(SweepCell::eval(kind.label(), d.label(), &spec, d, 1));
+        }
+        // A multi-core cell so the trace cache sees two core counts.
+        cells.push(SweepCell::eval(
+            kind.label(),
+            "SCA/2c",
+            &spec,
+            Design::Sca,
+            2,
+        ));
+    }
+    cells
+}
+
+#[test]
+fn parallel_matches_sequential_bit_for_bit() {
+    let sequential = SweepRunner::with_threads(1).run(grid());
+    let parallel = SweepRunner::with_threads(4).run(grid());
+    assert_eq!(sequential.len(), parallel.len());
+    for i in 0..sequential.len() {
+        assert_eq!(sequential.cell(i).row, parallel.cell(i).row);
+        assert_eq!(sequential.cell(i).series, parallel.cell(i).series);
+        assert_eq!(
+            sequential.outcome(i).stats,
+            parallel.outcome(i).stats,
+            "cell {} ({}/{}) must not depend on the thread count",
+            i,
+            sequential.cell(i).row,
+            sequential.cell(i).series,
+        );
+    }
+}
+
+#[test]
+fn telemetry_off_by_default_in_sweeps() {
+    let outs = SweepRunner::with_threads(2).run(grid());
+    for (cell, out) in outs.iter() {
+        assert!(
+            out.timeline.is_none(),
+            "({}/{}) ran telemetry unasked",
+            cell.row,
+            cell.series
+        );
+    }
+}
+
+#[test]
+fn sweep_timelines_reconcile_with_stats() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable);
+    let cells = [Design::Sca, Design::Fca]
+        .into_iter()
+        .map(|d| {
+            let cfg = SimConfig::single_core(d).with_telemetry_epoch(Time::from_ns(200));
+            SweepCell::new("hash", d.label(), &spec, cfg)
+        })
+        .collect();
+    let outs = SweepRunner::with_threads(2).run(cells);
+    for (cell, out) in outs.iter() {
+        let t = out.timeline.as_ref().expect("telemetry was enabled");
+        let s = &out.stats;
+        for (label, total, expect) in [
+            (
+                "data writes",
+                t.total(|e| e.nvmm_data_writes),
+                s.nvmm_data_writes,
+            ),
+            (
+                "counter writes",
+                t.total(|e| e.nvmm_counter_writes),
+                s.nvmm_counter_writes,
+            ),
+            (
+                "pairing stalls",
+                t.total(|e| e.pairing_stalls),
+                s.pairing_stalls,
+            ),
+            (
+                "cc hits",
+                t.total(|e| e.counter_cache_hits),
+                s.counter_cache_hits,
+            ),
+            (
+                "cc misses",
+                t.total(|e| e.counter_cache_misses),
+                s.counter_cache_misses,
+            ),
+            ("bytes", t.total(|e| e.bytes_written), s.bytes_written),
+        ] {
+            assert_eq!(total, expect, "{}: {label} must reconcile", cell.series);
+        }
+    }
+}

@@ -16,10 +16,10 @@
 //! [`Pmem::counter_cache_writeback`] are the two new primitives of §4.3
 //! (`CounterAtomic` variables and `counter_cache_writeback()`).
 
+use nvmm_crypto::LineData;
 use nvmm_sim::addr::{ByteAddr, LineAddr, LINE_BYTES};
 use nvmm_sim::time::Time;
 use nvmm_sim::trace::{Trace, TraceEvent};
-use nvmm_crypto::LineData;
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -57,7 +57,11 @@ impl Pmem {
     /// A context owning core `core`'s private region.
     pub fn for_core(core: usize) -> Self {
         let start = core as u64 * CORE_REGION_BYTES;
-        Self { mem: HashMap::new(), trace: Trace::new(), region: start..start + CORE_REGION_BYTES }
+        Self {
+            mem: HashMap::new(),
+            trace: Trace::new(),
+            region: start..start + CORE_REGION_BYTES,
+        }
     }
 
     /// The byte-address range this context may touch.
@@ -140,7 +144,11 @@ impl Pmem {
             let mut data = self.line(line);
             data[off..off + n].copy_from_slice(&bytes[copied..copied + n]);
             self.mem.insert(line, data);
-            self.trace.push(TraceEvent::Write { line, data, counter_atomic });
+            self.trace.push(TraceEvent::Write {
+                line,
+                data,
+                counter_atomic,
+            });
             copied += n;
         }
     }
@@ -213,7 +221,9 @@ impl Pmem {
 
     /// Records `ns` nanoseconds of non-memory computation.
     pub fn compute(&mut self, ns: u64) {
-        self.trace.push(TraceEvent::Compute { duration: Time::from_ns(ns) });
+        self.trace.push(TraceEvent::Compute {
+            duration: Time::from_ns(ns),
+        });
     }
 
     /// Marks the durable commit point of transaction `id`.
@@ -245,7 +255,10 @@ pub struct RegionPlanner {
 impl RegionPlanner {
     /// Plans within `region` (usually [`Pmem::region`]).
     pub fn new(region: Range<u64>) -> Self {
-        Self { next: region.start, end: region.end }
+        Self {
+            next: region.start,
+            end: region.end,
+        }
     }
 
     /// Reserves `size` bytes aligned to `align`.

@@ -76,7 +76,8 @@ impl RecoveredMemory {
         }
         let read = if self.recovery_window > 0 {
             let (read, searched) =
-                self.image.read_line_with_window(l, &self.engine, self.recovery_window);
+                self.image
+                    .read_line_with_window(l, &self.engine, self.recovery_window);
             if searched && read.is_clean() {
                 self.counters_recovered += 1;
             }
@@ -132,8 +133,11 @@ impl RecoveredMemory {
             let a = ByteAddr(addr.0 + copied as u64);
             let off = a.offset_in_line();
             let n = (LINE_BYTES as usize - off).min(bytes.len() - copied);
-            let mut data =
-                if n == LINE_BYTES as usize { [0; 64] } else { self.line_impl(a.line(), false) };
+            let mut data = if n == LINE_BYTES as usize {
+                [0; 64]
+            } else {
+                self.line_impl(a.line(), false)
+            };
             data[off..off + n].copy_from_slice(&bytes[copied..copied + n]);
             self.overlay.insert(a.line(), data);
             copied += n;
@@ -305,7 +309,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_garbled, "the unsafe baseline must exhibit the Fig. 4 failure");
+        assert!(
+            any_garbled,
+            "the unsafe baseline must exhibit the Fig. 4 failure"
+        );
     }
 
     #[test]
@@ -336,7 +343,10 @@ mod tests {
         for k in (0..40).step_by(3) {
             let (mut mem, log, _) = run_and_crash(Design::Fca, Some(k));
             let report = recover_undo_log(&mut mem, &log);
-            assert!(report.reads_clean, "FCA crash after event {k} must stay clean");
+            assert!(
+                report.reads_clean,
+                "FCA crash after event {k} must stay clean"
+            );
         }
     }
 
@@ -345,7 +355,10 @@ mod tests {
         for k in (0..40).step_by(3) {
             let (mut mem, log, _) = run_and_crash(Design::CoLocated, Some(k));
             let report = recover_undo_log(&mut mem, &log);
-            assert!(report.reads_clean, "co-located crash after event {k} must stay clean");
+            assert!(
+                report.reads_clean,
+                "co-located crash after event {k} must stay clean"
+            );
         }
     }
 }

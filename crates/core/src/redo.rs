@@ -66,7 +66,12 @@ pub struct RedoTx<'a> {
 impl<'a> RedoTx<'a> {
     /// Begins a deferred-update transaction against `log`.
     pub fn begin(pm: &'a mut Pmem, log: &'a UndoLog, id: u64) -> Self {
-        Self { pm, log, id, pending: BTreeMap::new() }
+        Self {
+            pm,
+            log,
+            id,
+            pending: BTreeMap::new(),
+        }
     }
 
     fn line_view(&mut self, line: LineAddr) -> [u8; 64] {
@@ -136,7 +141,12 @@ impl<'a> RedoTx<'a> {
     ///
     /// Panics if the write set exceeds the log's capacity.
     pub fn commit(self) {
-        let Self { pm, log, id, pending } = self;
+        let Self {
+            pm,
+            log,
+            id,
+            pending,
+        } = self;
         assert!(
             (pending.len() as u64) <= log.max_entries(),
             "redo write set ({} lines) exceeds log capacity ({})",
@@ -273,7 +283,11 @@ mod tests {
             tx.write_u64(data, 99);
             // dropped: aborted
         }
-        assert_eq!(pm.read_u64(data), 5, "aborted redo tx must not touch memory");
+        assert_eq!(
+            pm.read_u64(data),
+            5,
+            "aborted redo tx must not touch memory"
+        );
         assert_eq!(pm.read_u64(log.valid_addr()), 0);
     }
 
@@ -294,7 +308,12 @@ mod tests {
         tx.commit();
         let valid_line = log.valid_addr().line();
         for ev in pm.trace().events() {
-            if let TraceEvent::Write { line, counter_atomic, .. } = ev {
+            if let TraceEvent::Write {
+                line,
+                counter_atomic,
+                ..
+            } = ev
+            {
                 assert_eq!(
                     *counter_atomic,
                     *line == valid_line,
@@ -352,7 +371,10 @@ mod tests {
             let out = System::new(cfg, vec![trace]).run(CrashSpec::AfterEvent(k));
             let mut mem = RecoveredMemory::new(out.image, key);
             let report = recover_redo_log(&mut mem, &log);
-            assert!(report.reads_clean, "crash after event {k}: recovery read garbled lines");
+            assert!(
+                report.reads_clean,
+                "crash after event {k}: recovery read garbled lines"
+            );
             let v = mem.read_u64(data);
             assert!(
                 v == 100 || v == 200 || v == 0,
@@ -401,6 +423,10 @@ mod tests {
         let report = recover_redo_log(&mut mem, &log);
         assert!(report.rolled_back, "armed log must be applied");
         assert!(report.reads_clean);
-        assert_eq!(mem.read_u64(data), 200, "roll-forward must produce the new value");
+        assert_eq!(
+            mem.read_u64(data),
+            200,
+            "roll-forward must produce the new value"
+        );
     }
 }

@@ -82,7 +82,10 @@ impl ShadowCell {
     ///
     /// Panics if `new_value` exceeds the cell's object size.
     pub fn update(&self, pm: &mut Pmem, new_value: &[u8]) {
-        assert!(new_value.len() as u64 <= self.size_bytes, "value exceeds cell size");
+        assert!(
+            new_value.len() as u64 <= self.size_bytes,
+            "value exceeds cell size"
+        );
         let cur = pm.read_u64(self.selector_addr()) & 1;
         let next = cur ^ 1;
         let dst = self.copy_addr(next);
@@ -179,7 +182,10 @@ mod tests {
             let mut mem = RecoveredMemory::new(out.image, key);
             let mut buf = [0u8; 8];
             cell.recover(&mut mem, &mut buf);
-            assert!(mem.all_reads_clean(), "crash after event {k}: garbled recovery read");
+            assert!(
+                mem.all_reads_clean(),
+                "crash after event {k}: garbled recovery read"
+            );
             let v = u64::from_le_bytes(buf);
             assert!(
                 v == 0 || v == 100 || v == 200,
@@ -213,7 +219,10 @@ mod tests {
                 garbled = true;
             }
         }
-        assert!(garbled, "some crash point must expose the missing counter-atomicity");
+        assert!(
+            garbled,
+            "some crash point must expose the missing counter-atomicity"
+        );
     }
 
     #[test]

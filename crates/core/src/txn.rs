@@ -12,10 +12,9 @@ use crate::recovery::{recover_redo_log, recover_undo_log, RecoveredMemory, Recov
 use crate::redo::RedoTx;
 use crate::undo::{Tx, UndoLog};
 use nvmm_sim::addr::ByteAddr;
-use serde::{Deserialize, Serialize};
 
 /// Which versioning mechanism a transaction uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mechanism {
     /// Backup-then-mutate-in-place (§4.2's walkthrough; Table 1).
     UndoLog,
@@ -47,6 +46,25 @@ impl Mechanism {
 impl std::fmt::Display for Mechanism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl nvmm_json::ToJson for Mechanism {
+    /// A `Mechanism` serializes as its label, `"undo"` or `"redo"`.
+    fn to_json(&self) -> nvmm_json::Json {
+        nvmm_json::Json::Str(self.label().to_string())
+    }
+}
+
+impl nvmm_json::FromJson for Mechanism {
+    fn from_json(json: &nvmm_json::Json) -> Result<Self, nvmm_json::FromJsonError> {
+        match json.as_str() {
+            Some("undo") => Ok(Mechanism::UndoLog),
+            Some("redo") => Ok(Mechanism::RedoLog),
+            _ => Err(nvmm_json::FromJsonError(format!(
+                "unknown mechanism {json}"
+            ))),
+        }
     }
 }
 

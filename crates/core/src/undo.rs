@@ -74,7 +74,8 @@ impl UndoLog {
         Self {
             base,
             max_entries,
-            payload_capacity_lines: max_entries * Self::payload_lines_per_entry(max_bytes_per_entry),
+            payload_capacity_lines: max_entries
+                * Self::payload_lines_per_entry(max_bytes_per_entry),
         }
     }
 
@@ -111,7 +112,12 @@ impl UndoLog {
     /// Address of descriptor `i` (16 bytes: target addr, length).
     pub fn desc_addr(&self, i: u64) -> ByteAddr {
         debug_assert!(i < self.max_entries);
-        ByteAddr(self.base.0 + 2 * LINE_BYTES + (i / DESCS_PER_LINE) * LINE_BYTES + (i % DESCS_PER_LINE) * 16)
+        ByteAddr(
+            self.base.0
+                + 2 * LINE_BYTES
+                + (i / DESCS_PER_LINE) * LINE_BYTES
+                + (i % DESCS_PER_LINE) * 16,
+        )
     }
 
     /// First byte of the payload zone.
@@ -204,7 +210,10 @@ impl<'a> Tx<'a> {
     pub fn log_region(&mut self, addr: ByteAddr, len: usize) {
         assert!(!self.sealed, "log_region must precede the mutate stage");
         assert!(len > 0, "cannot log an empty region");
-        assert!(self.entries < self.log.max_entries, "undo log entry table full");
+        assert!(
+            self.entries < self.log.max_entries,
+            "undo log entry table full"
+        );
         // Extend to line boundaries.
         let start = addr.0 & !(LINE_BYTES - 1);
         let end = (addr.0 + len as u64).div_ceil(LINE_BYTES) * LINE_BYTES;
@@ -247,7 +256,8 @@ impl<'a> Tx<'a> {
 
         // Arm the log. CounterAtomic: this single write flips which
         // version recovery trusts (Table 1, commit row, mirrored).
-        self.pm.write_u64_counter_atomic(self.log.valid_addr(), LOG_VALID);
+        self.pm
+            .write_u64_counter_atomic(self.log.valid_addr(), LOG_VALID);
         self.pm.clwb(self.log.valid_addr(), 8);
         self.pm.persist_barrier();
     }
@@ -291,7 +301,8 @@ impl<'a> Tx<'a> {
         }
         self.pm.persist_barrier();
 
-        self.pm.write_u64_counter_atomic(self.log.valid_addr(), LOG_INVALID);
+        self.pm
+            .write_u64_counter_atomic(self.log.valid_addr(), LOG_INVALID);
         self.pm.clwb(self.log.valid_addr(), 8);
         self.pm.persist_barrier();
         self.pm.commit_marker(self.id);
@@ -365,9 +376,17 @@ mod tests {
         tx.commit();
         let valid_line = log.valid_addr().line();
         for ev in pm.trace().events() {
-            if let TraceEvent::Write { line, counter_atomic, .. } = ev {
+            if let TraceEvent::Write {
+                line,
+                counter_atomic,
+                ..
+            } = ev
+            {
                 if *line == valid_line {
-                    assert!(counter_atomic, "every valid-flag store must be CounterAtomic");
+                    assert!(
+                        counter_atomic,
+                        "every valid-flag store must be CounterAtomic"
+                    );
                 }
             }
         }
@@ -389,7 +408,10 @@ mod tests {
                 matches!(e, TraceEvent::Write { line, counter_atomic: false, .. } if *line != valid_line)
             })
             .count();
-        assert!(plain > 0, "prepare/mutate writes must stay plain (the SCA win)");
+        assert!(
+            plain > 0,
+            "prepare/mutate writes must stay plain (the SCA win)"
+        );
     }
 
     #[test]
@@ -413,7 +435,10 @@ mod tests {
         let barrier_before = events[..first_valid_arm]
             .iter()
             .rposition(|e| matches!(e, TraceEvent::PersistBarrier));
-        assert!(barrier_before.is_some(), "payload must be fenced before arming the log");
+        assert!(
+            barrier_before.is_some(),
+            "payload must be fenced before arming the log"
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ mod tests {
     #[test]
     fn wild_spread_falls_back_to_raw_size() {
         let l = line_of([0, u64::MAX, 0, 0, 0, 0, 0, 0]);
-        assert_eq!(compressed_bytes(&l), 64, "incompressible lines cost the full line");
+        assert_eq!(
+            compressed_bytes(&l),
+            64,
+            "incompressible lines cost the full line"
+        );
     }
 
     #[test]

@@ -11,8 +11,6 @@
 //! This module provides the [`Counter`] newtype and the bijective mapping
 //! between data lines and `(counter line, slot)` pairs.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a cache line in bytes, fixed at 64 throughout the system.
 pub const LINE_BYTES: usize = 64;
 
@@ -30,9 +28,7 @@ pub const COUNTERS_PER_LINE: usize = LINE_BYTES / COUNTER_BYTES;
 ///
 /// `Counter::ZERO` is reserved to mean "never written": decrypting with it
 /// models reading a line whose counter was lost.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Counter(pub u64);
 
 impl Counter {
@@ -99,7 +95,7 @@ pub fn data_line_for(slot: CounterSlot) -> u64 {
 
 /// A 64-byte line of eight packed counters, as stored in the counter cache
 /// and in the NVMM counter region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CounterLine {
     counters: [Counter; COUNTERS_PER_LINE],
 }
@@ -159,7 +155,7 @@ impl CounterLine {
 ///
 /// Values start at 1 so that `Counter::ZERO` retains its "never written"
 /// meaning.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GlobalCounter {
     next: u64,
 }
@@ -208,9 +204,27 @@ mod tests {
 
     #[test]
     fn slot_mapping_examples() {
-        assert_eq!(counter_slot_for(0), CounterSlot { counter_line: 0, slot: 0 });
-        assert_eq!(counter_slot_for(7), CounterSlot { counter_line: 0, slot: 7 });
-        assert_eq!(counter_slot_for(8), CounterSlot { counter_line: 1, slot: 0 });
+        assert_eq!(
+            counter_slot_for(0),
+            CounterSlot {
+                counter_line: 0,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            counter_slot_for(7),
+            CounterSlot {
+                counter_line: 0,
+                slot: 7
+            }
+        );
+        assert_eq!(
+            counter_slot_for(8),
+            CounterSlot {
+                counter_line: 1,
+                slot: 0
+            }
+        );
     }
 
     #[test]

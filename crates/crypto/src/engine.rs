@@ -48,7 +48,10 @@ impl EncryptionEngine {
     /// Creates an engine with the given AES-128 key and a fresh global
     /// counter.
     pub fn new(key: [u8; 16]) -> Self {
-        Self { cipher: Aes128::new(&key), global: GlobalCounter::new() }
+        Self {
+            cipher: Aes128::new(&key),
+            global: GlobalCounter::new(),
+        }
     }
 
     /// Encrypts `plaintext` destined for `line_addr`, drawing a fresh
@@ -56,7 +59,10 @@ impl EncryptionEngine {
     pub fn encrypt(&mut self, line_addr: u64, plaintext: &LineData) -> EncryptedWrite {
         let counter = self.global.issue();
         let pad = line_pad(&self.cipher, line_addr, counter);
-        EncryptedWrite { ciphertext: xor_line(plaintext, &pad), counter }
+        EncryptedWrite {
+            ciphertext: xor_line(plaintext, &pad),
+            counter,
+        }
     }
 
     /// Re-encrypts with a caller-supplied counter. Used by tests and by

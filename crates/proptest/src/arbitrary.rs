@@ -1,0 +1,62 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draws one value uniformly over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`, e.g. `any::<u8>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u8_covers_high_and_low() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = any::<u8>();
+        let vals: Vec<u8> = (0..256).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v < 32));
+        assert!(vals.iter().any(|&v| v > 223));
+    }
+
+    #[test]
+    fn any_bool_produces_both() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = any::<bool>();
+        let vals: Vec<bool> = (0..64).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v));
+        assert!(vals.iter().any(|&v| !v));
+    }
+}

@@ -1,0 +1,41 @@
+//! Strategies for fixed-size arrays.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `[S::Value; N]` by sampling `element` N times.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.sample(rng))
+    }
+}
+
+/// An 8-element array strategy.
+pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+    UniformArray(element)
+}
+
+/// A 32-element array strategy.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrays_fill_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let a = uniform8(0u64..100).sample(&mut rng);
+        assert!(a.iter().all(|&v| v < 100));
+        let b = uniform32(any::<u8>()).sample(&mut rng);
+        let c = uniform32(any::<u8>()).sample(&mut rng);
+        assert_ne!(b, c, "two 32-byte draws should differ");
+    }
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rand::Rng::gen(rng)
+    }
+}
+
+/// Uniform choice between `true` and `false`.
+pub const ANY: AnyBool = AnyBool;

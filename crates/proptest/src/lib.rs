@@ -1,0 +1,177 @@
+//! Workspace-local stand-in for the parts of `proptest` 1.x this
+//! repository uses.
+//!
+//! The crates-io registry is unreachable in the environments this
+//! reproduction builds in, so the workspace carries this small harness
+//! under the same name: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range/tuple/[`Just`]/[`prop_oneof!`] strategies,
+//! [`collection::vec`], [`array::uniform8`]/[`array::uniform32`],
+//! [`arbitrary::any`], and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream that matter to test authors:
+//!
+//! * Cases are generated from a **fixed seed**, so runs are fully
+//!   deterministic (upstream randomizes and persists failing seeds).
+//! * There is **no shrinking**: a failing case reports the assertion
+//!   message only, so put enough context in the message (`{:?}` the
+//!   inputs) to reproduce.
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[allow(dead_code)]
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface test modules use: `use proptest::prelude::*`.
+pub mod prelude {
+    /// Upstream's prelude aliases the crate root as `prop`, enabling
+    /// paths like `prop::bool::ANY`.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` that samples the strategies
+/// [`ProptestConfig::cases`](crate::test_runner::ProptestConfig::cases)
+/// times and runs the body on each sample.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// configuration for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_cases(|__rng| {
+                $( let $pat = $crate::strategy::Strategy::sample(&($strat), __rng); )+
+                (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case with an optional formatted message unless the
+/// condition holds. Only usable inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}: both sides were {:?}",
+            format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) unless the condition
+/// holds. Only usable inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Builds a strategy choosing uniformly between the listed strategies,
+/// which must all produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($arm:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}

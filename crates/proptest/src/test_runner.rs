@@ -1,0 +1,151 @@
+//! Case execution: configuration, RNG, and the pass/fail/reject plumbing
+//! behind the [`proptest!`](crate::proptest) macro.
+
+/// The RNG strategies draw from; the workspace's deterministic
+/// [`StdRng`](rand::rngs::StdRng).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration for one [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of [`prop_assume!`](crate::prop_assume) rejections
+    /// tolerated across the whole run before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256 cases; rejects are bounded so a
+        // too-strict prop_assume! fails loudly instead of spinning.
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// The case was discarded by [`prop_assume!`](crate::prop_assume);
+    /// the runner draws a replacement.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Drives the configured number of cases against one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a fixed seed, making every run of the test
+    /// suite sample identical cases.
+    pub fn new(config: ProptestConfig) -> Self {
+        use rand::SeedableRng;
+        Self {
+            config,
+            rng: TestRng::seed_from_u64(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Runs cases until [`ProptestConfig::cases`] of them pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails, or when rejections exceed
+    /// [`ProptestConfig::max_global_rejects`].
+    pub fn run_cases<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "too many prop_assume! rejections ({rejected}); last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("property failed after {passed} passing case(s): {message}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_passing_cases() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 10,
+            max_global_rejects: 10,
+        });
+        let mut calls = 0;
+        runner.run_cases(|_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn rejects_draw_replacements() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 5,
+            max_global_rejects: 100,
+        });
+        let mut calls = 0;
+        runner.run_cases(|_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        let mut runner = TestRunner::new(ProptestConfig::default());
+        runner.run_cases(|_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume")]
+    fn unbounded_rejection_panics() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 1,
+            max_global_rejects: 3,
+        });
+        runner.run_cases(|_| Err(TestCaseError::reject("always")));
+    }
+}

@@ -6,15 +6,12 @@
 //! `nvmm_crypto::counter` for the data-line → counter-slot mapping).
 
 use nvmm_crypto::counter::{counter_slot_for, CounterSlot};
-use serde::{Deserialize, Serialize};
 
 /// Size of a cache line in bytes.
 pub const LINE_BYTES: u64 = 64;
 
 /// A byte address in the flat persistent address space.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteAddr(pub u64);
 
 impl ByteAddr {
@@ -30,9 +27,7 @@ impl ByteAddr {
 }
 
 /// A cache-line-granular address in the data region (line index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -58,12 +53,23 @@ impl std::fmt::Display for LineAddr {
     }
 }
 
+impl nvmm_json::ToJson for LineAddr {
+    /// A `LineAddr` serializes as its raw line index.
+    fn to_json(&self) -> nvmm_json::Json {
+        nvmm_json::Json::U64(self.0)
+    }
+}
+
+impl nvmm_json::FromJson for LineAddr {
+    fn from_json(json: &nvmm_json::Json) -> Result<Self, nvmm_json::FromJsonError> {
+        u64::from_json(json).map(LineAddr)
+    }
+}
+
 /// A cache-line-granular address in the counter region (counter line
 /// index). One counter line packs counters for eight consecutive data
 /// lines.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CounterLineAddr(pub u64);
 
 impl std::fmt::Display for CounterLineAddr {
@@ -76,7 +82,7 @@ impl std::fmt::Display for CounterLineAddr {
 /// line. Used by the device model to assign banks; the counter region is
 /// offset so counter traffic spreads across banks independently of the
 /// data traffic it accompanies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NvmmTarget {
     /// A 64-byte data line (72 bytes in co-located designs).
     Data(LineAddr),

@@ -54,8 +54,15 @@ impl<K: Eq + Hash + Copy, V> SetAssocCache<K, V> {
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && ways > 0, "cache must have at least one set and one way");
-        Self { sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(), ways, tick: 0 }
+        assert!(
+            sets > 0 && ways > 0,
+            "cache must have at least one set and one way"
+        );
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+        }
     }
 
     fn set_index(&self, key: &K) -> usize {
@@ -85,7 +92,10 @@ impl<K: Eq + Hash + Copy, V> SetAssocCache<K, V> {
     /// Looks up `key` without disturbing LRU state.
     pub fn peek(&self, key: &K) -> Option<&V> {
         let si = self.set_index(key);
-        self.sets[si].iter().find(|w| w.key == *key).map(|w| &w.value)
+        self.sets[si]
+            .iter()
+            .find(|w| w.key == *key)
+            .map(|w| &w.value)
     }
 
     /// Mutable lookup; refreshes LRU and optionally marks the line dirty.
@@ -131,14 +141,26 @@ impl<K: Eq + Hash + Copy, V> SetAssocCache<K, V> {
             return None;
         }
         let victim = if set.len() == ways {
-            let (vi, _) =
-                set.iter().enumerate().min_by_key(|(_, w)| w.used).expect("set is non-empty");
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.used)
+                .expect("set is non-empty");
             let v = set.swap_remove(vi);
-            Some(Eviction { key: v.key, value: v.value, dirty: v.dirty })
+            Some(Eviction {
+                key: v.key,
+                value: v.value,
+                dirty: v.dirty,
+            })
         } else {
             None
         };
-        set.push(Way { key, value, dirty, used: tick });
+        set.push(Way {
+            key,
+            value,
+            dirty,
+            used: tick,
+        });
         victim
     }
 
@@ -164,7 +186,10 @@ impl<K: Eq + Hash + Copy, V> SetAssocCache<K, V> {
     /// Iterates over all resident `(key, payload, dirty)` triples in
     /// unspecified order. Used when flushing at end of run.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V, bool)> {
-        self.sets.iter().flatten().map(|w| (&w.key, &w.value, w.dirty))
+        self.sets
+            .iter()
+            .flatten()
+            .map(|w| (&w.key, &w.value, w.dirty))
     }
 
     /// Drains the cache, yielding every resident line.
@@ -172,7 +197,11 @@ impl<K: Eq + Hash + Copy, V> SetAssocCache<K, V> {
         self.sets
             .iter_mut()
             .flat_map(|s| s.drain(..))
-            .map(|w| Eviction { key: w.key, value: w.value, dirty: w.dirty })
+            .map(|w| Eviction {
+                key: w.key,
+                value: w.value,
+                dirty: w.dirty,
+            })
             .collect()
     }
 }

@@ -2,10 +2,10 @@
 //! design under evaluation.
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
+use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
 
 /// The six evaluated designs (paper §6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Design {
     /// An NVMM system without any encryption.
     NoEncryption,
@@ -108,8 +108,40 @@ impl std::fmt::Display for Design {
     }
 }
 
+impl ToJson for Design {
+    /// A `Design` serializes as its variant name (not the display label,
+    /// which contains spaces and slashes).
+    fn to_json(&self) -> Json {
+        let name = match self {
+            Design::NoEncryption => "NoEncryption",
+            Design::Ideal => "Ideal",
+            Design::CoLocated => "CoLocated",
+            Design::CoLocatedCounterCache => "CoLocatedCounterCache",
+            Design::Fca => "Fca",
+            Design::Sca => "Sca",
+            Design::UnsafeNoAtomicity => "UnsafeNoAtomicity",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for Design {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        match json.as_str() {
+            Some("NoEncryption") => Ok(Design::NoEncryption),
+            Some("Ideal") => Ok(Design::Ideal),
+            Some("CoLocated") => Ok(Design::CoLocated),
+            Some("CoLocatedCounterCache") => Ok(Design::CoLocatedCounterCache),
+            Some("Fca") => Ok(Design::Fca),
+            Some("Sca") => Ok(Design::Sca),
+            Some("UnsafeNoAtomicity") => Ok(Design::UnsafeNoAtomicity),
+            _ => Err(FromJsonError(format!("unknown design {json}"))),
+        }
+    }
+}
+
 /// Geometry of one set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -142,9 +174,29 @@ impl CacheGeometry {
     }
 }
 
+impl ToJson for CacheGeometry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("capacity_bytes".to_string(), self.capacity_bytes.to_json()),
+            ("ways".to_string(), self.ways.to_json()),
+            ("latency".to_string(), self.latency.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CacheGeometry {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            capacity_bytes: field(json, "capacity_bytes")?,
+            ways: field(json, "ways")?,
+            latency: field(json, "latency")?,
+        })
+    }
+}
+
 /// PCM device timing (Table 2, from the paper's references to
 /// Lee et al. / Xu et al.).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcmTiming {
     /// Row-to-column command delay.
     pub t_rcd: Time,
@@ -200,8 +252,34 @@ impl PcmTiming {
     }
 }
 
+impl ToJson for PcmTiming {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("t_rcd".to_string(), self.t_rcd.to_json()),
+            ("t_cl".to_string(), self.t_cl.to_json()),
+            ("t_cwd".to_string(), self.t_cwd.to_json()),
+            ("t_faw".to_string(), self.t_faw.to_json()),
+            ("t_wtr".to_string(), self.t_wtr.to_json()),
+            ("t_wr".to_string(), self.t_wr.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PcmTiming {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            t_rcd: field(json, "t_rcd")?,
+            t_cl: field(json, "t_cl")?,
+            t_cwd: field(json, "t_cwd")?,
+            t_faw: field(json, "t_faw")?,
+            t_wtr: field(json, "t_wtr")?,
+            t_wr: field(json, "t_wr")?,
+        })
+    }
+}
+
 /// Full system configuration (Table 2 defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Counter-atomicity design under evaluation.
     pub design: Design,
@@ -263,6 +341,10 @@ pub struct SimConfig {
     /// returns exactly the bytes the functional execution produced — an
     /// end-to-end check of caches, forwarding, and encryption.
     pub verify_reads: bool,
+    /// When set, the run records a [`Timeline`](crate::telemetry::Timeline)
+    /// of per-epoch telemetry samples with this epoch length; `None`
+    /// (the default) records nothing and pays nothing.
+    pub telemetry_epoch: Option<Time>,
 }
 
 impl SimConfig {
@@ -300,6 +382,7 @@ impl SimConfig {
             stop_loss: None,
             key: *b"nvmm-sim aes key",
             verify_reads: false,
+            telemetry_epoch: None,
         }
     }
 
@@ -312,6 +395,85 @@ impl SimConfig {
     pub fn with_counter_cache_bytes(mut self, bytes: u64) -> Self {
         self.counter_cache.capacity_bytes = bytes;
         self
+    }
+
+    /// Enables per-epoch telemetry with the given epoch length.
+    pub fn with_telemetry_epoch(mut self, epoch: Time) -> Self {
+        self.telemetry_epoch = Some(epoch);
+        self
+    }
+}
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("design".to_string(), self.design.to_json()),
+            ("cores".to_string(), self.cores.to_json()),
+            ("l1".to_string(), self.l1.to_json()),
+            ("l2".to_string(), self.l2.to_json()),
+            ("counter_cache".to_string(), self.counter_cache.to_json()),
+            (
+                "read_queue_entries".to_string(),
+                self.read_queue_entries.to_json(),
+            ),
+            (
+                "data_write_queue_entries".to_string(),
+                self.data_write_queue_entries.to_json(),
+            ),
+            (
+                "counter_write_queue_entries".to_string(),
+                self.counter_write_queue_entries.to_json(),
+            ),
+            ("pcm".to_string(), self.pcm.to_json()),
+            ("banks".to_string(), self.banks.to_json()),
+            ("bus_transfer".to_string(), self.bus_transfer.to_json()),
+            ("crypto_latency".to_string(), self.crypto_latency.to_json()),
+            (
+                "ca_pair_overhead".to_string(),
+                self.ca_pair_overhead.to_json(),
+            ),
+            (
+                "controller_overhead".to_string(),
+                self.controller_overhead.to_json(),
+            ),
+            (
+                "compress_counters".to_string(),
+                self.compress_counters.to_json(),
+            ),
+            ("stop_loss".to_string(), self.stop_loss.to_json()),
+            ("key".to_string(), self.key.to_json()),
+            ("verify_reads".to_string(), self.verify_reads.to_json()),
+            (
+                "telemetry_epoch".to_string(),
+                self.telemetry_epoch.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SimConfig {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            design: field(json, "design")?,
+            cores: field(json, "cores")?,
+            l1: field(json, "l1")?,
+            l2: field(json, "l2")?,
+            counter_cache: field(json, "counter_cache")?,
+            read_queue_entries: field(json, "read_queue_entries")?,
+            data_write_queue_entries: field(json, "data_write_queue_entries")?,
+            counter_write_queue_entries: field(json, "counter_write_queue_entries")?,
+            pcm: field(json, "pcm")?,
+            banks: field(json, "banks")?,
+            bus_transfer: field(json, "bus_transfer")?,
+            crypto_latency: field(json, "crypto_latency")?,
+            ca_pair_overhead: field(json, "ca_pair_overhead")?,
+            controller_overhead: field(json, "controller_overhead")?,
+            compress_counters: field(json, "compress_counters")?,
+            stop_loss: field(json, "stop_loss")?,
+            key: field(json, "key")?,
+            verify_reads: field(json, "verify_reads")?,
+            telemetry_epoch: field(json, "telemetry_epoch")?,
+        })
     }
 }
 
@@ -375,10 +537,20 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
-        let c = SimConfig::table2(Design::Fca, 2);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
+    fn config_json_roundtrip() {
+        let c = SimConfig::table2(Design::Fca, 2)
+            .with_counter_cache_bytes(512 * 1024)
+            .with_telemetry_epoch(Time::from_ns(500));
+        let text = c.to_json().to_pretty();
+        let back = SimConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn design_json_roundtrip_all() {
+        for d in Design::ALL {
+            assert_eq!(Design::from_json(&d.to_json()).unwrap(), d);
+        }
+        assert!(Design::from_json(&Json::Str("Bogus".to_string())).is_err());
     }
 }

@@ -46,10 +46,24 @@ struct JournalRecord {
 
 #[derive(Debug, Clone)]
 enum JournalOp {
-    Plain { line: LineAddr, data: LineData },
-    Encrypted { line: LineAddr, ciphertext: LineData, counter: nvmm_crypto::Counter },
-    CoLocated { line: LineAddr, ciphertext: LineData, counter: nvmm_crypto::Counter },
-    CounterLine { cline: CounterLineAddr, counters: CounterLine },
+    Plain {
+        line: LineAddr,
+        data: LineData,
+    },
+    Encrypted {
+        line: LineAddr,
+        ciphertext: LineData,
+        counter: nvmm_crypto::Counter,
+    },
+    CoLocated {
+        line: LineAddr,
+        ciphertext: LineData,
+        counter: nvmm_crypto::Counter,
+    },
+    CounterLine {
+        cline: CounterLineAddr,
+        counters: CounterLine,
+    },
 }
 
 /// The shared memory controller.
@@ -84,9 +98,10 @@ pub struct MemoryController {
 impl MemoryController {
     /// Builds the controller described by `config`.
     pub fn new(config: &SimConfig) -> Self {
-        let counter_cache = config.design.has_counter_cache().then(|| {
-            SetAssocCache::new(config.counter_cache.sets(), config.counter_cache.ways)
-        });
+        let counter_cache = config
+            .design
+            .has_counter_cache()
+            .then(|| SetAssocCache::new(config.counter_cache.sets(), config.counter_cache.ways));
         Self {
             design: config.design,
             device: PcmDevice::new(config),
@@ -128,6 +143,15 @@ impl MemoryController {
         }
     }
 
+    /// Instantaneous (data, counter) write-queue occupancy at `t` — the
+    /// quantity the telemetry sampler records at each epoch boundary.
+    pub fn write_queue_depths(&self, t: Time) -> (usize, usize) {
+        (
+            self.queues.data_occupancy(t),
+            self.queues.counter_occupancy(t),
+        )
+    }
+
     /// Wear summary over all NVMM writes: (distinct targets written,
     /// maximum writes to any single target).
     pub fn wear_summary(&self) -> (u64, u64) {
@@ -159,10 +183,15 @@ impl MemoryController {
             t
         } else {
             stats.nvmm_counter_reads += 1;
-            self.device.schedule(NvmmTarget::Counter(cline), AccessKind::Read, t).done
+            self.device
+                .schedule(NvmmTarget::Counter(cline), AccessKind::Read, t)
+                .done
         };
         if let Some(victim) =
-            self.counter_cache.as_mut().expect("probed above").insert(cline, (), false)
+            self.counter_cache
+                .as_mut()
+                .expect("probed above")
+                .insert(cline, (), false)
         {
             if victim.dirty {
                 self.write_counter_line(victim.key, t, stats);
@@ -174,7 +203,9 @@ impl MemoryController {
     /// Submits a counter-line write (eviction or explicit writeback);
     /// always ready on acceptance. Returns the guarantee time.
     fn write_counter_line(&mut self, cline: CounterLineAddr, t: Time, stats: &mut Stats) -> Time {
-        let receipt = self.queues.submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
+        let receipt = self
+            .queues
+            .submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
         if receipt.coalesced {
             stats.coalesced_counter_writes += 1;
         } else {
@@ -184,7 +215,10 @@ impl MemoryController {
         }
         self.journal.push(JournalRecord {
             guaranteed_at: receipt.accepted,
-            op: JournalOp::CounterLine { cline, counters: self.current_counter_line(cline) },
+            op: JournalOp::CounterLine {
+                cline,
+                counters: self.current_counter_line(cline),
+            },
         });
         receipt.accepted
     }
@@ -195,7 +229,9 @@ impl MemoryController {
         stats.nvmm_reads += 1;
         let payload = self.below_llc.get(&line).copied().unwrap_or([0; 64]);
         let issue = t + self.overhead;
-        let data = self.device.schedule(NvmmTarget::Data(line), AccessKind::Read, issue);
+        let data = self
+            .device
+            .schedule(NvmmTarget::Data(line), AccessKind::Read, issue);
 
         let done = match self.design {
             Design::NoEncryption => data.done,
@@ -247,7 +283,9 @@ impl MemoryController {
         }
         match self.design {
             Design::NoEncryption => {
-                let r = self.queues.submit_plain(&mut self.device, NvmmTarget::Data(line), t);
+                let r = self
+                    .queues
+                    .submit_plain(&mut self.device, NvmmTarget::Data(line), t);
                 if r.coalesced {
                     stats.coalesced_data_writes += 1;
                 } else {
@@ -255,8 +293,10 @@ impl MemoryController {
                     stats.bytes_written += 64;
                     *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
                 }
-                self.journal
-                    .push(JournalRecord { guaranteed_at: r.accepted, op: JournalOp::Plain { line, data } });
+                self.journal.push(JournalRecord {
+                    guaranteed_at: r.accepted,
+                    op: JournalOp::Plain { line, data },
+                });
                 r.accepted
             }
             Design::CoLocated | Design::CoLocatedCounterCache => {
@@ -269,7 +309,9 @@ impl MemoryController {
                     }
                 }
                 let t_enc = t + self.crypto_latency;
-                let r = self.queues.submit_plain(&mut self.device, NvmmTarget::Data(line), t_enc);
+                let r = self
+                    .queues
+                    .submit_plain(&mut self.device, NvmmTarget::Data(line), t_enc);
                 if r.coalesced {
                     stats.coalesced_data_writes += 1;
                 } else {
@@ -279,7 +321,11 @@ impl MemoryController {
                 }
                 self.journal.push(JournalRecord {
                     guaranteed_at: r.accepted,
-                    op: JournalOp::CoLocated { line, ciphertext: enc.ciphertext, counter: enc.counter },
+                    op: JournalOp::CoLocated {
+                        line,
+                        ciphertext: enc.ciphertext,
+                        counter: enc.counter,
+                    },
                 });
                 r.accepted
             }
@@ -307,8 +353,14 @@ impl MemoryController {
         let current = self.current_counter_line(cline).get(slot);
         let counter = nvmm_crypto::Counter(current.0 + 1);
         let ciphertext = self.engine.encrypt_with(line.0, &data, counter);
-        let enc = nvmm_crypto::EncryptedWrite { ciphertext, counter };
-        self.counter_state.entry(cline).or_default().set(slot, enc.counter);
+        let enc = nvmm_crypto::EncryptedWrite {
+            ciphertext,
+            counter,
+        };
+        self.counter_state
+            .entry(cline)
+            .or_default()
+            .set(slot, enc.counter);
         let t_enq = t + self.crypto_latency;
 
         // Counter cache bookkeeping: write probes fill on miss without
@@ -326,6 +378,10 @@ impl MemoryController {
                 NvmmTarget::Counter(cline),
                 t_enq,
             );
+            if r.pairing_wait > Time::ZERO {
+                stats.pairing_stalls += 1;
+                stats.pairing_stall += r.pairing_wait;
+            }
             stats.nvmm_data_writes += 1;
             stats.bytes_written += 64;
             *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
@@ -343,18 +399,27 @@ impl MemoryController {
             }
             self.journal.push(JournalRecord {
                 guaranteed_at: r.ready,
-                op: JournalOp::Encrypted { line, ciphertext: enc.ciphertext, counter: enc.counter },
+                op: JournalOp::Encrypted {
+                    line,
+                    ciphertext: enc.ciphertext,
+                    counter: enc.counter,
+                },
             });
             self.journal.push(JournalRecord {
                 guaranteed_at: r.ready,
-                op: JournalOp::CounterLine { cline, counters: self.current_counter_line(cline) },
+                op: JournalOp::CounterLine {
+                    cline,
+                    counters: self.current_counter_line(cline),
+                },
             });
             r.ready
         } else {
             // Plain data write; the counter stays dirty on chip until a
             // counter_cache_writeback or an eviction (§4.2's reordering
             // window).
-            let r = self.queues.submit_plain(&mut self.device, NvmmTarget::Data(line), t_enq);
+            let r = self
+                .queues
+                .submit_plain(&mut self.device, NvmmTarget::Data(line), t_enq);
             if r.coalesced {
                 stats.coalesced_data_writes += 1;
             } else {
@@ -367,7 +432,11 @@ impl MemoryController {
             }
             self.journal.push(JournalRecord {
                 guaranteed_at: r.accepted,
-                op: JournalOp::Encrypted { line, ciphertext: enc.ciphertext, counter: enc.counter },
+                op: JournalOp::Encrypted {
+                    line,
+                    ciphertext: enc.ciphertext,
+                    counter: enc.counter,
+                },
             });
             // Stop-loss (Osiris-style): after `n` un-persisted counter
             // bumps on this counter line, force a write-back so the
@@ -423,12 +492,16 @@ impl MemoryController {
             }
             match &rec.op {
                 JournalOp::Plain { line, data } => img.write_plain(*line, *data),
-                JournalOp::Encrypted { line, ciphertext, counter } => {
-                    img.write_encrypted(*line, *ciphertext, *counter)
-                }
-                JournalOp::CoLocated { line, ciphertext, counter } => {
-                    img.write_co_located(*line, *ciphertext, *counter)
-                }
+                JournalOp::Encrypted {
+                    line,
+                    ciphertext,
+                    counter,
+                } => img.write_encrypted(*line, *ciphertext, *counter),
+                JournalOp::CoLocated {
+                    line,
+                    ciphertext,
+                    counter,
+                } => img.write_co_located(*line, *ciphertext, *counter),
                 JournalOp::CounterLine { cline, counters } => {
                     img.write_counter_line(*cline, *counters)
                 }
@@ -464,7 +537,10 @@ mod tests {
         let data = [7u8; 64];
         let g = c.writeback(LineAddr(1), data, false, Time::ZERO, &mut s);
         let img = c.build_image(Some(g));
-        assert_eq!(img.read_line(LineAddr(1), c.engine()), LineRead::Clean(data));
+        assert_eq!(
+            img.read_line(LineAddr(1), c.engine()),
+            LineRead::Clean(data)
+        );
         assert_eq!(s.bytes_written, 64);
     }
 
@@ -475,7 +551,10 @@ mod tests {
         let g = c.writeback(LineAddr(2), data, false, Time::ZERO, &mut s);
         // Any crash at/after the guarantee sees a decryptable line.
         let img = c.build_image(Some(g));
-        assert_eq!(img.read_line(LineAddr(2), c.engine()), LineRead::Clean(data));
+        assert_eq!(
+            img.read_line(LineAddr(2), c.engine()),
+            LineRead::Clean(data)
+        );
         // Before the guarantee: line simply absent (neither half landed).
         let img = c.build_image(Some(Time::ZERO.saturating_sub(Time::from_ps(1))));
         assert!(img.read_line(LineAddr(2), c.engine()).is_clean());
@@ -488,7 +567,10 @@ mod tests {
         let data = [3u8; 64];
         let g = c.writeback(LineAddr(5), data, false, Time::from_ns(10), &mut s);
         let img = c.build_image(Some(g));
-        assert_eq!(img.read_line(LineAddr(5), c.engine()), LineRead::Clean(data));
+        assert_eq!(
+            img.read_line(LineAddr(5), c.engine()),
+            LineRead::Clean(data)
+        );
         // Data + counter both journaled.
         assert_eq!(s.nvmm_data_writes, 1);
         assert_eq!(s.nvmm_counter_writes, 1);
@@ -521,7 +603,10 @@ mod tests {
         let g = c.writeback(LineAddr(7), data, false, Time::ZERO, &mut s);
         let img = c.build_image(Some(g + Time::from_ns(1000)));
         let r = img.read_line(LineAddr(7), c.engine());
-        assert!(!r.is_clean(), "counter never persisted: decryption must fail");
+        assert!(
+            !r.is_clean(),
+            "counter never persisted: decryption must fail"
+        );
         assert_ne!(r.bytes(), data);
     }
 
@@ -532,7 +617,10 @@ mod tests {
         c.writeback(LineAddr(7), data, false, Time::ZERO, &mut s);
         let g = c.counter_writeback(LineAddr(7), Time::from_ns(100), &mut s);
         let img = c.build_image(Some(g));
-        assert_eq!(img.read_line(LineAddr(7), c.engine()), LineRead::Clean(data));
+        assert_eq!(
+            img.read_line(LineAddr(7), c.engine()),
+            LineRead::Clean(data)
+        );
     }
 
     #[test]
@@ -607,7 +695,10 @@ mod tests {
         c.writeback(LineAddr(1), [0; 64], false, Time::ZERO, &mut s);
         let before = s.nvmm_counter_writes;
         c.counter_writeback(LineAddr(1), Time::from_ns(10), &mut s);
-        assert_eq!(s.nvmm_counter_writes, before, "ideal persists no counters on ccwb");
+        assert_eq!(
+            s.nvmm_counter_writes, before,
+            "ideal persists no counters on ccwb"
+        );
         assert_eq!(s.counter_cache_writebacks, 1);
     }
 
@@ -625,7 +716,10 @@ mod tests {
             counter_bytes < 64,
             "clustered counters must compress below a raw line ({counter_bytes}B)"
         );
-        assert!(counter_bytes >= 17, "compressed line still carries base + deltas");
+        assert!(
+            counter_bytes >= 17,
+            "compressed line still carries base + deltas"
+        );
     }
 
     #[test]
@@ -642,13 +736,22 @@ mod tests {
         let (mut c, mut s) = ctl(Design::Fca);
         // Three writes to one line, one to another.
         for t in 0..3 {
-            c.writeback(LineAddr(5), [t; 64], false, Time::from_ns(t as u64 * 1000), &mut s);
+            c.writeback(
+                LineAddr(5),
+                [t; 64],
+                false,
+                Time::from_ns(t as u64 * 1000),
+                &mut s,
+            );
         }
         c.writeback(LineAddr(900), [9; 64], false, Time::from_ns(5000), &mut s);
         let (distinct, max) = c.wear_summary();
         // Data lines 5 and 900 plus their counter lines (minus queue
         // coalescing effects on the counter side).
-        assert!(distinct >= 3, "at least both data lines and one counter line");
+        assert!(
+            distinct >= 3,
+            "at least both data lines and one counter line"
+        );
         assert!(max >= 3, "line 5 absorbed three writes (max={max})");
     }
 
@@ -658,6 +761,9 @@ mod tests {
         c.writeback(LineAddr(8), [1; 64], false, Time::ZERO, &mut s);
         c.writeback(LineAddr(8), [2; 64], false, Time::from_ns(1), &mut s);
         let img = c.build_image(None);
-        assert_eq!(img.read_line(LineAddr(8), c.engine()), LineRead::Clean([2; 64]));
+        assert_eq!(
+            img.read_line(LineAddr(8), c.engine()),
+            LineRead::Clean([2; 64])
+        );
     }
 }

@@ -48,7 +48,10 @@ struct Direction {
 
 impl Direction {
     fn new(banks: usize) -> Self {
-        Self { bank_free: vec![Time::ZERO; banks], bus_free: Time::ZERO }
+        Self {
+            bank_free: vec![Time::ZERO; banks],
+            bus_free: Time::ZERO,
+        }
     }
 }
 
@@ -103,7 +106,12 @@ impl PcmDevice {
 
     /// The latest write-drain completion currently reserved on any bank.
     pub fn write_horizon(&self) -> Time {
-        self.writes.bank_free.iter().copied().max().unwrap_or(Time::ZERO)
+        self.writes
+            .bank_free
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 }
 
@@ -140,7 +148,9 @@ mod tests {
     /// Finds a line sharing `data(0)`'s bank under hashed interleaving.
     fn same_bank_as_zero(banks: usize) -> u64 {
         let b0 = data(0).bank(banks);
-        (1..).find(|&i| data(i).bank(banks) == b0).expect("some line collides")
+        (1..)
+            .find(|&i| data(i).bank(banks) == b0)
+            .expect("some line collides")
     }
 
     #[test]

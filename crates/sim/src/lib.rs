@@ -62,6 +62,7 @@ pub mod device;
 pub mod nvmm;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod wq;
@@ -71,5 +72,6 @@ pub use config::{Design, SimConfig};
 pub use nvmm::{LineRead, NvmmImage};
 pub use stats::Stats;
 pub use system::{run_to_completion, CrashSpec, RunOutcome, System};
+pub use telemetry::{EpochSample, Timeline};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};

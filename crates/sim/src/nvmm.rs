@@ -74,19 +74,37 @@ impl NvmmImage {
 
     /// Persists a data line written by an unencrypted design.
     pub fn write_plain(&mut self, line: LineAddr, bytes: LineData) {
-        self.data.insert(line, StoredLine { bytes, encrypted_with: Counter::ZERO });
+        self.data.insert(
+            line,
+            StoredLine {
+                bytes,
+                encrypted_with: Counter::ZERO,
+            },
+        );
     }
 
     /// Persists an encrypted data line (separate-counter designs). The
     /// counter region is *not* touched — that is a separate write.
     pub fn write_encrypted(&mut self, line: LineAddr, ciphertext: LineData, counter: Counter) {
-        self.data.insert(line, StoredLine { bytes: ciphertext, encrypted_with: counter });
+        self.data.insert(
+            line,
+            StoredLine {
+                bytes: ciphertext,
+                encrypted_with: counter,
+            },
+        );
     }
 
     /// Persists an encrypted 72-byte line (co-located designs): data and
     /// counter land atomically.
     pub fn write_co_located(&mut self, line: LineAddr, ciphertext: LineData, counter: Counter) {
-        self.data.insert(line, StoredLine { bytes: ciphertext, encrypted_with: counter });
+        self.data.insert(
+            line,
+            StoredLine {
+                bytes: ciphertext,
+                encrypted_with: counter,
+            },
+        );
         self.co_located.insert(line, counter);
     }
 
@@ -108,7 +126,8 @@ impl NvmmImage {
             return *c;
         }
         let slot = line.counter_slot();
-        self.counter_line(CounterLineAddr(slot.counter_line)).get(slot.slot)
+        self.counter_line(CounterLineAddr(slot.counter_line))
+            .get(slot.slot)
     }
 
     /// Raw stored bytes of a data line, if present (ciphertext for
@@ -120,7 +139,10 @@ impl NvmmImage {
     /// Ground truth: the counter `line`'s resident ciphertext was
     /// encrypted with (`Counter::ZERO` for plaintext/unwritten).
     pub fn encryption_counter(&self, line: LineAddr) -> Counter {
-        self.data.get(&line).map(|s| s.encrypted_with).unwrap_or(Counter::ZERO)
+        self.data
+            .get(&line)
+            .map(|s| s.encrypted_with)
+            .unwrap_or(Counter::ZERO)
     }
 
     /// Decrypts `line` the way post-crash recovery hardware would: with
@@ -212,7 +234,10 @@ mod tests {
     fn plain_write_reads_clean() {
         let mut img = NvmmImage::new();
         img.write_plain(LineAddr(1), [7; 64]);
-        assert_eq!(img.read_line(LineAddr(1), &engine()), LineRead::Clean([7; 64]));
+        assert_eq!(
+            img.read_line(LineAddr(1), &engine()),
+            LineRead::Clean([7; 64])
+        );
     }
 
     #[test]

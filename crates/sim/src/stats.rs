@@ -5,10 +5,10 @@
 //! (Fig. 14), and counter-cache miss rates (Fig. 15).
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
+use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
 
 /// Counters accumulated over one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Simulated end time (max over cores).
     pub runtime: Time,
@@ -46,6 +46,12 @@ pub struct Stats {
     pub counter_atomic_writes: u64,
     /// Writes that were not counter-atomic.
     pub plain_writes: u64,
+    /// Counter-atomic pairs whose submission waited on the serialized
+    /// pairing coordinator (the ready-bit handshake of Fig. 7a).
+    pub pairing_stalls: u64,
+    /// Cumulative time counter-atomic pairs spent queued on the pairing
+    /// coordinator before their handshake began.
+    pub pairing_stall: Time,
     /// Write-queue entries merged into an existing same-line entry.
     pub coalesced_data_writes: u64,
     /// Counter write-queue entries merged into an existing same-line
@@ -66,7 +72,10 @@ pub struct Stats {
 impl Stats {
     /// Creates a zeroed statistics block for `cores` cores.
     pub fn new(cores: usize) -> Self {
-        Self { core_runtimes: vec![Time::ZERO; cores], ..Self::default() }
+        Self {
+            core_runtimes: vec![Time::ZERO; cores],
+            ..Self::default()
+        }
     }
 
     /// Counter cache miss rate over all probes, or 0.0 if never probed.
@@ -95,6 +104,78 @@ impl Stats {
     }
 }
 
+/// Field list shared by the `ToJson`/`FromJson` impls so the two cannot
+/// drift apart: `(json key, getter, setter)` triples for every `u64`
+/// counter, with the `Time`/`Vec` fields handled explicitly.
+macro_rules! stats_u64_fields {
+    ($m:ident) => {
+        $m!(
+            nvmm_reads,
+            nvmm_data_writes,
+            nvmm_counter_writes,
+            nvmm_counter_reads,
+            bytes_written,
+            counter_cache_hits,
+            counter_cache_misses,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            counter_atomic_writes,
+            plain_writes,
+            pairing_stalls,
+            coalesced_data_writes,
+            coalesced_counter_writes,
+            transactions_committed,
+            counter_cache_writebacks,
+            distinct_lines_written,
+            max_line_writes
+        );
+    };
+}
+
+impl ToJson for Stats {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("runtime".to_string(), self.runtime.to_json()),
+            ("core_runtimes".to_string(), self.core_runtimes.to_json()),
+            ("barrier_stall".to_string(), self.barrier_stall.to_json()),
+            (
+                "queue_full_stall".to_string(),
+                self.queue_full_stall.to_json(),
+            ),
+            ("pairing_stall".to_string(), self.pairing_stall.to_json()),
+        ];
+        macro_rules! push_u64 {
+            ($($name:ident),*) => {
+                $( members.push((stringify!($name).to_string(), self.$name.to_json())); )*
+            };
+        }
+        stats_u64_fields!(push_u64);
+        Json::Obj(members)
+    }
+}
+
+impl FromJson for Stats {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        let mut stats = Stats {
+            runtime: field(json, "runtime")?,
+            core_runtimes: field(json, "core_runtimes")?,
+            barrier_stall: field(json, "barrier_stall")?,
+            queue_full_stall: field(json, "queue_full_stall")?,
+            pairing_stall: field(json, "pairing_stall")?,
+            ..Stats::default()
+        };
+        macro_rules! read_u64 {
+            ($($name:ident),*) => {
+                $( stats.$name = field(json, stringify!($name))?; )*
+            };
+        }
+        stats_u64_fields!(read_u64);
+        Ok(stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,7 +187,11 @@ mod tests {
 
     #[test]
     fn miss_rate_basic() {
-        let s = Stats { counter_cache_hits: 3, counter_cache_misses: 1, ..Stats::default() };
+        let s = Stats {
+            counter_cache_hits: 3,
+            counter_cache_misses: 1,
+            ..Stats::default()
+        };
         assert!((s.counter_cache_miss_rate() - 0.25).abs() < 1e-12);
     }
 
@@ -124,5 +209,38 @@ mod tests {
     #[test]
     fn new_sizes_core_vector() {
         assert_eq!(Stats::new(4).core_runtimes.len(), 4);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let s = Stats {
+            runtime: Time::from_ns(123),
+            core_runtimes: vec![Time::from_ns(120), Time::from_ns(123)],
+            nvmm_reads: 1,
+            nvmm_data_writes: 2,
+            nvmm_counter_writes: 3,
+            nvmm_counter_reads: 4,
+            bytes_written: 5,
+            counter_cache_hits: 6,
+            counter_cache_misses: 7,
+            l1_hits: 8,
+            l1_misses: 9,
+            l2_hits: 10,
+            l2_misses: 11,
+            barrier_stall: Time::from_ns(12),
+            queue_full_stall: Time::from_ns(13),
+            counter_atomic_writes: 14,
+            plain_writes: 15,
+            pairing_stalls: 16,
+            pairing_stall: Time::from_ns(17),
+            coalesced_data_writes: 18,
+            coalesced_counter_writes: 19,
+            transactions_committed: 20,
+            counter_cache_writebacks: 21,
+            distinct_lines_written: 22,
+            max_line_writes: 23,
+        };
+        let back = Stats::from_json(&Json::parse(&s.to_json().to_compact()).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -17,6 +17,7 @@ use crate::config::SimConfig;
 use crate::controller::MemoryController;
 use crate::nvmm::NvmmImage;
 use crate::stats::Stats;
+use crate::telemetry::{EpochSampler, Timeline};
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 use nvmm_crypto::LineData;
@@ -44,6 +45,9 @@ pub struct RunOutcome {
     pub crash_time: Option<Time>,
     /// Number of trace events processed before stopping.
     pub events_processed: u64,
+    /// Per-epoch telemetry, present iff
+    /// [`SimConfig::telemetry_epoch`] was set.
+    pub timeline: Option<Timeline>,
 }
 
 /// A cached data line: payload plus the counter-atomic annotation of the
@@ -89,6 +93,7 @@ pub struct System {
     controller: MemoryController,
     stats: Stats,
     events_processed: u64,
+    sampler: Option<EpochSampler>,
 }
 
 impl System {
@@ -108,24 +113,30 @@ impl System {
         let cores = traces.into_iter().map(|t| Core::new(&config, t)).collect();
         let controller = MemoryController::new(&config);
         let stats = Stats::new(config.cores);
-        Self { cfg: config, cores, controller, stats, events_processed: 0 }
+        let sampler = config.telemetry_epoch.map(EpochSampler::new);
+        Self {
+            cfg: config,
+            cores,
+            controller,
+            stats,
+            events_processed: 0,
+            sampler,
+        }
     }
 
     /// Replays all traces, optionally crashing per `crash`.
     pub fn run(mut self, crash: CrashSpec) -> RunOutcome {
         let mut crash_time = None;
-        loop {
-            // Pick the core with the smallest clock that still has work.
-            let Some(ci) = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.done())
-                .min_by_key(|(i, c)| (c.now, *i))
-                .map(|(i, _)| i)
-            else {
-                break;
-            };
+        // Each iteration picks the core with the smallest clock that
+        // still has work.
+        while let Some(ci) = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.done())
+            .min_by_key(|(i, c)| (c.now, *i))
+            .map(|(i, _)| i)
+        {
             if let CrashSpec::AtTime(t) = crash {
                 if self.cores[ci].now >= t {
                     crash_time = Some(t);
@@ -134,6 +145,9 @@ impl System {
             }
             self.step_core(ci);
             self.events_processed += 1;
+            if let Some(sampler) = self.sampler.as_mut() {
+                sampler.observe(self.cores[ci].now, &self.stats, &self.controller);
+            }
             if let CrashSpec::AfterEvent(n) = crash {
                 if self.events_processed > n {
                     crash_time = Some(self.cores[ci].now);
@@ -150,11 +164,16 @@ impl System {
         self.stats.distinct_lines_written = distinct;
         self.stats.max_line_writes = max;
         let image = self.controller.build_image(crash_time);
+        let timeline = self
+            .sampler
+            .take()
+            .map(|s| s.finish(self.stats.runtime, &self.stats, &self.controller));
         RunOutcome {
             stats: self.stats,
             image,
             crash_time,
             events_processed: self.events_processed,
+            timeline,
         }
     }
 
@@ -179,7 +198,10 @@ impl System {
         } else {
             self.stats.l2_misses += 1;
             let (done, data) = self.controller.read(line, t, &mut self.stats);
-            let cached = CachedLine { data, counter_atomic: false };
+            let cached = CachedLine {
+                data,
+                counter_atomic: false,
+            };
             // Fill L2.
             let core = &mut self.cores[ci];
             if let Some(ev) = core.l2.insert(line, cached, false) {
@@ -227,7 +249,11 @@ impl System {
                 let (done, _) = self.fetch_line(ci, line);
                 self.cores[ci].now = done;
             }
-            TraceEvent::Write { line, data, counter_atomic } => {
+            TraceEvent::Write {
+                line,
+                data,
+                counter_atomic,
+            } => {
                 // Write-allocate: ensure residency, then update in L1.
                 let in_l1 = self.cores[ci].l1.peek(&line).is_some();
                 let done = if in_l1 {
@@ -236,7 +262,10 @@ impl System {
                     self.fetch_line(ci, line).0
                 };
                 let core = &mut self.cores[ci];
-                let cached = CachedLine { data, counter_atomic };
+                let cached = CachedLine {
+                    data,
+                    counter_atomic,
+                };
                 if let Some(existing) = core.l1.get_mut(&line, true) {
                     existing.data = data;
                     existing.counter_atomic |= counter_atomic;
@@ -266,7 +295,12 @@ impl System {
                     .peek(&line)
                     .copied()
                     .map(|c| (c, core.l1.is_dirty(&line)))
-                    .or_else(|| core.l2.peek(&line).copied().map(|c| (c, core.l2.is_dirty(&line))));
+                    .or_else(|| {
+                        core.l2
+                            .peek(&line)
+                            .copied()
+                            .map(|c| (c, core.l2.is_dirty(&line)))
+                    });
                 if let Some((cached, dirty)) = newest {
                     if dirty {
                         core.l1.clean(&line);
@@ -321,7 +355,11 @@ mod tests {
     use crate::nvmm::LineRead;
 
     fn write_ev(line: u64, fill: u8, ca: bool) -> TraceEvent {
-        TraceEvent::Write { line: LineAddr(line), data: [fill; 64], counter_atomic: ca }
+        TraceEvent::Write {
+            line: LineAddr(line),
+            data: [fill; 64],
+            counter_atomic: ca,
+        }
     }
 
     fn basic_trace() -> Trace {
@@ -349,7 +387,10 @@ mod tests {
         let key = cfg.key;
         let out = run_to_completion(cfg, vec![basic_trace()]);
         let engine = nvmm_crypto::EncryptionEngine::new(key);
-        assert_eq!(out.image.read_line(LineAddr(1), &engine), LineRead::Clean([0xaa; 64]));
+        assert_eq!(
+            out.image.read_line(LineAddr(1), &engine),
+            LineRead::Clean([0xaa; 64])
+        );
     }
 
     #[test]
@@ -359,7 +400,10 @@ mod tests {
         let out = System::new(cfg, vec![basic_trace()]).run(CrashSpec::AfterEvent(0));
         let engine = nvmm_crypto::EncryptionEngine::new(key);
         // Only the store to L1 happened: nothing reached NVMM.
-        assert_eq!(out.image.read_line(LineAddr(1), &engine), LineRead::Unwritten);
+        assert_eq!(
+            out.image.read_line(LineAddr(1), &engine),
+            LineRead::Unwritten
+        );
     }
 
     #[test]
@@ -369,7 +413,9 @@ mod tests {
         let mut trace = Trace::new();
         trace.push(write_ev(1, 0xaa, false));
         trace.push(TraceEvent::Clwb { line: LineAddr(1) });
-        trace.push(TraceEvent::Compute { duration: Time::from_ns(10_000) });
+        trace.push(TraceEvent::Compute {
+            duration: Time::from_ns(10_000),
+        });
         trace.push(TraceEvent::CounterCacheWriteback { line: LineAddr(1) });
         trace.push(TraceEvent::PersistBarrier);
         let cfg = SimConfig::single_core(Design::Sca);
@@ -378,7 +424,10 @@ mod tests {
         let out = System::new(cfg, vec![trace]).run(CrashSpec::AfterEvent(2));
         let engine = nvmm_crypto::EncryptionEngine::new(key);
         let r = out.image.read_line(LineAddr(1), &engine);
-        assert!(!r.is_clean(), "counter never persisted; decryption must garble");
+        assert!(
+            !r.is_clean(),
+            "counter never persisted; decryption must garble"
+        );
     }
 
     #[test]
@@ -393,7 +442,10 @@ mod tests {
             let out = System::new(cfg, vec![basic_trace()]).run(CrashSpec::AfterEvent(k));
             let engine = nvmm_crypto::EncryptionEngine::new(key);
             let r = out.image.read_line(LineAddr(1), &engine);
-            assert!(r.is_clean(), "FCA must never expose a half pair (crash after event {k})");
+            assert!(
+                r.is_clean(),
+                "FCA must never expose a half pair (crash after event {k})"
+            );
         }
     }
 
@@ -431,13 +483,18 @@ mod tests {
         let out = run_to_completion(SimConfig::single_core(Design::Fca), vec![t]);
         // FCA pairs must be ready before the barrier releases; some stall
         // is expected relative to the bare L1-latency cost.
-        assert!(out.stats.runtime >= Time::from_ns(40), "encrypt + pairing must cost time");
+        assert!(
+            out.stats.runtime >= Time::from_ns(40),
+            "encrypt + pairing must cost time"
+        );
     }
 
     #[test]
     fn compute_advances_clock() {
         let mut t = Trace::new();
-        t.push(TraceEvent::Compute { duration: Time::from_ns(123) });
+        t.push(TraceEvent::Compute {
+            duration: Time::from_ns(123),
+        });
         let out = run_to_completion(SimConfig::single_core(Design::NoEncryption), vec![t]);
         assert_eq!(out.stats.runtime, Time::from_ns(123));
     }
@@ -446,7 +503,9 @@ mod tests {
     fn crash_at_time_stops_replay() {
         let mut t = Trace::new();
         for i in 0..100 {
-            t.push(TraceEvent::Compute { duration: Time::from_ns(10) });
+            t.push(TraceEvent::Compute {
+                duration: Time::from_ns(10),
+            });
             t.push(write_ev(i, i as u8, false));
         }
         let cfg = SimConfig::single_core(Design::Sca);
@@ -464,6 +523,9 @@ mod tests {
             t.push(write_ev(i, 1, false));
         }
         let out = run_to_completion(SimConfig::single_core(Design::NoEncryption), vec![t]);
-        assert!(out.stats.nvmm_data_writes > 0, "cache pressure must cause write-backs");
+        assert!(
+            out.stats.nvmm_data_writes > 0,
+            "cache pressure must cause write-backs"
+        );
     }
 }

@@ -4,13 +4,10 @@
 //! counter. Picosecond resolution lets Table 2's fractional-nanosecond
 //! parameters (e.g. tWTR = 7.5 ns) be represented exactly.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant or duration of simulated time, in picoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
 
 impl Time {
@@ -34,7 +31,10 @@ impl Time {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns_f64(ns: f64) -> Time {
-        assert!(ns.is_finite() && ns >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Time((ns * 1000.0).round() as u64)
     }
 
@@ -80,6 +80,19 @@ impl Sub for Time {
 impl std::fmt::Display for Time {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:.3}ns", self.as_ns_f64())
+    }
+}
+
+impl nvmm_json::ToJson for Time {
+    /// A `Time` serializes as its raw picosecond count.
+    fn to_json(&self) -> nvmm_json::Json {
+        nvmm_json::Json::U64(self.0)
+    }
+}
+
+impl nvmm_json::FromJson for Time {
+    fn from_json(json: &nvmm_json::Json) -> Result<Self, nvmm_json::FromJsonError> {
+        u64::from_json(json).map(Time)
     }
 }
 

@@ -10,10 +10,10 @@
 use crate::addr::LineAddr;
 use crate::time::Time;
 use nvmm_crypto::LineData;
-use serde::{Deserialize, Serialize};
+use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
 
 /// One event in a core's execution trace, in program order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A demand load of one cache line.
     Read {
@@ -26,7 +26,6 @@ pub enum TraceEvent {
         /// Line written.
         line: LineAddr,
         /// Post-store contents of the whole line.
-        #[serde(with = "serde_line")]
         data: LineData,
         /// `true` if the program annotated the destination
         /// `CounterAtomic` (paper §4.3).
@@ -62,21 +61,89 @@ pub enum TraceEvent {
     },
 }
 
-mod serde_line {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(data: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
-        serde::Serialize::serialize(data.as_slice(), s)
+impl ToJson for TraceEvent {
+    /// Events serialize as `{"<variant>": {fields...}}` (or a bare
+    /// string for fieldless variants), mirroring serde's externally
+    /// tagged enum layout.
+    fn to_json(&self) -> Json {
+        let tagged = |tag: &str, fields: Vec<(String, Json)>| {
+            Json::Obj(vec![(tag.to_string(), Json::Obj(fields))])
+        };
+        match self {
+            TraceEvent::Read { line } => tagged("Read", vec![("line".to_string(), line.to_json())]),
+            TraceEvent::Write {
+                line,
+                data,
+                counter_atomic,
+            } => tagged(
+                "Write",
+                vec![
+                    ("line".to_string(), line.to_json()),
+                    ("data".to_string(), data.to_json()),
+                    ("counter_atomic".to_string(), counter_atomic.to_json()),
+                ],
+            ),
+            TraceEvent::Clwb { line } => tagged("Clwb", vec![("line".to_string(), line.to_json())]),
+            TraceEvent::CounterCacheWriteback { line } => tagged(
+                "CounterCacheWriteback",
+                vec![("line".to_string(), line.to_json())],
+            ),
+            TraceEvent::PersistBarrier => Json::Str("PersistBarrier".to_string()),
+            TraceEvent::Compute { duration } => tagged(
+                "Compute",
+                vec![("duration".to_string(), duration.to_json())],
+            ),
+            TraceEvent::TxCommit { id } => {
+                tagged("TxCommit", vec![("id".to_string(), id.to_json())])
+            }
+        }
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
-        let v: Vec<u8> = Deserialize::deserialize(d)?;
-        v.try_into().map_err(|_| serde::de::Error::custom("line must be 64 bytes"))
+impl FromJson for TraceEvent {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        if json.as_str() == Some("PersistBarrier") {
+            return Ok(TraceEvent::PersistBarrier);
+        }
+        let members = json
+            .as_obj()
+            .ok_or_else(|| FromJsonError(format!("expected trace event, got {json}")))?;
+        let (tag, body) = match members {
+            [(tag, body)] => (tag.as_str(), body),
+            _ => {
+                return Err(FromJsonError(
+                    "trace event must have exactly one tag".to_string(),
+                ))
+            }
+        };
+        match tag {
+            "Read" => Ok(TraceEvent::Read {
+                line: field(body, "line")?,
+            }),
+            "Write" => Ok(TraceEvent::Write {
+                line: field(body, "line")?,
+                data: field(body, "data")?,
+                counter_atomic: field(body, "counter_atomic")?,
+            }),
+            "Clwb" => Ok(TraceEvent::Clwb {
+                line: field(body, "line")?,
+            }),
+            "CounterCacheWriteback" => Ok(TraceEvent::CounterCacheWriteback {
+                line: field(body, "line")?,
+            }),
+            "Compute" => Ok(TraceEvent::Compute {
+                duration: field(body, "duration")?,
+            }),
+            "TxCommit" => Ok(TraceEvent::TxCommit {
+                id: field(body, "id")?,
+            }),
+            other => Err(FromJsonError(format!("unknown trace event `{other}`"))),
+        }
     }
 }
 
 /// A complete program-order trace for one core.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -109,12 +176,18 @@ impl Trace {
 
     /// Number of `Write` events.
     pub fn write_count(&self) -> u64 {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::Write { .. })).count() as u64
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Write { .. }))
+            .count() as u64
     }
 
     /// Number of committed transactions recorded.
     pub fn tx_count(&self) -> u64 {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::TxCommit { .. })).count() as u64
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TxCommit { .. }))
+            .count() as u64
     }
 }
 
@@ -126,7 +199,23 @@ impl Extend<TraceEvent> for Trace {
 
 impl FromIterator<TraceEvent> for Trace {
     fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
-        Self { events: iter.into_iter().collect() }
+        Self {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("events".to_string(), self.events.to_json())])
+    }
+}
+
+impl FromJson for Trace {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            events: field(json, "events")?,
+        })
     }
 }
 
@@ -135,7 +224,11 @@ mod tests {
     use super::*;
 
     fn write(line: u64) -> TraceEvent {
-        TraceEvent::Write { line: LineAddr(line), data: [0; 64], counter_atomic: false }
+        TraceEvent::Write {
+            line: LineAddr(line),
+            data: [0; 64],
+            counter_atomic: false,
+        }
     }
 
     #[test]
@@ -157,13 +250,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut t = Trace::new();
         t.push(write(3));
+        t.push(TraceEvent::Read { line: LineAddr(9) });
+        t.push(TraceEvent::Clwb { line: LineAddr(3) });
+        t.push(TraceEvent::CounterCacheWriteback { line: LineAddr(3) });
         t.push(TraceEvent::PersistBarrier);
-        t.push(TraceEvent::Compute { duration: Time::from_ns(10) });
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        t.push(TraceEvent::Compute {
+            duration: Time::from_ns(10),
+        });
+        t.push(TraceEvent::TxCommit { id: 5 });
+        let text = t.to_json().to_compact();
+        let back = Trace::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, t);
     }
 }

@@ -48,6 +48,10 @@ pub struct CaReceipt {
     /// Whether the counter half merged into an existing pending counter
     /// entry.
     pub counter_coalesced: bool,
+    /// How long the submission waited for the serialized pairing
+    /// coordinator (Fig. 7a's dependent-write chaining) before its own
+    /// handshake could begin. Zero when the coordinator was free.
+    pub pairing_wait: Time,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +71,10 @@ struct SlotQueue {
 impl SlotQueue {
     fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        Self { capacity, slots: VecDeque::new() }
+        Self {
+            capacity,
+            slots: VecDeque::new(),
+        }
     }
 
     /// Earliest time at or after `t` a slot is free; consumes the slot.
@@ -87,7 +94,11 @@ impl SlotQueue {
     fn push_drain(&mut self, done: Time) {
         // Keep the deque sorted; drains are near-monotonic so this is
         // usually a push_back.
-        let pos = self.slots.iter().rposition(|&d| d <= done).map_or(0, |p| p + 1);
+        let pos = self
+            .slots
+            .iter()
+            .rposition(|&d| d <= done)
+            .map_or(0, |p| p + 1);
         self.slots.insert(pos, done);
     }
 
@@ -127,7 +138,11 @@ impl WriteQueues {
     fn try_coalesce(&mut self, target: NvmmTarget, t: Time) -> Option<PlainReceipt> {
         let p = self.pending.get(&target)?;
         if p.drain_start > t {
-            Some(PlainReceipt { accepted: t, drained: p.drain_done, coalesced: true })
+            Some(PlainReceipt {
+                accepted: t,
+                drained: p.drain_done,
+                coalesced: true,
+            })
         } else {
             None
         }
@@ -159,9 +174,18 @@ impl WriteQueues {
             NvmmTarget::Counter(_) => &mut self.counter,
         };
         q.push_drain(sched.done);
-        self.pending
-            .insert(target, Pending { drain_start: sched.start, drain_done: sched.done });
-        PlainReceipt { accepted, drained: sched.done, coalesced: false }
+        self.pending.insert(
+            target,
+            Pending {
+                drain_start: sched.start,
+                drain_done: sched.done,
+            },
+        );
+        PlainReceipt {
+            accepted,
+            drained: sched.done,
+            coalesced: false,
+        }
     }
 
     /// Submits a counter-atomic write: a data entry paired with a counter
@@ -186,6 +210,7 @@ impl WriteQueues {
         debug_assert!(matches!(counter_target, NvmmTarget::Counter(_)));
 
         // Dependent on the previous pairing handshake completing.
+        let pairing_wait = self.pairing_free.saturating_sub(t);
         let t = t.max(self.pairing_free);
 
         // The counter half may coalesce into a pending counter-line entry
@@ -225,11 +250,19 @@ impl WriteQueues {
             self.counter.push_drain(d_ctr.done);
             self.pending.insert(
                 counter_target,
-                Pending { drain_start: d_ctr.start, drain_done: d_ctr.done },
+                Pending {
+                    drain_start: d_ctr.start,
+                    drain_done: d_ctr.done,
+                },
             );
             d_data.done.max(d_ctr.done)
         };
-        CaReceipt { ready, drained, counter_coalesced }
+        CaReceipt {
+            ready,
+            drained,
+            counter_coalesced,
+            pairing_wait,
+        }
     }
 
     /// Data-queue occupancy at `t` (for tests and stats).
@@ -251,7 +284,10 @@ mod tests {
 
     fn setup() -> (PcmDevice, WriteQueues) {
         let cfg = SimConfig::single_core(Design::Sca);
-        (PcmDevice::new(&cfg), WriteQueues::new(4, 2, Time::from_ns(150)))
+        (
+            PcmDevice::new(&cfg),
+            WriteQueues::new(4, 2, Time::from_ns(150)),
+        )
     }
 
     fn data(l: u64) -> NvmmTarget {
@@ -274,7 +310,11 @@ mod tests {
     #[test]
     fn full_queue_delays_acceptance() {
         let (mut dev, mut wq) = setup();
-        let mut last = PlainReceipt { accepted: Time::ZERO, drained: Time::ZERO, coalesced: false };
+        let mut last = PlainReceipt {
+            accepted: Time::ZERO,
+            drained: Time::ZERO,
+            coalesced: false,
+        };
         // Fill all 4 slots with same-bank writes so drains serialize.
         for i in 0..5 {
             last = wq.submit_plain(&mut dev, data(i * 8), Time::ZERO);
@@ -326,9 +366,30 @@ mod tests {
         wq.submit_plain(&mut dev, ctr(100), Time::ZERO);
         wq.submit_plain(&mut dev, ctr(200), Time::ZERO);
         let a = wq.submit_counter_atomic(&mut dev, data(1), ctr(1), Time::ZERO);
-        assert!(a.ready > Time::ZERO, "counter queue is full; readiness must wait");
+        assert!(
+            a.ready > Time::ZERO,
+            "counter queue is full; readiness must wait"
+        );
         let b = wq.submit_counter_atomic(&mut dev, data(2), ctr(2), Time::ZERO);
-        assert!(b.ready >= a.ready, "dependent pair must not become ready first");
+        assert!(
+            b.ready >= a.ready,
+            "dependent pair must not become ready first"
+        );
+    }
+
+    #[test]
+    fn ca_pairing_wait_reflects_coordinator_backlog() {
+        let (mut dev, mut wq) = setup();
+        let a = wq.submit_counter_atomic(&mut dev, data(1), ctr(1), Time::ZERO);
+        assert_eq!(a.pairing_wait, Time::ZERO, "coordinator starts free");
+        let b = wq.submit_counter_atomic(&mut dev, data(2), ctr(2), Time::ZERO);
+        assert_eq!(
+            b.pairing_wait, a.ready,
+            "second pair waits out the first handshake"
+        );
+        // A pair arriving after the coordinator drains waits for nothing.
+        let c = wq.submit_counter_atomic(&mut dev, data(3), ctr(3), b.ready + Time::from_ns(1));
+        assert_eq!(c.pairing_wait, Time::ZERO);
     }
 
     #[test]
@@ -357,7 +418,10 @@ mod tests {
         let a = wq.submit_counter_atomic(&mut dev, data(100), ctr(0), Time::ZERO);
         let b = wq.submit_counter_atomic(&mut dev, data(101), ctr(0), Time::ZERO);
         assert!(!a.counter_coalesced);
-        assert!(b.counter_coalesced, "second pair reuses the pending counter entry");
+        assert!(
+            b.counter_coalesced,
+            "second pair reuses the pending counter entry"
+        );
         // Coalesced pair only drains the data half.
         assert!(b.drained >= a.ready);
     }
@@ -372,7 +436,10 @@ mod tests {
             let r = wq.submit_counter_atomic(&mut dev, data(i), ctr(i * 100), Time::ZERO);
             last_ready = r.ready;
         }
-        assert!(last_ready > Time::ZERO, "counter WQ backpressure must delay readiness");
+        assert!(
+            last_ready > Time::ZERO,
+            "counter WQ backpressure must delay readiness"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl ArrayLayout {
 }
 
 /// Executes `ops` swap transactions for `core`.
-pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, ByteAddr, ArrayLayout, usize) {
+pub fn execute(
+    spec: &WorkloadSpec,
+    core: usize,
+    ops: usize,
+) -> (Pmem, UndoLog, ByteAddr, ArrayLayout, usize) {
     let mut s = Scaffold::new(spec, core, 2, 8);
     let slots = (spec.footprint_bytes / 8).max(HOT_SLOTS * 2);
     let base = s.plan.alloc(slots * 8, 64);

@@ -127,7 +127,10 @@ fn store_node(tx: &mut Txn<'_>, layout: &BTreeLayout, idx: u64, n: &Node) {
     }
     if !n.is_leaf {
         for c in 0..=n.nkeys as usize {
-            tx.store_u64(ByteAddr(base.0 + OFF_CHILDREN + 8 * c as u64), n.children[c]);
+            tx.store_u64(
+                ByteAddr(base.0 + OFF_CHILDREN + 8 * c as u64),
+                n.children[c],
+            );
         }
     }
 }
@@ -183,7 +186,10 @@ fn split_child(tx: &mut Txn<'_>, layout: &BTreeLayout, parent_idx: u64, ci: usiz
     let mid = MAX_KEYS / 2;
     let median = left.keys[mid];
     let right_idx = alloc_node(tx, layout);
-    let mut right = Node { is_leaf: left.is_leaf, ..Node::default() };
+    let mut right = Node {
+        is_leaf: left.is_leaf,
+        ..Node::default()
+    };
     right.nkeys = (MAX_KEYS - mid - 1) as u64;
     for k in 0..right.nkeys as usize {
         right.keys[k] = left.keys[mid + 1 + k];
@@ -216,7 +222,16 @@ fn do_insert(tx: &mut Txn<'_>, layout: &BTreeLayout, key: u64) {
     let root = tx.load_u64(layout.root_addr());
     if root == 0 {
         let idx = alloc_node(tx, layout);
-        let node = Node { nkeys: 1, is_leaf: true, keys: { let mut k = [0; MAX_KEYS]; k[0] = key; k }, ..Node::default() };
+        let node = Node {
+            nkeys: 1,
+            is_leaf: true,
+            keys: {
+                let mut k = [0; MAX_KEYS];
+                k[0] = key;
+                k
+            },
+            ..Node::default()
+        };
         store_node(tx, layout, idx, &node);
         tx.store_u64(layout.root_addr(), idx);
         return;
@@ -229,7 +244,11 @@ fn do_insert(tx: &mut Txn<'_>, layout: &BTreeLayout, key: u64) {
         let node = Node {
             nkeys: 0,
             is_leaf: false,
-            children: { let mut c = [0; MAX_KEYS + 1]; c[0] = idx; c },
+            children: {
+                let mut c = [0; MAX_KEYS + 1];
+                c[0] = idx;
+                c
+            },
             ..Node::default()
         };
         store_node(tx, layout, new_root, &node);
@@ -280,15 +299,25 @@ fn do_insert(tx: &mut Txn<'_>, layout: &BTreeLayout, key: u64) {
 }
 
 /// Executes `ops` insert transactions for `core`.
-pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, ByteAddr, BTreeLayout, usize) {
+pub fn execute(
+    spec: &WorkloadSpec,
+    core: usize,
+    ops: usize,
+) -> (Pmem, UndoLog, ByteAddr, BTreeLayout, usize) {
     // Worst case per insert: path of splits — generous bound of 24
     // logged regions of one node each.
     let mut s = Scaffold::new(spec, core, 26, NODE_BYTES);
     // Pool sized by the configured footprint so probe reads span it.
-    let pool_nodes = (2 * spec.ops as u64 + 4).max(16).max(spec.footprint_bytes / NODE_BYTES);
+    let pool_nodes = (2 * spec.ops as u64 + 4)
+        .max(16)
+        .max(spec.footprint_bytes / NODE_BYTES);
     let meta = s.plan.alloc_lines(1);
     let pool = s.plan.alloc(pool_nodes * NODE_BYTES, 64);
-    let layout = BTreeLayout { meta, pool, pool_nodes };
+    let layout = BTreeLayout {
+        meta,
+        pool,
+        pool_nodes,
+    };
 
     // Node 0 is reserved (null); cursor starts at 1.
     s.pm.write_u64(layout.cursor_addr(), 1);
@@ -316,11 +345,16 @@ pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, 
         Scaffold::finish_tx(&mut tx, ops_cell, payload, bytes, op);
         tx.commit();
         s.pm.compute(3500);
-        s.probe_reads(layout.pool, layout.pool_nodes * NODE_BYTES, spec.read_probes);
+        s.probe_reads(
+            layout.pool,
+            layout.pool_nodes * NODE_BYTES,
+            spec.read_probes,
+        );
     }
     (s.pm, s.log, s.ops_cell, layout, setup_events)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk<M: Mem>(
     m: &mut M,
     layout: &BTreeLayout,
@@ -331,16 +365,26 @@ fn walk<M: Mem>(
     leaf_depth: &mut Option<usize>,
     count: &mut u64,
 ) -> Result<(), ConsistencyError> {
-    ensure!(idx != 0 && idx < layout.pool_nodes, "node index {idx} out of pool");
+    ensure!(
+        idx != 0 && idx < layout.pool_nodes,
+        "node index {idx} out of pool"
+    );
     ensure!(depth < 64, "tree deeper than 64: cycle suspected");
     let node = load_node(m, layout, idx);
-    ensure!(node.nkeys as usize <= MAX_KEYS, "node {idx} overfull ({} keys)", node.nkeys);
+    ensure!(
+        node.nkeys as usize <= MAX_KEYS,
+        "node {idx} overfull ({} keys)",
+        node.nkeys
+    );
     ensure!(node.nkeys >= 1, "node {idx} empty");
     let mut prev = lo;
     for k in 0..node.nkeys as usize {
         let key = node.keys[k];
         // Inclusive bounds tolerate duplicate keys adjacent to separators.
-        ensure!(key >= prev && key <= hi, "node {idx} key {key} violates order ({prev}..={hi})");
+        ensure!(
+            key >= prev && key <= hi,
+            "node {idx} key {key} violates order ({prev}..={hi})"
+        );
         prev = key;
     }
     *count += node.nkeys;
@@ -352,8 +396,21 @@ fn walk<M: Mem>(
     } else {
         for c in 0..=node.nkeys as usize {
             let clo = if c == 0 { lo } else { node.keys[c - 1] };
-            let chi = if c == node.nkeys as usize { hi } else { node.keys[c] };
-            walk(m, layout, node.children[c], clo, chi, depth + 1, leaf_depth, count)?;
+            let chi = if c == node.nkeys as usize {
+                hi
+            } else {
+                node.keys[c]
+            };
+            walk(
+                m,
+                layout,
+                node.children[c],
+                clo,
+                chi,
+                depth + 1,
+                leaf_depth,
+                count,
+            )?;
         }
     }
     Ok(())
@@ -377,8 +434,20 @@ pub fn check(
     ensure!(root != 0, "{committed} inserts but null root");
     let mut leaf_depth = None;
     let mut count = 0;
-    walk(&mut m, layout, root, 0, u64::MAX, 0, &mut leaf_depth, &mut count)?;
-    ensure!(count == committed, "tree holds {count} keys, expected {committed}");
+    walk(
+        &mut m,
+        layout,
+        root,
+        0,
+        u64::MAX,
+        0,
+        &mut leaf_depth,
+        &mut count,
+    )?;
+    ensure!(
+        count == committed,
+        "tree holds {count} keys, expected {committed}"
+    );
     Ok(())
 }
 
@@ -422,7 +491,17 @@ mod tests {
         let root = m.load_u64(layout.root_addr());
         let mut leaf_depth = None;
         let mut count = 0;
-        walk(&mut m, &layout, root, 0, u64::MAX, 0, &mut leaf_depth, &mut count).unwrap();
+        walk(
+            &mut m,
+            &layout,
+            root,
+            0,
+            u64::MAX,
+            0,
+            &mut leaf_depth,
+            &mut count,
+        )
+        .unwrap();
         assert_eq!(count, 50);
     }
 
@@ -445,8 +524,21 @@ mod tests {
         let root = m.load_u64(layout.root_addr());
         let mut leaf_depth = None;
         let mut count = 0;
-        walk(&mut m, &layout, root, 0, u64::MAX, 0, &mut leaf_depth, &mut count).unwrap();
+        walk(
+            &mut m,
+            &layout,
+            root,
+            0,
+            u64::MAX,
+            0,
+            &mut leaf_depth,
+            &mut count,
+        )
+        .unwrap();
         assert_eq!(count, 600);
-        assert!(leaf_depth.unwrap() >= 1, "600 keys must not fit in one node");
+        assert!(
+            leaf_depth.unwrap() >= 1,
+            "600 keys must not fit in one node"
+        );
     }
 }

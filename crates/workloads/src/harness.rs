@@ -82,7 +82,15 @@ pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> Executed {
             (pm, log, ops_cell, Layout::Rb(l), s)
         }
     };
-    Executed { pm, log, ops_cell, setup_events, layout, spec: *spec, core }
+    Executed {
+        pm,
+        log,
+        ops_cell,
+        setup_events,
+        layout,
+        spec: *spec,
+        core,
+    }
 }
 
 impl Executed {
@@ -161,11 +169,35 @@ pub fn crash_check_cfg(
     let design = config.design;
     let ex = execute(spec, 0, spec.ops);
     let trace = ex.pm.trace().clone();
-    let trace_events = trace.len() as u64;
     let key = config.key;
     let out = System::new(config, vec![trace]).run(crash);
+    check_recovered_image(spec, &ex, &out, key, design, recovery_window)
+}
 
-    let mut mem = RecoveredMemory::new(out.image, key).with_recovery_window(recovery_window);
+/// The checking half of [`crash_check_cfg`]: given an already-executed
+/// workload and an already-simulated (possibly crashed) run, replays
+/// recovery over the surviving image and verifies consistency.
+///
+/// Splitting this from the simulation lets a sweep generate many crash
+/// images in parallel and replay the recovery checks over them
+/// afterwards (see the `recovery_cost` and `table1` binaries).
+///
+/// # Errors
+///
+/// Returns a [`ConsistencyError`] exactly as [`crash_check_cfg`] does:
+/// when recovery reads a garbled line, a structural invariant fails, or
+/// the recovered bytes deviate from the replayed ground truth.
+pub fn check_recovered_image(
+    spec: &WorkloadSpec,
+    ex: &Executed,
+    out: &RunOutcome,
+    key: [u8; 16],
+    design: Design,
+    recovery_window: u64,
+) -> Result<CrashCheckOutcome, ConsistencyError> {
+    let trace_events = ex.pm.trace().len() as u64;
+    let mut mem =
+        RecoveredMemory::new(out.image.clone(), key).with_recovery_window(recovery_window);
     let report = spec.mechanism.recover(&mut mem, &ex.log);
     ensure!(
         report.reads_clean,
@@ -205,7 +237,11 @@ pub fn crash_check_cfg(
         "checker reads hit garbled lines {:?}",
         mem.garbled_lines()
     );
-    Ok(CrashCheckOutcome { committed, rolled_back: report.rolled_back, trace_events })
+    Ok(CrashCheckOutcome {
+        committed,
+        rolled_back: report.rolled_back,
+        trace_events,
+    })
 }
 
 /// Sweeps `points` evenly spaced crash points across the post-setup

@@ -51,7 +51,11 @@ impl HashLayout {
 }
 
 /// Executes `ops` insert transactions for `core`.
-pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, ByteAddr, HashLayout, usize) {
+pub fn execute(
+    spec: &WorkloadSpec,
+    core: usize,
+    ops: usize,
+) -> (Pmem, UndoLog, ByteAddr, HashLayout, usize) {
     let mut s = Scaffold::new(spec, core, 3, LINE_BYTES);
     // Split the footprint: half buckets, half node pool.
     let buckets = (spec.footprint_bytes / 2 / 8).max(16);
@@ -59,7 +63,13 @@ pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, 
     let buckets_base = s.plan.alloc(buckets * 8, 64);
     let cursor = s.plan.alloc_lines(1);
     let pool = s.plan.alloc_lines(pool_nodes);
-    let layout = HashLayout { buckets_base, buckets, cursor, pool, pool_nodes };
+    let layout = HashLayout {
+        buckets_base,
+        buckets,
+        cursor,
+        pool,
+        pool_nodes,
+    };
 
     // Node index 0 is the null sentinel: start the cursor at 1.
     s.pm.write_u64(cursor, 1);
@@ -118,7 +128,10 @@ pub fn check(
         })
         .collect();
     let cursor = mem.read_u64(layout.cursor);
-    ensure!(cursor == committed + 1, "pool cursor {cursor} != committed {committed} + 1");
+    ensure!(
+        cursor == committed + 1,
+        "pool cursor {cursor} != committed {committed} + 1"
+    );
 
     let mut reachable = 0u64;
     let mut seen = std::collections::HashSet::new();
@@ -129,17 +142,29 @@ pub fn check(
         let mut idx = mem.read_u64(layout.bucket(b));
         while idx != 0 {
             ensure!(idx < layout.pool_nodes, "node index {idx} out of pool");
-            ensure!(seen.insert((b, idx)), "cycle through node {idx} in bucket {b}");
+            ensure!(
+                seen.insert((b, idx)),
+                "cycle through node {idx} in bucket {b}"
+            );
             let node = layout.node(idx);
             let key = mem.read_u64(node);
-            ensure!(layout.bucket_of(key) == b, "node {idx} key {key} in wrong bucket {b}");
+            ensure!(
+                layout.bucket_of(key) == b,
+                "node {idx} key {key} in wrong bucket {b}"
+            );
             let value = mem.read_u64(ByteAddr(node.0 + 8));
-            ensure!(value >= 1 && value <= committed, "node {idx} value {value} out of range");
+            ensure!(
+                value >= 1 && value <= committed,
+                "node {idx} value {value} out of range"
+            );
             reachable += 1;
             idx = mem.read_u64(ByteAddr(node.0 + 16));
         }
     }
-    ensure!(reachable == committed, "{reachable} reachable nodes, expected {committed}");
+    ensure!(
+        reachable == committed,
+        "{reachable} reachable nodes, expected {committed}"
+    );
     Ok(())
 }
 

@@ -55,7 +55,8 @@ pub mod spec;
 mod util;
 
 pub use harness::{
-    crash_check, crash_check_cfg, crash_sweep, execute, run_timed, traces_for_cores, CrashCheckOutcome, Executed,
+    check_recovered_image, crash_check, crash_check_cfg, crash_sweep, execute, run_timed,
+    traces_for_cores, CrashCheckOutcome, Executed,
 };
 pub use spec::{WorkloadKind, WorkloadSpec};
 pub use util::ConsistencyError;

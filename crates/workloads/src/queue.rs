@@ -42,12 +42,20 @@ impl QueueLayout {
 }
 
 /// Executes `ops` random en/dequeue transactions for `core`.
-pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, ByteAddr, QueueLayout, usize) {
+pub fn execute(
+    spec: &WorkloadSpec,
+    core: usize,
+    ops: usize,
+) -> (Pmem, UndoLog, ByteAddr, QueueLayout, usize) {
     let mut s = Scaffold::new(spec, core, 2, LINE_BYTES);
     let capacity = (spec.footprint_bytes / LINE_BYTES).max(8);
     let meta = s.plan.alloc_lines(1);
     let ring = s.plan.alloc_lines(capacity);
-    let layout = QueueLayout { meta, ring, capacity };
+    let layout = QueueLayout {
+        meta,
+        ring,
+        capacity,
+    };
 
     // Everything up to here is setup, persisted before the measured ops.
     let setup_events = s.pm.trace().len();
@@ -92,13 +100,24 @@ pub fn check(
     let head = mem.read_u64(layout.head_addr());
     let tail = mem.read_u64(layout.tail_addr());
     ensure!(head <= tail, "queue head {head} ahead of tail {tail}");
-    ensure!(tail - head <= layout.capacity, "queue over capacity: {} > {}", tail - head, layout.capacity);
-    ensure!(tail <= committed, "tail {tail} exceeds committed op count {committed}");
+    ensure!(
+        tail - head <= layout.capacity,
+        "queue over capacity: {} > {}",
+        tail - head,
+        layout.capacity
+    );
+    ensure!(
+        tail <= committed,
+        "tail {tail} exceeds committed op count {committed}"
+    );
     let _ = spec;
     for i in head..tail {
         let item = mem.read_u64(layout.slot(i));
         ensure!(item != 0, "occupied slot {i} is empty");
-        ensure!(item <= committed, "slot {i} holds id {item} from the future (committed {committed})");
+        ensure!(
+            item <= committed,
+            "slot {i} holds id {item} from the future (committed {committed})"
+        );
     }
     Ok(())
 }

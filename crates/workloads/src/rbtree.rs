@@ -181,7 +181,11 @@ fn do_insert(tx: &mut Txn<'_>, l: &RbLayout, k: u64, value: u64) {
     let mut idx = tx.load(l.root_addr());
     while idx != 0 {
         stack.push(idx);
-        idx = if k < key(tx, l, idx) { left(tx, l, idx) } else { right(tx, l, idx) };
+        idx = if k < key(tx, l, idx) {
+            left(tx, l, idx)
+        } else {
+            right(tx, l, idx)
+        };
     }
     let z = alloc_node(tx, l);
     tx.write_u64(l.field(z, OFF_KEY), k);
@@ -216,9 +220,17 @@ fn do_insert(tx: &mut Txn<'_>, l: &RbLayout, k: u64, value: u64) {
         }
         // Parent is red, so a grandparent exists (root is black).
         let grand = stack[stack.len() - 2];
-        let great = if stack.len() >= 3 { stack[stack.len() - 3] } else { 0 };
+        let great = if stack.len() >= 3 {
+            stack[stack.len() - 3]
+        } else {
+            0
+        };
         let parent_is_left = left(tx, l, grand) == parent;
-        let uncle = if parent_is_left { right(tx, l, grand) } else { left(tx, l, grand) };
+        let uncle = if parent_is_left {
+            right(tx, l, grand)
+        } else {
+            left(tx, l, grand)
+        };
         if color(tx, l, uncle) == RED {
             set_color(tx, l, parent, BLACK);
             set_color(tx, l, uncle, BLACK);
@@ -256,7 +268,11 @@ fn do_insert(tx: &mut Txn<'_>, l: &RbLayout, k: u64, value: u64) {
 }
 
 /// Executes `ops` insert transactions for `core`.
-pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, ByteAddr, RbLayout, usize) {
+pub fn execute(
+    spec: &WorkloadSpec,
+    core: usize,
+    ops: usize,
+) -> (Pmem, UndoLog, ByteAddr, RbLayout, usize) {
     // Path + sibling logging: ~3 nodes per level, depth ≤ 2·log2(n).
     let depth_bound = 2 * (64 - (spec.ops as u64 + 2).leading_zeros() as u64) + 4;
     let mut s = Scaffold::new(spec, core, 3 * depth_bound + 4, LINE_BYTES);
@@ -264,7 +280,11 @@ pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, 
     let pool_nodes = (ops as u64 + 2).max(spec.footprint_bytes / LINE_BYTES);
     let meta = s.plan.alloc_lines(1);
     let pool = s.plan.alloc_lines(pool_nodes);
-    let layout = RbLayout { meta, pool, pool_nodes };
+    let layout = RbLayout {
+        meta,
+        pool,
+        pool_nodes,
+    };
 
     s.pm.write_u64(layout.cursor_addr(), 1);
     s.pm.clwb(layout.cursor_addr(), 8);
@@ -288,7 +308,11 @@ pub fn execute(spec: &WorkloadSpec, core: usize, ops: usize) -> (Pmem, UndoLog, 
         Scaffold::finish_tx(&mut tx, ops_cell, payload, bytes, op);
         tx.commit();
         s.pm.compute(3500);
-        s.probe_reads(layout.pool, layout.pool_nodes * LINE_BYTES, spec.read_probes);
+        s.probe_reads(
+            layout.pool,
+            layout.pool_nodes * LINE_BYTES,
+            spec.read_probes,
+        );
     }
     (s.pm, s.log, s.ops_cell, layout, setup_events)
 }
@@ -310,7 +334,10 @@ fn walk<M: Mem>(
     let k = key(m, l, idx);
     // Bounds are inclusive: duplicate keys route right on insert but may
     // migrate across rotations while preserving in-order adjacency.
-    ensure!(k >= lo && k <= hi, "node {idx} key {k} violates BST order ({lo}..={hi})");
+    ensure!(
+        k >= lo && k <= hi,
+        "node {idx} key {k} violates BST order ({lo}..={hi})"
+    );
     let c = color(m, l, idx);
     ensure!(c == RED || c == BLACK, "node {idx} has invalid color {c}");
     let (lc, rc) = (left(m, l, idx), right(m, l, idx));
@@ -323,7 +350,10 @@ fn walk<M: Mem>(
     *count += 1;
     let bh_l = walk(m, l, lc, lo, k, depth + 1, count)?;
     let bh_r = walk(m, l, rc, k, hi, depth + 1, count)?;
-    ensure!(bh_l == bh_r, "node {idx}: black heights differ ({bh_l} vs {bh_r})");
+    ensure!(
+        bh_l == bh_r,
+        "node {idx}: black heights differ ({bh_l} vs {bh_r})"
+    );
     Ok(bh_l + if c == BLACK { 1 } else { 0 })
 }
 
@@ -345,9 +375,15 @@ pub fn check(
     ensure!(color(mem, layout, root) == BLACK, "root is red");
     let mut count = 0;
     walk(mem, layout, root, 0, u64::MAX, 0, &mut count)?;
-    ensure!(count == committed, "tree holds {count} keys, expected {committed}");
+    ensure!(
+        count == committed,
+        "tree holds {count} keys, expected {committed}"
+    );
     let cursor = mem.read_u64(layout.cursor_addr());
-    ensure!(cursor == committed + 1, "cursor {cursor} != committed {committed} + 1");
+    ensure!(
+        cursor == committed + 1,
+        "cursor {cursor} != committed {committed} + 1"
+    );
     Ok(())
 }
 
@@ -380,7 +416,11 @@ mod tests {
         let mut s = Scaffold::new(&spec, 0, 64, LINE_BYTES);
         let meta = s.plan.alloc_lines(1);
         let pool = s.plan.alloc_lines(128);
-        let layout = RbLayout { meta, pool, pool_nodes: 128 };
+        let layout = RbLayout {
+            meta,
+            pool,
+            pool_nodes: 128,
+        };
         s.pm.write_u64(layout.cursor_addr(), 1);
         for op in 0..100u64 {
             let mut tx = Txn::begin(&mut s.pm, &s.log, op, nvmm_core::txn::Mechanism::UndoLog);
@@ -400,7 +440,11 @@ mod tests {
         let mut s = Scaffold::new(&spec, 0, 64, LINE_BYTES);
         let meta = s.plan.alloc_lines(1);
         let pool = s.plan.alloc_lines(128);
-        let layout = RbLayout { meta, pool, pool_nodes: 128 };
+        let layout = RbLayout {
+            meta,
+            pool,
+            pool_nodes: 128,
+        };
         s.pm.write_u64(layout.cursor_addr(), 1);
         for op in 0..100u64 {
             let mut tx = Txn::begin(&mut s.pm, &s.log, op, nvmm_core::txn::Mechanism::UndoLog);

@@ -8,10 +8,10 @@
 //! committed at each transaction").
 
 use nvmm_core::txn::Mechanism;
-use serde::{Deserialize, Serialize};
+use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
 
 /// The five persistent data-structure workloads of §6.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Swaps random items in a persistent array.
     ArraySwap,
@@ -53,8 +53,24 @@ impl std::fmt::Display for WorkloadKind {
     }
 }
 
+impl ToJson for WorkloadKind {
+    /// A `WorkloadKind` serializes as its figure label (e.g. `"B-Tree"`).
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for WorkloadKind {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        WorkloadKind::ALL
+            .into_iter()
+            .find(|k| Some(k.label()) == json.as_str())
+            .ok_or_else(|| FromJsonError(format!("unknown workload kind {json}")))
+    }
+}
+
 /// Parameters of one workload run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Which data structure to exercise.
     pub kind: WorkloadKind,
@@ -154,6 +170,39 @@ impl WorkloadSpec {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+}
+
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".to_string(), self.kind.to_json()),
+            ("ops".to_string(), self.ops.to_json()),
+            (
+                "footprint_bytes".to_string(),
+                self.footprint_bytes.to_json(),
+            ),
+            ("payload_lines".to_string(), self.payload_lines.to_json()),
+            ("read_probes".to_string(), self.read_probes.to_json()),
+            ("mechanism".to_string(), self.mechanism.to_json()),
+            ("probe_skew".to_string(), self.probe_skew.to_json()),
+            ("seed".to_string(), self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            kind: field(json, "kind")?,
+            ops: field(json, "ops")?,
+            footprint_bytes: field(json, "footprint_bytes")?,
+            payload_lines: field(json, "payload_lines")?,
+            read_probes: field(json, "read_probes")?,
+            mechanism: field(json, "mechanism")?,
+            probe_skew: field(json, "probe_skew")?,
+            seed: field(json, "seed")?,
+        })
     }
 }
 

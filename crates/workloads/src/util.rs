@@ -57,7 +57,12 @@ impl Scaffold {
     /// transaction. The arena is sized from `spec.ops` so the layout is
     /// identical regardless of how many operations actually execute
     /// (recovery checkers re-execute prefixes).
-    pub fn new(spec: &WorkloadSpec, core: usize, max_log_entries: u64, max_entry_bytes: u64) -> Self {
+    pub fn new(
+        spec: &WorkloadSpec,
+        core: usize,
+        max_log_entries: u64,
+        max_entry_bytes: u64,
+    ) -> Self {
         let mut pm = Pmem::for_core(core);
         let mut plan = RegionPlanner::new(pm.region());
         // +1 entry for the ops counter; redo logging stages one entry
@@ -65,14 +70,28 @@ impl Scaffold {
         // structure lines beyond the undo-region count.
         let entries = max_log_entries + spec.payload_lines.max(1) as u64 + 8;
         let log_bytes = UndoLog::layout_bytes(entries, max_entry_bytes.max(LINE_BYTES));
-        let log = UndoLog::new(plan.alloc_lines(log_bytes.div_ceil(LINE_BYTES)), entries, max_entry_bytes.max(LINE_BYTES));
+        let log = UndoLog::new(
+            plan.alloc_lines(log_bytes.div_ceil(LINE_BYTES)),
+            entries,
+            max_entry_bytes.max(LINE_BYTES),
+        );
         let ops_cell = plan.alloc_lines(1);
         let payload_lines = spec.payload_lines.max(1) as u64;
         let payload_bytes = (payload_lines * LINE_BYTES) as usize;
         let payload_arena = plan.alloc_lines(payload_lines * spec.ops.max(1) as u64);
         log.format(&mut pm);
         let rng = StdRng::seed_from_u64(spec.seed ^ (core as u64).wrapping_mul(0x9e37_79b9));
-        Self { pm, plan, log, ops_cell, payload_arena, payload_bytes, rng, skew: spec.probe_skew, mechanism: spec.mechanism }
+        Self {
+            pm,
+            plan,
+            log,
+            ops_cell,
+            payload_arena,
+            payload_bytes,
+            rng,
+            skew: spec.probe_skew,
+            mechanism: spec.mechanism,
+        }
     }
 
     /// The fresh payload slot for transaction `op`.
@@ -91,8 +110,16 @@ impl Scaffold {
     /// Standard transaction epilogue: writes the payload blob (a
     /// deterministic pattern) into the fresh slot and bumps the durable
     /// op counter, then the caller commits.
-    pub fn finish_tx(tx: &mut Txn<'_>, ops_cell: ByteAddr, payload: ByteAddr, bytes: usize, op: u64) {
-        let blob: Vec<u8> = (0..bytes).map(|i| (op as u8).wrapping_add(i as u8)).collect();
+    pub fn finish_tx(
+        tx: &mut Txn<'_>,
+        ops_cell: ByteAddr,
+        payload: ByteAddr,
+        bytes: usize,
+        op: u64,
+    ) {
+        let blob: Vec<u8> = (0..bytes)
+            .map(|i| (op as u8).wrapping_add(i as u8))
+            .collect();
         tx.write(payload, &blob);
         tx.write_u64(ops_cell, op + 1);
     }

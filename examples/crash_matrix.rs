@@ -13,8 +13,13 @@ use nvmm::sim::config::Design;
 use nvmm::workloads::{crash_sweep, WorkloadKind, WorkloadSpec};
 
 fn main() {
-    let designs =
-        [Design::Sca, Design::Fca, Design::CoLocated, Design::CoLocatedCounterCache, Design::UnsafeNoAtomicity];
+    let designs = [
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+        Design::CoLocatedCounterCache,
+        Design::UnsafeNoAtomicity,
+    ];
     println!("crash-consistency matrix (sweeping ~25 crash points per cell)\n");
     print!("{:<10}", "");
     for d in designs {
@@ -41,7 +46,10 @@ fn main() {
         println!();
     }
     println!();
-    assert!(unsafe_failures > 0, "the unsafe baseline must fail somewhere");
+    assert!(
+        unsafe_failures > 0,
+        "the unsafe baseline must fail somewhere"
+    );
     println!(
         "Every counter-atomicity-enforcing design recovered at every crash point;\n\
          the unsafe baseline failed on {unsafe_failures}/5 workloads — decrypting with a stale\n\

@@ -30,7 +30,11 @@ fn main() {
             "  crash after event {k:>6}: {} / {} inserts durable{}",
             outcome.committed,
             spec.ops,
-            if outcome.rolled_back { " (one in-flight insert rolled back)" } else { "" }
+            if outcome.rolled_back {
+                " (one in-flight insert rolled back)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -57,7 +57,10 @@ fn main() {
         "recovery: rolled_back={} reads_clean={} balance={}",
         report.rolled_back, report.reads_clean, recovered
     );
-    assert!(report.reads_clean, "SCA never lets recovery read a garbled line");
+    assert!(
+        report.reads_clean,
+        "SCA never lets recovery read a garbled line"
+    );
     assert!(
         recovered == 100 || recovered == 250 || recovered == 0,
         "balance must be the old value, the new value, or untouched — never garbage"

@@ -55,10 +55,16 @@ fn main() {
                 .run(CrashSpec::AfterEvent(k));
             let mut mem = RecoveredMemory::new(out.image, key);
             let report = mech.recover(&mut mem, &log);
-            assert!(report.reads_clean, "{mech}: crash after event {k} garbled recovery");
+            assert!(
+                report.reads_clean,
+                "{mech}: crash after event {k} garbled recovery"
+            );
             // 0 = crash before the setup write persisted (fresh memory).
             let v = mem.read_u64(balance);
-            assert!(v == 0 || v == 100 || v == 250, "{mech}: inconsistent balance {v} at {k}");
+            assert!(
+                v == 0 || v == 100 || v == 250,
+                "{mech}: inconsistent balance {v} at {k}"
+            );
             if v == 250 && first_committed_at.is_none() {
                 first_committed_at = Some(k);
             }

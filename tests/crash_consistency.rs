@@ -12,8 +12,12 @@ use nvmm::sim::system::CrashSpec;
 use nvmm::workloads::{crash_check, crash_sweep, execute, WorkloadKind, WorkloadSpec};
 
 /// Designs that must survive every crash point.
-const SAFE_DESIGNS: [Design; 4] =
-    [Design::Sca, Design::Fca, Design::CoLocated, Design::CoLocatedCounterCache];
+const SAFE_DESIGNS: [Design; 4] = [
+    Design::Sca,
+    Design::Fca,
+    Design::CoLocated,
+    Design::CoLocatedCounterCache,
+];
 
 #[test]
 fn safe_designs_survive_dense_crash_sweeps_on_every_workload() {
@@ -57,7 +61,10 @@ fn committed_transactions_are_durable() {
     // Crash strictly after the whole run: everything must be present.
     let spec = WorkloadSpec::smoke(WorkloadKind::BTree).with_ops(10);
     let outcome = crash_check(&spec, Design::Sca, CrashSpec::None).expect("consistent");
-    assert_eq!(outcome.committed, 10, "all commits must be durable with no crash");
+    assert_eq!(
+        outcome.committed, 10,
+        "all commits must be durable with no crash"
+    );
     assert!(!outcome.rolled_back);
 }
 
@@ -82,8 +89,14 @@ fn recovered_commit_counts_are_monotonic_in_crash_point() {
     // Crashing after the very last event must see every commit durable.
     let final_outcome =
         crash_check(&spec, Design::Sca, CrashSpec::AfterEvent(total - 1)).expect("consistent");
-    assert!(final_outcome.committed >= last, "monotonicity holds to the end");
-    assert_eq!(final_outcome.committed, 8, "the final crash point must see every commit");
+    assert!(
+        final_outcome.committed >= last,
+        "monotonicity holds to the end"
+    );
+    assert_eq!(
+        final_outcome.committed, 8,
+        "the final crash point must see every commit"
+    );
 }
 
 #[test]
@@ -91,15 +104,21 @@ fn crash_at_wall_clock_times_is_also_safe() {
     let spec = WorkloadSpec::smoke(WorkloadKind::RbTree).with_ops(6);
     // Sample wall-clock instants instead of event indexes.
     for ns in [1_000u64, 5_000, 20_000, 50_000, 100_000] {
-        crash_check(&spec, Design::Sca, CrashSpec::AtTime(nvmm::sim::Time::from_ns(ns)))
-            .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
+        crash_check(
+            &spec,
+            Design::Sca,
+            CrashSpec::AtTime(nvmm::sim::Time::from_ns(ns)),
+        )
+        .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
     }
 }
 
 #[test]
 fn different_seeds_still_recover() {
     for seed in [1u64, 99, 123_456] {
-        let spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap).with_ops(6).with_seed(seed);
+        let spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap)
+            .with_ops(6)
+            .with_seed(seed);
         if let Err((k, e)) = crash_sweep(&spec, Design::Sca, 12) {
             panic!("seed {seed}: crash after event {k}: {e}");
         }
@@ -108,7 +127,9 @@ fn different_seeds_still_recover() {
 
 #[test]
 fn larger_payloads_still_recover() {
-    let spec = WorkloadSpec::smoke(WorkloadKind::Queue).with_ops(4).with_payload_lines(8);
+    let spec = WorkloadSpec::smoke(WorkloadKind::Queue)
+        .with_ops(4)
+        .with_payload_lines(8);
     if let Err((k, e)) = crash_sweep(&spec, Design::Sca, 15) {
         panic!("8-line payload: crash after event {k}: {e}");
     }
@@ -121,7 +142,9 @@ fn redo_logging_is_also_crash_safe_on_every_workload() {
     // sweeps.
     use nvmm::core::txn::Mechanism;
     for kind in WorkloadKind::ALL {
-        let spec = WorkloadSpec::smoke(kind).with_ops(8).with_mechanism(Mechanism::RedoLog);
+        let spec = WorkloadSpec::smoke(kind)
+            .with_ops(8)
+            .with_mechanism(Mechanism::RedoLog);
         for design in [Design::Sca, Design::Fca] {
             if let Err((k, e)) = crash_sweep(&spec, design, 25) {
                 panic!("{kind} redo under {design}: crash after event {k}: {e}");
@@ -135,12 +158,17 @@ fn redo_logging_without_atomicity_is_unsafe_too() {
     use nvmm::core::txn::Mechanism;
     let mut failures = 0;
     for kind in WorkloadKind::ALL {
-        let spec = WorkloadSpec::smoke(kind).with_ops(8).with_mechanism(Mechanism::RedoLog);
+        let spec = WorkloadSpec::smoke(kind)
+            .with_ops(8)
+            .with_mechanism(Mechanism::RedoLog);
         if crash_sweep(&spec, Design::UnsafeNoAtomicity, 40).is_err() {
             failures += 1;
         }
     }
-    assert!(failures >= 3, "most workloads must exhibit the failure under redo too");
+    assert!(
+        failures >= 3,
+        "most workloads must exhibit the failure under redo too"
+    );
 }
 
 #[test]
@@ -162,5 +190,8 @@ fn redo_can_roll_forward_past_the_crash_point() {
             rolled_forward = true;
         }
     }
-    assert!(rolled_forward, "an armed redo log must get applied somewhere in the sweep");
+    assert!(
+        rolled_forward,
+        "an armed redo log must get applied somewhere in the sweep"
+    );
 }

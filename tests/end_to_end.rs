@@ -14,7 +14,12 @@ use nvmm::workloads::{execute, traces_for_cores, WorkloadKind, WorkloadSpec};
 fn full_pipeline_persists_committed_state_for_all_designs() {
     // A two-transaction counter run replayed under every design that is
     // crash-consistent: the final value must always be recoverable.
-    for design in [Design::NoEncryption, Design::Sca, Design::Fca, Design::CoLocated] {
+    for design in [
+        Design::NoEncryption,
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+    ] {
         let mut pm = Pmem::for_core(0);
         let mut plan = RegionPlanner::new(pm.region());
         let log = UndoLog::new(plan.alloc_lines(64), 8, 64);
@@ -33,8 +38,15 @@ fn full_pipeline_persists_committed_state_for_all_designs() {
         let mut mem = RecoveredMemory::new(out.image, key);
         let report = recover_undo_log(&mut mem, &log);
         assert!(report.reads_clean, "{design}: recovery reads must be clean");
-        assert!(!report.rolled_back, "{design}: committed run must not roll back");
-        assert_eq!(mem.read_u64(cell), 222, "{design}: final value must persist");
+        assert!(
+            !report.rolled_back,
+            "{design}: committed run must not roll back"
+        );
+        assert_eq!(
+            mem.read_u64(cell),
+            222,
+            "{design}: final value must persist"
+        );
     }
 }
 
@@ -52,12 +64,17 @@ fn nvmm_image_holds_real_ciphertext() {
     let engine = EncryptionEngine::new(key);
     let mut checked = 0;
     for line in out.image.data_line_addrs() {
-        let Some(plain) = functional_image.get(&line) else { continue };
+        let Some(plain) = functional_image.get(&line) else {
+            continue;
+        };
         if plain.iter().all(|&b| b == 0) {
             continue;
         }
         let raw = out.image.raw_data(line).expect("line is resident");
-        assert_ne!(&raw, plain, "stored bytes must be ciphertext, not plaintext");
+        assert_ne!(
+            &raw, plain,
+            "stored bytes must be ciphertext, not plaintext"
+        );
         if let LineRead::Clean(decrypted) = out.image.read_line(line, &engine) {
             assert_eq!(&decrypted, plain, "decryption must invert encryption");
             checked += 1;
@@ -73,9 +90,17 @@ fn multi_core_runs_are_deterministic() {
         let cfg = SimConfig::table2(Design::Sca, 4);
         let traces = traces_for_cores(&spec, 4);
         let out = System::new(cfg, traces).run(CrashSpec::None);
-        (out.stats.runtime, out.stats.bytes_written, out.stats.nvmm_reads)
+        (
+            out.stats.runtime,
+            out.stats.bytes_written,
+            out.stats.nvmm_reads,
+        )
     };
-    assert_eq!(run(), run(), "identical inputs must produce identical simulations");
+    assert_eq!(
+        run(),
+        run(),
+        "identical inputs must produce identical simulations"
+    );
 }
 
 #[test]
@@ -94,10 +119,14 @@ fn multi_core_crash_recovers_every_core_region() {
     let mut mem = RecoveredMemory::new(out.image, key);
     for ex in [&ex0, &ex1] {
         let report = recover_undo_log(&mut mem, &ex.log);
-        assert!(report.reads_clean, "per-core recovery must read clean lines");
+        assert!(
+            report.reads_clean,
+            "per-core recovery must read clean lines"
+        );
         let committed = mem.read_u64(ex.ops_cell);
         assert!(committed <= spec.ops as u64);
-        ex.check_structure(&mut mem, committed).expect("structure is consistent");
+        ex.check_structure(&mut mem, committed)
+            .expect("structure is consistent");
     }
 }
 
@@ -122,7 +151,12 @@ fn designs_agree_on_functional_outcome() {
         let cell = ex.ops_cell;
         vec![pm.read_u64(cell)]
     };
-    for design in [Design::NoEncryption, Design::Sca, Design::Fca, Design::CoLocated] {
+    for design in [
+        Design::NoEncryption,
+        Design::Sca,
+        Design::Fca,
+        Design::CoLocated,
+    ] {
         let ex = execute(&spec, 0, spec.ops);
         let trace = ex.pm.trace().clone();
         let cfg = SimConfig::single_core(design);

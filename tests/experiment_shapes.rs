@@ -23,10 +23,21 @@ fn encryption_costs_something_but_not_everything() {
     // within ~2x in the evaluated configurations.
     for kind in WorkloadKind::ALL {
         let base = runtime(kind, Design::NoEncryption, 1);
-        for design in [Design::Ideal, Design::Sca, Design::Fca, Design::CoLocatedCounterCache] {
+        for design in [
+            Design::Ideal,
+            Design::Sca,
+            Design::Fca,
+            Design::CoLocatedCounterCache,
+        ] {
             let r = runtime(kind, design, 1) / base;
-            assert!(r > 1.0, "{kind}/{design}: encryption must not be free (got {r:.3})");
-            assert!(r < 2.5, "{kind}/{design}: slowdown {r:.3} is out of the paper's regime");
+            assert!(
+                r > 1.0,
+                "{kind}/{design}: encryption must not be free (got {r:.3})"
+            );
+            assert!(
+                r < 2.5,
+                "{kind}/{design}: slowdown {r:.3} is out of the paper's regime"
+            );
         }
     }
 }
@@ -53,7 +64,10 @@ fn fca_is_slower_than_sca() {
     for kind in WorkloadKind::ALL {
         let sca = runtime(kind, Design::Sca, 1);
         let fca = runtime(kind, Design::Fca, 1);
-        assert!(fca > sca, "{kind}: FCA ({fca}) must be slower than SCA ({sca})");
+        assert!(
+            fca > sca,
+            "{kind}: FCA ({fca}) must be slower than SCA ({sca})"
+        );
     }
 }
 
@@ -63,23 +77,38 @@ fn sca_over_fca_advantage_grows_with_cores() {
     // (6.3% -> 40.3% from 1 to 8 cores in the paper).
     let kind = WorkloadKind::HashTable;
     let gap = |cores: usize| {
-        let sca = run_timed(&spec(kind), Design::Sca, cores).stats.throughput_tps();
-        let fca = run_timed(&spec(kind), Design::Fca, cores).stats.throughput_tps();
+        let sca = run_timed(&spec(kind), Design::Sca, cores)
+            .stats
+            .throughput_tps();
+        let fca = run_timed(&spec(kind), Design::Fca, cores)
+            .stats
+            .throughput_tps();
         sca / fca
     };
     let g1 = gap(1);
     let g4 = gap(4);
     assert!(g1 > 1.0, "SCA must beat FCA at 1 core (got {g1:.3})");
-    assert!(g4 > g1, "the SCA/FCA gap must grow with cores ({g1:.3} -> {g4:.3})");
+    assert!(
+        g4 > g1,
+        "the SCA/FCA gap must grow with cores ({g1:.3} -> {g4:.3})"
+    );
 }
 
 #[test]
 fn multicore_throughput_scales() {
     // Fig. 13: adding cores increases total throughput for SCA.
     let kind = WorkloadKind::ArraySwap;
-    let t1 = run_timed(&spec(kind), Design::Sca, 1).stats.throughput_tps();
-    let t4 = run_timed(&spec(kind), Design::Sca, 4).stats.throughput_tps();
-    assert!(t4 > 2.0 * t1, "4-core SCA should be well above 2x single-core (got {:.2}x)", t4 / t1);
+    let t1 = run_timed(&spec(kind), Design::Sca, 1)
+        .stats
+        .throughput_tps();
+    let t4 = run_timed(&spec(kind), Design::Sca, 4)
+        .stats
+        .throughput_tps();
+    assert!(
+        t4 > 2.0 * t1,
+        "4-core SCA should be well above 2x single-core (got {:.2}x)",
+        t4 / t1
+    );
 }
 
 #[test]
@@ -88,7 +117,10 @@ fn sca_writes_less_than_fca() {
     for kind in WorkloadKind::ALL {
         let sca = traffic(kind, Design::Sca);
         let fca = traffic(kind, Design::Fca);
-        assert!(sca < fca, "{kind}: SCA traffic ({sca}) must be below FCA ({fca})");
+        assert!(
+            sca < fca,
+            "{kind}: SCA traffic ({sca}) must be below FCA ({fca})"
+        );
     }
 }
 
@@ -107,7 +139,10 @@ fn co_located_traffic_is_near_the_widening_tax() {
             (1.05..1.30).contains(&ratio),
             "{kind}: co-located traffic ratio {ratio:.3} should be near 1.125"
         );
-        assert!(co < fca, "{kind}: the widening tax must undercut FCA's counter lines");
+        assert!(
+            co < fca,
+            "{kind}: the widening tax must undercut FCA's counter lines"
+        );
     }
 }
 
@@ -155,13 +190,20 @@ fn faster_reads_magnify_sca_advantage_over_co_located() {
     use nvmm::sim::system::{CrashSpec, System};
     use nvmm::workloads::traces_for_cores;
     let kind = WorkloadKind::BTree;
-    let s = spec(kind).with_ops(400).with_read_probes(48).with_footprint(6 << 20);
+    let s = spec(kind)
+        .with_ops(400)
+        .with_read_probes(48)
+        .with_footprint(6 << 20);
     let traces = traces_for_cores(&s, 1);
     let speedup = |read_factor: f64| {
         let run = |design: Design| {
             let mut cfg = SimConfig::single_core(design);
             cfg.pcm = cfg.pcm.scale_read(read_factor);
-            System::new(cfg, traces.clone()).run(CrashSpec::None).stats.runtime.0 as f64
+            System::new(cfg, traces.clone())
+                .run(CrashSpec::None)
+                .stats
+                .runtime
+                .0 as f64
         };
         run(Design::CoLocated) / run(Design::Sca)
     };

@@ -174,6 +174,9 @@ fn wq_occupancy_is_bounded_by_capacity() {
     for i in 0..50u64 {
         // Distinct lines on purpose (no coalescing).
         let r = wq.submit_plain(&mut dev, NvmmTarget::Data(LineAddr(i * 97)), Time::ZERO);
-        assert!(wq.data_occupancy(r.accepted) <= 4, "occupancy exceeded capacity");
+        assert!(
+            wq.data_occupancy(r.accepted) <= 4,
+            "occupancy exceeded capacity"
+        );
     }
 }

@@ -53,7 +53,10 @@ fn without_windowed_recovery_the_same_runs_still_fail() {
             break;
         }
     }
-    assert!(failed, "bounded lag without candidate search must still garble");
+    assert!(
+        failed,
+        "bounded lag without candidate search must still garble"
+    );
 }
 
 #[test]
@@ -70,7 +73,10 @@ fn too_small_a_window_fails() {
             break;
         }
     }
-    assert!(failed, "a 1-candidate window cannot cover a lag bound of {WINDOW}");
+    assert!(
+        failed,
+        "a 1-candidate window cannot cover a lag bound of {WINDOW}"
+    );
 }
 
 #[test]
@@ -83,8 +89,11 @@ fn stop_loss_pays_with_extra_counter_writes() {
     let spec = WorkloadSpec::smoke(WorkloadKind::BTree).with_ops(10);
     let traces = traces_for_cores(&spec, 1);
 
-    let plain = System::new(SimConfig::single_core(Design::UnsafeNoAtomicity), traces.clone())
-        .run(CrashSpec::None);
+    let plain = System::new(
+        SimConfig::single_core(Design::UnsafeNoAtomicity),
+        traces.clone(),
+    )
+    .run(CrashSpec::None);
     let stopped = System::new(stop_loss_cfg(), traces).run(CrashSpec::None);
     assert!(
         stopped.stats.nvmm_counter_writes > plain.stats.nvmm_counter_writes,
@@ -109,7 +118,8 @@ fn recovery_reports_how_many_counters_it_searched() {
     let mut mem = RecoveredMemory::new(out.image, key).with_recovery_window(WINDOW);
     let _ = spec.mechanism.recover(&mut mem, &ex.log);
     let committed = mem.read_u64(ex.ops_cell);
-    ex.check_structure(&mut mem, committed).expect("stop-loss recovery is consistent");
+    ex.check_structure(&mut mem, committed)
+        .expect("stop-loss recovery is consistent");
     assert!(
         mem.counters_recovered() > 0,
         "a late crash must leave some counters to the candidate search"
