@@ -1,0 +1,253 @@
+//! Adversarial crash-image matrix: model-check every workload × design
+//! cell against the full set of NVMM images ADR can legally leave
+//! behind, not the one pessimistic image per crash point the sweeps in
+//! `crash_consistency.rs` sample.
+//!
+//! For each of the five workloads under {FCA, SCA, write-through
+//! (co-located), crash-unsafe baseline}, crash instants are harvested
+//! from the run's persist windows (`crash_instants`) — the moments
+//! where writes are observably in flight and the enumerator has real
+//! choices. Designs whose writes persist instantly (write-through
+//! co-location, and the unsafe baseline under light traffic) expose no
+//! windows, so those cells fall back to event-aligned crash points
+//! spread across the post-setup trace; the unsafe baseline's stranded
+//! counters are visible there already.
+//!
+//! The binary is self-checking: it exits nonzero unless the
+//! counter-atomic designs (FCA, SCA, write-through) survive every
+//! enumerated image, the unsafe baseline fails somewhere, and the
+//! positive control — SCA with every `counter_cache_writeback()`
+//! stripped — yields at least one violating image.
+//!
+//! Environment knobs, on top of the crate-wide ones:
+//!
+//! * `NVMM_MC_IMAGES` — landing masks materialized per crash instant
+//!   (default 64; exhaustive when the legal space fits).
+//! * `NVMM_MC_SEED` — seed for sampling beyond the bound (default
+//!   `0xadc0ffee`). Fixed seed + fixed bound ⇒ bit-identical results.
+//! * `NVMM_CRASH_POINTS` — crash instants checked per cell (default 6).
+//! * `NVMM_OPS` — transactions per workload (default 6 here; the
+//!   model check replays one simulation per instant × image set).
+//!
+//! The artifact (`target/experiments/crash_matrix.json`) records, per
+//! `workload` row and `design` series, the violation count, plus
+//! `<design>/images`, `<design>/masks`, `<design>/pruned`, and
+//! `<design>/points` metrics; the `cells` array carries the full stats
+//! of each cell's crash-free reference run via the sweep engine.
+
+use nvmm_bench::sweep::{SweepCell, SweepRunner};
+use nvmm_bench::{print_table, Experiment};
+use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::system::CrashSpec;
+use nvmm_workloads::{
+    crash_instants, execute, model_check, ModelCheckOpts, ModelCheckReport, WorkloadKind,
+    WorkloadSpec,
+};
+use std::collections::BTreeMap;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Aggregate of one (workload, design) cell over all its crash points.
+#[derive(Debug, Default, Clone, Copy)]
+struct CellAgg {
+    points: u64,
+    images: u64,
+    masks: u64,
+    pruned: u64,
+    violations: u64,
+    in_flight_points: u64,
+}
+
+impl CellAgg {
+    fn absorb(&mut self, rep: &ModelCheckReport) {
+        self.points += 1;
+        self.images += rep.images_checked as u64;
+        self.masks += rep.stats.masks_explored;
+        self.pruned += rep.stats.groups_pruned as u64;
+        self.violations += rep.violations as u64;
+        if rep.stats.groups > 0 {
+            self.in_flight_points += 1;
+        }
+    }
+}
+
+/// Model-checks one cell: window-derived instants when the design
+/// exposes any, event-aligned fallback points otherwise.
+fn check_cell(
+    spec: &WorkloadSpec,
+    design: Design,
+    opts: &ModelCheckOpts,
+    points: usize,
+) -> CellAgg {
+    let mut agg = CellAgg::default();
+    let instants = crash_instants(spec, design, opts, points);
+    if instants.is_empty() {
+        let ex = execute(spec, 0, spec.ops);
+        let total = ex.pm.trace().len() as u64;
+        let start = ex.setup_events as u64;
+        for i in 1..=points as u64 {
+            let k = start + (total - start) * i / (points as u64 + 1);
+            agg.absorb(&model_check(spec, design, CrashSpec::AfterEvent(k), opts));
+        }
+    } else {
+        for &t in &instants {
+            agg.absorb(&model_check(spec, design, CrashSpec::AtTime(t), opts));
+        }
+    }
+    agg
+}
+
+fn main() {
+    let ops = env_u64("NVMM_OPS", 6) as usize;
+    let points = env_u64("NVMM_CRASH_POINTS", 6) as usize;
+    let opts = ModelCheckOpts {
+        max_images: env_u64("NVMM_MC_IMAGES", 64) as usize,
+        seed: env_u64("NVMM_MC_SEED", ModelCheckOpts::default().seed),
+        ..ModelCheckOpts::default()
+    };
+    let designs = [
+        Design::Fca,
+        Design::Sca,
+        Design::CoLocated,
+        Design::UnsafeNoAtomicity,
+    ];
+
+    // Phase 1: model-check the matrix.
+    let mut matrix: BTreeMap<(String, String), CellAgg> = BTreeMap::new();
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec::smoke(kind).with_ops(ops);
+        for design in designs {
+            let agg = check_cell(&spec, design, &opts, points);
+            matrix.insert((kind.label().to_string(), design.label().to_string()), agg);
+        }
+    }
+
+    // Positive control: an SCA program that forgets its counter-cache
+    // write-backs must be caught by enumeration.
+    let control_spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap).with_ops(ops);
+    let control_opts = ModelCheckOpts {
+        strip_counter_writebacks: true,
+        ..opts
+    };
+    let control = check_cell(&control_spec, Design::Sca, &control_opts, points);
+
+    // Phase 2: one crash-free reference run per cell through the sweep
+    // engine (deduplicated, parallel) so the artifact's `cells` carry
+    // the full stats behind each matrix row.
+    let cells: Vec<SweepCell> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            let spec = WorkloadSpec::smoke(kind).with_ops(ops);
+            designs.map(|design| {
+                SweepCell::new(
+                    kind.label(),
+                    design.label(),
+                    &spec,
+                    SimConfig::single_core(design),
+                )
+            })
+        })
+        .collect();
+    let outs = SweepRunner::from_env().run(cells);
+
+    let mut exp = Experiment::new(
+        "crash_matrix",
+        "violating images per (workload, design) over all ADR-legal crash images",
+    );
+    outs.record_all(&mut exp, |cell, _| {
+        matrix[&(cell.row.clone(), cell.series.clone())].violations as f64
+    });
+    for ((row, series), agg) in &matrix {
+        exp.insert(row, &format!("{series}/images"), agg.images as f64);
+        exp.insert(row, &format!("{series}/masks"), agg.masks as f64);
+        exp.insert(row, &format!("{series}/pruned"), agg.pruned as f64);
+        exp.insert(row, &format!("{series}/points"), agg.points as f64);
+    }
+    exp.insert(
+        control_spec.kind.label(),
+        "SCA w/o ccwb/violations",
+        control.violations as f64,
+    );
+    exp.insert(
+        control_spec.kind.label(),
+        "SCA w/o ccwb/images",
+        control.images as f64,
+    );
+
+    // Report.
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let mut vals = Vec::new();
+        for design in designs {
+            let agg = &matrix[&(kind.label().to_string(), design.label().to_string())];
+            vals.push(agg.violations as f64);
+            vals.push(agg.images as f64);
+        }
+        rows.push((kind.label().to_string(), vals));
+    }
+    print_table(
+        "violating / enumerated images per design",
+        &[
+            "FCA viol", "images", "SCA viol", "images", "WT viol", "images", "unsafe", "images",
+        ],
+        &rows,
+    );
+    println!(
+        "\npositive control (SCA w/o ccwb, {}): {} violating of {} images over {} points",
+        control_spec.kind.label(),
+        control.violations,
+        control.images,
+        control.points
+    );
+
+    // Self-check: the matrix must reproduce the paper's claim.
+    let mut failed = false;
+    for ((row, series), agg) in &matrix {
+        let design = designs
+            .iter()
+            .copied()
+            .find(|d| d.label() == *series)
+            .expect("matrix series is a design label");
+        let safe = design.enforces_counter_atomicity() || design.write_through();
+        if safe && agg.violations > 0 {
+            eprintln!(
+                "FAIL: {row} under {series}: {} violating images",
+                agg.violations
+            );
+            failed = true;
+        }
+        if safe && agg.in_flight_points == 0 && agg.images <= agg.points {
+            // Not fatal — write-through cells legitimately enumerate a
+            // single image per point — but worth surfacing for FCA/SCA.
+            if design.enforces_counter_atomicity() {
+                eprintln!("FAIL: {row} under {series}: no in-flight instants explored");
+                failed = true;
+            }
+        }
+    }
+    let unsafe_total: u64 = matrix
+        .iter()
+        .filter(|((_, s), _)| *s == Design::UnsafeNoAtomicity.label())
+        .map(|(_, a)| a.violations)
+        .sum();
+    if unsafe_total == 0 {
+        eprintln!("FAIL: the crash-unsafe baseline survived every enumerated image");
+        failed = true;
+    }
+    if control.violations == 0 {
+        eprintln!("FAIL: positive control found no violating image");
+        failed = true;
+    }
+
+    let path = exp.save().expect("write results");
+    println!("saved {}", path.display());
+    if failed {
+        std::process::exit(1);
+    }
+    println!("crash matrix clean: counter-atomic designs survive every legal image");
+}

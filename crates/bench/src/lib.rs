@@ -15,6 +15,7 @@
 //! | `fig16`     | Fig. 16 — transaction-size sensitivity |
 //! | `fig17`     | Fig. 17 — NVM latency sensitivity |
 //! | `overhead`  | §6.3.7 — hardware overhead accounting |
+//! | `crash_matrix` | adversarial crash-image model check: five workloads × designs over every ADR-legal image (self-checking; no paper figure) |
 //!
 //! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
 //! prints a human-readable table and writes machine-readable JSON to

@@ -80,6 +80,15 @@ impl Design {
         matches!(self, Design::Fca)
     }
 
+    /// Whether counter state persists write-through with the data — the
+    /// co-located designs carry data and counter in one 72-byte line, so
+    /// a crash can never strand a counter update behind its ciphertext.
+    /// The crash-image model checker (`crash_matrix`) uses this to label
+    /// the write-through column of its design matrix.
+    pub fn write_through(self) -> bool {
+        self.co_located()
+    }
+
     /// Whether `counter_cache_writeback()` flushes dirty counter lines to
     /// the (ADR-protected) counter write queue. `Ideal` ignores it — by
     /// definition it pays *no* counter-atomicity cost, trading away crash

@@ -18,11 +18,20 @@
 //! ## The journal
 //!
 //! Every NVMM write is appended to a journal stamped with the time at
+//! which it was *submitted* to the write-queue complex and the time at
 //! which ADR *guarantees* it (acceptance for plain writes, pair-ready for
 //! counter-atomic writes). A post-crash image is the journal filtered by
 //! `guaranteed_at <= crash_time`, applied in submission order — exactly
 //! the set of entries the paper's ADR drain would persist (§5.2.2 "Steps
 //! During a System Failure").
+//!
+//! The window between submission and guarantee is where ADR makes *no*
+//! promise either way: a crash inside it may or may not have latched the
+//! entry. [`MemoryController::crash_set`] surfaces that in-flight set
+//! (with counter-atomic pairs grouped so they toggle together) for the
+//! [`crate::crashmc`] model checker, which enumerates every image the
+//! hardware could legally leave behind instead of the single
+//! everything-lost image [`MemoryController::build_image`] picks.
 
 use crate::addr::{CounterLineAddr, LineAddr, NvmmTarget};
 use crate::cache::SetAssocCache;
@@ -37,15 +46,28 @@ use nvmm_crypto::engine::EncryptionEngine;
 use nvmm_crypto::LineData;
 use std::collections::HashMap;
 
-/// One persisted NVMM write, with the instant ADR vouches for it.
+/// One persisted NVMM write, with the instant it entered the write-queue
+/// complex and the instant ADR vouches for it.
 #[derive(Debug, Clone)]
-struct JournalRecord {
-    guaranteed_at: Time,
-    op: JournalOp,
+pub(crate) struct JournalRecord {
+    /// When the write was handed to the queues. Between `submitted_at`
+    /// and `guaranteed_at` the entry is *in flight*: ADR neither
+    /// promises nor forbids its persistence across a crash.
+    pub(crate) submitted_at: Time,
+    pub(crate) guaranteed_at: Time,
+    /// Counter-atomic pair id: the data and counter records of one CA
+    /// write share an id and land (or are lost) atomically — the
+    /// ready-bit rule of §5.2.2. `None` for unpaired (plain) writes.
+    pub(crate) pair: Option<u64>,
+    /// The serialization domain whose mechanism produced
+    /// `guaranteed_at`; in-flight landings are prefix-closed within a
+    /// domain (see [`crate::crashmc`]).
+    pub(crate) domain: crate::crashmc::Domain,
+    pub(crate) op: JournalOp,
 }
 
 #[derive(Debug, Clone)]
-enum JournalOp {
+pub(crate) enum JournalOp {
     Plain {
         line: LineAddr,
         data: LineData,
@@ -66,6 +88,53 @@ enum JournalOp {
     },
 }
 
+impl JournalOp {
+    /// Applies this persisted write to an image under construction.
+    pub(crate) fn apply(&self, img: &mut NvmmImage) {
+        match self {
+            JournalOp::Plain { line, data } => img.write_plain(*line, *data),
+            JournalOp::Encrypted {
+                line,
+                ciphertext,
+                counter,
+            } => img.write_encrypted(*line, *ciphertext, *counter),
+            JournalOp::CoLocated {
+                line,
+                ciphertext,
+                counter,
+            } => img.write_co_located(*line, *ciphertext, *counter),
+            JournalOp::CounterLine { cline, counters } => img.write_counter_line(*cline, *counters),
+        }
+    }
+
+    /// The NVMM target this write lands on.
+    pub(crate) fn target(&self) -> NvmmTarget {
+        match self {
+            JournalOp::Plain { line, .. }
+            | JournalOp::Encrypted { line, .. }
+            | JournalOp::CoLocated { line, .. } => NvmmTarget::Data(*line),
+            JournalOp::CounterLine { cline, .. } => NvmmTarget::Counter(*cline),
+        }
+    }
+
+    /// Whether a later persisted `self` fully overwrites everything
+    /// `earlier` would have written — used by the model checker's
+    /// shadowing prune. Same-target full-line writes of the same shape
+    /// qualify; a co-located write additionally updates the in-line
+    /// counter, so only another co-located write covers it.
+    pub(crate) fn covers(&self, earlier: &JournalOp) -> bool {
+        if self.target() != earlier.target() {
+            return false;
+        }
+        match (self, earlier) {
+            (JournalOp::CounterLine { .. }, JournalOp::CounterLine { .. }) => true,
+            (JournalOp::CoLocated { .. }, _) => true,
+            (_, JournalOp::CoLocated { .. }) => false,
+            _ => true,
+        }
+    }
+}
+
 /// The shared memory controller.
 #[derive(Debug)]
 pub struct MemoryController {
@@ -83,6 +152,8 @@ pub struct MemoryController {
     /// source for LLC read misses.
     below_llc: HashMap<LineAddr, LineData>,
     journal: Vec<JournalRecord>,
+    /// Next counter-atomic pair id for journal grouping.
+    next_pair: u64,
     crypto_latency: Time,
     overhead: Time,
     compress_counters: bool,
@@ -115,6 +186,7 @@ impl MemoryController {
             counter_state: HashMap::new(),
             below_llc: HashMap::new(),
             journal: Vec::new(),
+            next_pair: 0,
             crypto_latency: config.crypto_latency,
             overhead: config.controller_overhead,
             compress_counters: config.compress_counters,
@@ -150,6 +222,13 @@ impl MemoryController {
             self.queues.data_occupancy(t),
             self.queues.counter_occupancy(t),
         )
+    }
+
+    /// The instant the write-queue complex is fully drained and the
+    /// pairing coordinator idle (see [`WriteQueues::quiesce_time`]): a
+    /// crash at or after it has an empty in-flight set.
+    pub fn quiesce_time(&self) -> Time {
+        self.queues.quiesce_time()
     }
 
     /// Wear summary over all NVMM writes: (distinct targets written,
@@ -214,7 +293,10 @@ impl MemoryController {
             *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
         }
         self.journal.push(JournalRecord {
+            submitted_at: t,
             guaranteed_at: receipt.accepted,
+            pair: None,
+            domain: crate::crashmc::Domain::CounterQueue,
             op: JournalOp::CounterLine {
                 cline,
                 counters: self.current_counter_line(cline),
@@ -294,7 +376,10 @@ impl MemoryController {
                     *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
                 }
                 self.journal.push(JournalRecord {
+                    submitted_at: t,
                     guaranteed_at: r.accepted,
+                    pair: None,
+                    domain: crate::crashmc::Domain::DataQueue,
                     op: JournalOp::Plain { line, data },
                 });
                 r.accepted
@@ -320,7 +405,10 @@ impl MemoryController {
                     *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1; // widened line
                 }
                 self.journal.push(JournalRecord {
+                    submitted_at: t_enc,
                     guaranteed_at: r.accepted,
+                    pair: None,
+                    domain: crate::crashmc::Domain::DataQueue,
                     op: JournalOp::CoLocated {
                         line,
                         ciphertext: enc.ciphertext,
@@ -397,8 +485,13 @@ impl MemoryController {
             if let Some(cache) = self.counter_cache.as_mut() {
                 cache.clean(&cline);
             }
+            let pair = Some(self.next_pair);
+            self.next_pair += 1;
             self.journal.push(JournalRecord {
+                submitted_at: t_enq,
                 guaranteed_at: r.ready,
+                pair,
+                domain: crate::crashmc::Domain::Pairing,
                 op: JournalOp::Encrypted {
                     line,
                     ciphertext: enc.ciphertext,
@@ -406,7 +499,10 @@ impl MemoryController {
                 },
             });
             self.journal.push(JournalRecord {
+                submitted_at: t_enq,
                 guaranteed_at: r.ready,
+                pair,
+                domain: crate::crashmc::Domain::Pairing,
                 op: JournalOp::CounterLine {
                     cline,
                     counters: self.current_counter_line(cline),
@@ -431,7 +527,10 @@ impl MemoryController {
                 cache.get_mut(&cline, true);
             }
             self.journal.push(JournalRecord {
+                submitted_at: t_enq,
                 guaranteed_at: r.accepted,
+                pair: None,
+                domain: crate::crashmc::Domain::DataQueue,
                 op: JournalOp::Encrypted {
                     line,
                     ciphertext: enc.ciphertext,
@@ -490,24 +589,31 @@ impl MemoryController {
                     continue;
                 }
             }
-            match &rec.op {
-                JournalOp::Plain { line, data } => img.write_plain(*line, *data),
-                JournalOp::Encrypted {
-                    line,
-                    ciphertext,
-                    counter,
-                } => img.write_encrypted(*line, *ciphertext, *counter),
-                JournalOp::CoLocated {
-                    line,
-                    ciphertext,
-                    counter,
-                } => img.write_co_located(*line, *ciphertext, *counter),
-                JournalOp::CounterLine { cline, counters } => {
-                    img.write_counter_line(*cline, *counters)
-                }
-            }
+            rec.op.apply(&mut img);
         }
         img
+    }
+
+    /// The full crash state at `crash_time` for the model checker: every
+    /// guaranteed write plus the in-flight choice groups whose landing
+    /// ADR leaves undefined (see [`crate::crashmc`]). The crash set's
+    /// baseline image (no in-flight entry lands) equals
+    /// [`MemoryController::build_image`] for the same instant.
+    pub fn crash_set(&self, crash_time: Time) -> crate::crashmc::CrashSet {
+        crate::crashmc::CrashSet::from_journal(&self.journal, crash_time)
+    }
+
+    /// The `(submitted_at, guaranteed_at)` window of every journaled
+    /// write whose guarantee arrived strictly after its submission — the
+    /// instants at which a crash leaves that write's landing undefined
+    /// under ADR. Zero-width windows (plain writes accepted immediately)
+    /// are omitted: no crash instant can observe them in flight.
+    pub fn persist_windows(&self) -> Vec<(Time, Time)> {
+        self.journal
+            .iter()
+            .filter(|r| r.guaranteed_at > r.submitted_at)
+            .map(|r| (r.submitted_at, r.guaranteed_at))
+            .collect()
     }
 
     /// The controller's encryption engine (for recovery decryption).

@@ -1,0 +1,736 @@
+//! Adversarial crash-image enumeration: the model checker's view of a
+//! power failure.
+//!
+//! ADR's contract has three regimes for a write at crash time `t`:
+//!
+//! * `guaranteed_at <= t` — the entry was resident with its ready bit
+//!   set; ADR drains it. It is **in** every legal post-crash image.
+//! * `submitted_at > t` — the write never reached the controller; it is
+//!   in **no** legal image.
+//! * `submitted_at <= t < guaranteed_at` — *in flight*. The hardware
+//!   makes no promise: the entry may or may not have latched when power
+//!   failed, so both outcomes are legal.
+//!
+//! [`build_image`](crate::controller::MemoryController::build_image)
+//! picks one point of that space (no in-flight entry lands — the most
+//! pessimistic drain). A [`CrashSet`] instead exposes every *choice
+//! group*: the data and counter records of one counter-atomic write
+//! share a group — the ready-bit pairing of §5.2.2 means they land
+//! atomically or not at all (FCA pairs never tear) — while each
+//! unpaired plain write is a group of its own (SCA's plain data write
+//! and its deferred counter write-back may tear).
+//!
+//! ## Serialization domains
+//!
+//! Choice groups are *not* independent booleans. Each guarantee point
+//! is produced by one of three serialized mechanisms:
+//!
+//! * [`Domain::Pairing`] — the single ready-bit coordinator every
+//!   counter-atomic pair handshakes through, one pair at a time;
+//! * [`Domain::DataQueue`] / [`Domain::CounterQueue`] — FIFO slot
+//!   acceptance into the plain data / counter write queues.
+//!
+//! Within one domain the guarantee points are totally ordered, so "a
+//! later write latched but an earlier one did not" is physically
+//! impossible: a legal image lands a **prefix** of each domain's
+//! in-flight sequence. Distinct domains race independently. Dropping
+//! the prefix rule produces images no hardware can emit — e.g. a later
+//! pair's counter-line snapshot (which already embeds an earlier
+//! pair's counter bump) landing without the earlier pair's data, which
+//! would garble a line FCA in fact protects.
+//!
+//! [`CrashSet::enumerate`] materializes the image for every legal
+//! prefix combination, with two bounds that keep the space tractable:
+//!
+//! * **Shadow pruning** — a choice group whose every write is later
+//!   overwritten by a *guaranteed* full-line write to the same target
+//!   cannot affect the final image; it is fixed instead of explored.
+//! * **A cap with seeded sampling** — when the legal-image count
+//!   exceeds [`EnumOpts::max_images`], a deterministic splitmix64
+//!   stream samples prefix cuts (always including the all-miss and
+//!   all-land corners), so results are bit-identical for a fixed seed
+//!   and bound.
+//!
+//! Images identical at the line level (e.g. two cuts whose differing
+//! entries coalesce to the same bytes) are deduplicated by
+//! [`NvmmImage::fingerprint`].
+
+use crate::controller::{JournalOp, JournalRecord};
+use crate::nvmm::NvmmImage;
+use crate::time::Time;
+use std::collections::{HashMap, HashSet};
+
+/// The serialized hardware mechanism that produced a write's guarantee
+/// point. In-flight landings are prefix-closed within a domain and
+/// independent across domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Domain {
+    /// The single ready-bit pairing coordinator (all CA pairs).
+    Pairing,
+    /// FIFO acceptance into the plain data write queue.
+    DataQueue,
+    /// FIFO acceptance into the plain counter write queue.
+    CounterQueue,
+}
+
+const DOMAINS: [Domain; 3] = [Domain::Pairing, Domain::DataQueue, Domain::CounterQueue];
+
+/// Bounds for one enumeration. Identical opts over an identical
+/// [`CrashSet`] yield identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumOpts {
+    /// Maximum number of landing masks to materialize. Full enumeration
+    /// of the legal-prefix space when it fits, deterministic sampling
+    /// beyond.
+    pub max_images: usize,
+    /// Seed for the sampling stream (unused when exhaustive).
+    pub seed: u64,
+}
+
+impl Default for EnumOpts {
+    fn default() -> Self {
+        Self {
+            max_images: 256,
+            seed: 0xadc0_ffee,
+        }
+    }
+}
+
+/// Which in-flight choice groups land: bit `i` set means group `i`
+/// persisted before power was lost.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LandMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl LandMask {
+    /// The all-miss mask (no in-flight entry lands) over `len` groups.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            bits: vec![0; len.div_ceil(64).max(1)],
+            len,
+        }
+    }
+
+    /// The all-land mask over `len` groups.
+    pub fn ones(len: usize) -> Self {
+        let mut m = Self::zeros(len);
+        for i in 0..len {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Whether group `i` lands.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets whether group `i` lands.
+    pub fn set(&mut self, i: usize, land: bool) {
+        let (w, b) = (i / 64, i % 64);
+        if land {
+            self.bits[w] |= 1 << b;
+        } else {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of groups covered by this mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero groups.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indices of the groups that land, ascending.
+    pub fn landed(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// Number of groups that land.
+    pub fn count_landed(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How one journaled write participates in the crash state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    /// Ready before the crash: in every legal image.
+    Guaranteed,
+    /// In flight: lands iff its choice group's mask bit is set.
+    Choice(usize),
+    /// In flight but shadowed by a later guaranteed write to the same
+    /// target — landing or not yields the same image, so it is fixed
+    /// (as not landing) rather than explored.
+    Pruned,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    op: JournalOp,
+    fate: Fate,
+}
+
+/// The set of NVMM images ADR permits for a crash at one instant.
+#[derive(Debug, Clone)]
+pub struct CrashSet {
+    crash_time: Time,
+    /// Surviving journal prefix (submitted before the crash), in
+    /// submission order.
+    entries: Vec<Entry>,
+    /// Number of active (unpruned) choice groups.
+    groups: usize,
+    /// Choice groups eliminated by shadow pruning.
+    pruned_groups: usize,
+    /// Live group ids per serialization domain, in guarantee order; a
+    /// legal mask lands a prefix of each list. Indexed like [`DOMAINS`];
+    /// lists may be empty.
+    domain_order: Vec<Vec<usize>>,
+}
+
+/// Result of one bounded enumeration.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Line-level-distinct images with the (first) mask that produced
+    /// each. The all-miss baseline is always `images[0]`.
+    pub images: Vec<(LandMask, NvmmImage)>,
+    /// Exploration accounting for reports and artifacts.
+    pub stats: EnumStats,
+}
+
+/// Accounting for one enumeration, suitable for sweep-cell artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Active in-flight choice groups at the crash instant.
+    pub groups: usize,
+    /// Choice groups collapsed by the shadow prune.
+    pub groups_pruned: usize,
+    /// Serialization domains with at least one active group.
+    pub domains: usize,
+    /// Landing masks materialized (before image dedupe).
+    pub masks_explored: u64,
+    /// Line-level-distinct images among them.
+    pub images_unique: usize,
+    /// Whether the full legal-prefix space was covered.
+    pub exhaustive: bool,
+}
+
+impl CrashSet {
+    /// Builds the crash state for a crash at `crash_time` from the
+    /// controller's journal.
+    pub(crate) fn from_journal(journal: &[JournalRecord], crash_time: Time) -> Self {
+        let mut pair_groups: HashMap<u64, usize> = HashMap::new();
+        let mut entries: Vec<Entry> = Vec::new();
+        // Per provisional group: (domain, guarantee point, first entry).
+        let mut info: Vec<(Domain, Time, usize)> = Vec::new();
+        for rec in journal {
+            if rec.submitted_at > crash_time {
+                continue;
+            }
+            let idx = entries.len();
+            let fate = if rec.guaranteed_at <= crash_time {
+                Fate::Guaranteed
+            } else {
+                let g = match rec.pair {
+                    Some(p) => *pair_groups.entry(p).or_insert_with(|| {
+                        info.push((rec.domain, rec.guaranteed_at, idx));
+                        info.len() - 1
+                    }),
+                    None => {
+                        info.push((rec.domain, rec.guaranteed_at, idx));
+                        info.len() - 1
+                    }
+                };
+                Fate::Choice(g)
+            };
+            entries.push(Entry {
+                op: rec.op.clone(),
+                fate,
+            });
+        }
+
+        // Shadow prune: walking backwards, an in-flight write whose
+        // target is fully overwritten by a *later guaranteed* write
+        // cannot influence the image. A group is pruned only when every
+        // member is shadowed (a half-shadowed CA pair still matters).
+        let mut shadowed: Vec<bool> = vec![false; entries.len()];
+        let mut covered: Vec<JournalOp> = Vec::new();
+        for (i, e) in entries.iter().enumerate().rev() {
+            match e.fate {
+                Fate::Guaranteed => covered.push(e.op.clone()),
+                Fate::Choice(_) => {
+                    shadowed[i] = covered.iter().any(|later| later.covers(&e.op));
+                }
+                Fate::Pruned => unreachable!("pruning happens below"),
+            }
+        }
+        let mut group_live: Vec<bool> = vec![false; info.len()];
+        for (i, e) in entries.iter().enumerate() {
+            if let Fate::Choice(g) = e.fate {
+                if !shadowed[i] {
+                    group_live[g] = true;
+                }
+            }
+        }
+        // Renumber the live groups densely so masks stay small.
+        let mut renumber: Vec<Option<usize>> = vec![None; info.len()];
+        let mut live = 0usize;
+        for (g, &alive) in group_live.iter().enumerate() {
+            if alive {
+                renumber[g] = Some(live);
+                live += 1;
+            }
+        }
+        for e in &mut entries {
+            if let Fate::Choice(g) = e.fate {
+                e.fate = match renumber[g] {
+                    Some(n) => Fate::Choice(n),
+                    None => Fate::Pruned,
+                };
+            }
+        }
+        // Guarantee order per domain over the surviving groups. Ties
+        // (identical accept instants) fall back to submission order,
+        // which is the queues' FIFO order.
+        let domain_order = DOMAINS
+            .iter()
+            .map(|&d| {
+                let mut in_domain: Vec<(Time, usize, usize)> = info
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(gd, _, _))| gd == d)
+                    .filter_map(|(g, &(_, at, first))| renumber[g].map(|n| (at, first, n)))
+                    .collect();
+                in_domain.sort_unstable_by_key(|&(at, first, _)| (at, first));
+                in_domain.into_iter().map(|(_, _, n)| n).collect()
+            })
+            .collect();
+        Self {
+            crash_time,
+            entries,
+            groups: live,
+            pruned_groups: info.len() - live,
+            domain_order,
+        }
+    }
+
+    /// The crash instant this set models.
+    pub fn crash_time(&self) -> Time {
+        self.crash_time
+    }
+
+    /// Number of active in-flight choice groups (mask bits).
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Choice groups collapsed by the shadow prune.
+    pub fn pruned_groups(&self) -> usize {
+        self.pruned_groups
+    }
+
+    /// Serialization domains with at least one active group.
+    pub fn domain_count(&self) -> usize {
+        self.domain_order.iter().filter(|d| !d.is_empty()).count()
+    }
+
+    /// Journal entries guaranteed at the crash instant.
+    pub fn guaranteed_len(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.fate == Fate::Guaranteed)
+            .count()
+    }
+
+    /// In-flight journal entries still subject to choice.
+    pub fn in_flight_len(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.fate, Fate::Choice(_)))
+            .count()
+    }
+
+    /// Number of legal images before dedupe: the product over domains of
+    /// (in-flight groups + 1), saturating.
+    pub fn legal_images(&self) -> u64 {
+        self.domain_order
+            .iter()
+            .map(|d| d.len() as u64 + 1)
+            .try_fold(1u64, |a, b| a.checked_mul(b))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Whether `mask` is an image the hardware could emit: within every
+    /// serialization domain the landed groups form a prefix of the
+    /// guarantee order.
+    pub fn is_legal(&self, mask: &LandMask) -> bool {
+        self.domain_order.iter().all(|order| {
+            let prefix = order.iter().take_while(|&&g| mask.get(g)).count();
+            order[prefix..].iter().all(|&g| !mask.get(g))
+        })
+    }
+
+    /// The mask landing the first `cuts[d]` groups of each domain.
+    fn mask_from_cuts(&self, cuts: &[usize]) -> LandMask {
+        let mut m = LandMask::zeros(self.groups);
+        for (order, &cut) in self.domain_order.iter().zip(cuts) {
+            for &g in &order[..cut] {
+                m.set(g, true);
+            }
+        }
+        m
+    }
+
+    /// Masks one legal step smaller than `mask`: each candidate clears
+    /// the last landed group of one domain. Greedy descent over these
+    /// stays inside the legal-image space (unlike clearing arbitrary
+    /// bits).
+    pub fn shrink_candidates(&self, mask: &LandMask) -> Vec<LandMask> {
+        self.domain_order
+            .iter()
+            .filter_map(|order| {
+                let prefix = order.iter().take_while(|&&g| mask.get(g)).count();
+                if prefix == 0 {
+                    return None;
+                }
+                let mut m = mask.clone();
+                m.set(order[prefix - 1], false);
+                Some(m)
+            })
+            .collect()
+    }
+
+    /// Materializes the image for one landing mask, applying surviving
+    /// writes in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` does not cover exactly [`CrashSet::group_count`]
+    /// groups.
+    pub fn image(&self, mask: &LandMask) -> NvmmImage {
+        assert_eq!(mask.len(), self.groups, "mask/group arity mismatch");
+        let mut img = NvmmImage::new();
+        for e in &self.entries {
+            let lands = match e.fate {
+                Fate::Guaranteed => true,
+                Fate::Choice(g) => mask.get(g),
+                Fate::Pruned => false,
+            };
+            if lands {
+                e.op.apply(&mut img);
+            }
+        }
+        img
+    }
+
+    /// The ADR-pessimistic baseline (no in-flight entry lands) —
+    /// identical to `MemoryController::build_image(Some(crash_time))`.
+    pub fn baseline(&self) -> NvmmImage {
+        self.image(&LandMask::zeros(self.groups))
+    }
+
+    /// Enumerates the legal post-crash images within `opts`' bounds.
+    pub fn enumerate(&self, opts: EnumOpts) -> Enumeration {
+        let cap = opts.max_images.max(1) as u64;
+        let total = self.legal_images();
+        let exhaustive = total <= cap;
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut images: Vec<(LandMask, NvmmImage)> = Vec::new();
+        let mut masks_explored = 0u64;
+        let mut consider = |mask: LandMask, images: &mut Vec<(LandMask, NvmmImage)>| {
+            let img = self.image(&mask);
+            if seen.insert(img.fingerprint()) {
+                images.push((mask, img));
+            }
+        };
+        let dims: Vec<usize> = self.domain_order.iter().map(Vec::len).collect();
+        if exhaustive {
+            // Odometer over prefix cuts, all-zeros (the baseline) first.
+            let mut cuts = vec![0usize; dims.len()];
+            'odometer: loop {
+                consider(self.mask_from_cuts(&cuts), &mut images);
+                masks_explored += 1;
+                let mut d = 0;
+                loop {
+                    if d == dims.len() {
+                        break 'odometer;
+                    }
+                    cuts[d] += 1;
+                    if cuts[d] <= dims[d] {
+                        break;
+                    }
+                    cuts[d] = 0;
+                    d += 1;
+                }
+            }
+        } else {
+            // Corners first, then the seeded stream. Cut repeats are
+            // possible and counted — the bound is on work, not coverage.
+            consider(self.mask_from_cuts(&vec![0; dims.len()]), &mut images);
+            consider(self.mask_from_cuts(&dims), &mut images);
+            masks_explored += 2;
+            let mut state = opts.seed;
+            while masks_explored < cap {
+                let cuts: Vec<usize> = dims
+                    .iter()
+                    .map(|&k| (splitmix64(&mut state) % (k as u64 + 1)) as usize)
+                    .collect();
+                consider(self.mask_from_cuts(&cuts), &mut images);
+                masks_explored += 1;
+            }
+        }
+        Enumeration {
+            stats: EnumStats {
+                groups: self.groups,
+                groups_pruned: self.pruned_groups,
+                domains: self.domain_count(),
+                masks_explored,
+                images_unique: images.len(),
+                exhaustive,
+            },
+            images,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineAddr;
+    use crate::config::{Design, SimConfig};
+    use crate::controller::MemoryController;
+    use crate::nvmm::LineRead;
+    use crate::stats::Stats;
+
+    fn ctl(design: Design) -> (MemoryController, Stats) {
+        let cfg = SimConfig::single_core(design);
+        (MemoryController::new(&cfg), Stats::new(1))
+    }
+
+    /// Crash instants straddling every journal transition for `c`.
+    fn probe_times(horizon_ns: u64) -> impl Iterator<Item = Time> {
+        (0..horizon_ns).step_by(7).map(Time::from_ns)
+    }
+
+    #[test]
+    fn baseline_matches_build_image_at_every_instant() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        for i in 0..6u64 {
+            c.writeback(
+                LineAddr(i),
+                [i as u8; 64],
+                false,
+                Time::from_ns(i * 40),
+                &mut s,
+            );
+        }
+        for t in probe_times(2_000) {
+            let set = c.crash_set(t);
+            assert_eq!(
+                set.baseline().fingerprint(),
+                c.build_image(Some(t)).fingerprint(),
+                "all-miss mask must reproduce the single filtered journal at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn fca_pair_never_tears_under_any_mask() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        let data = [0x5au8; 64];
+        c.writeback(LineAddr(3), data, false, Time::from_ns(10), &mut s);
+        for t in probe_times(1_000) {
+            let set = c.crash_set(t);
+            for (mask, img) in set.enumerate(EnumOpts::default()).images {
+                let r = img.read_line(LineAddr(3), c.engine());
+                assert!(
+                    r.is_clean(),
+                    "mask {:?} at {t} exposed a torn pair",
+                    mask.landed()
+                );
+                if !matches!(r, LineRead::Unwritten) {
+                    assert_eq!(r.bytes(), data);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_flight_pair_yields_two_images() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        c.writeback(LineAddr(1), [1; 64], false, Time::from_ns(10), &mut s);
+        // The pair is in flight between submission (t + crypto) and
+        // pair-ready; pick an instant inside the window.
+        let mid = Time::from_ns(60);
+        let set = c.crash_set(mid);
+        assert_eq!(set.group_count(), 1, "one CA pair in flight");
+        assert_eq!(set.in_flight_len(), 2, "pair = data + counter records");
+        assert_eq!(set.legal_images(), 2);
+        let e = set.enumerate(EnumOpts::default());
+        assert!(e.stats.exhaustive);
+        assert_eq!(e.stats.masks_explored, 2);
+        assert_eq!(e.stats.domains, 1);
+        assert_eq!(e.images.len(), 2, "line absent vs pair landed");
+    }
+
+    #[test]
+    fn later_pair_never_lands_without_earlier_pair() {
+        // Two CA pairs through the serialized coordinator, data lines
+        // sharing one counter line: the second pair's counter snapshot
+        // already embeds the first pair's bump, so an image with only
+        // the second pair landed would garble line 1 — and no hardware
+        // can emit it (pair 2's handshake finishes after pair 1's).
+        let (mut c, mut s) = ctl(Design::Fca);
+        c.writeback(LineAddr(1), [1; 64], false, Time::ZERO, &mut s);
+        c.writeback(LineAddr(2), [2; 64], false, Time::from_ns(1), &mut s);
+        // Both submitted (~40 ns), neither ready (first pair ~140 ns).
+        let t = Time::from_ns(100);
+        let set = c.crash_set(t);
+        assert_eq!(set.group_count(), 2, "both pairs in flight");
+        assert_eq!(set.domain_count(), 1, "one pairing coordinator");
+        assert_eq!(set.legal_images(), 3, "prefixes {{}}, {{1}}, {{1,2}}");
+        let e = set.enumerate(EnumOpts::default());
+        assert!(e.stats.exhaustive);
+        assert_eq!(e.stats.masks_explored, 3);
+        for (mask, img) in &e.images {
+            assert!(set.is_legal(mask));
+            assert!(
+                mask.get(0) || !mask.get(1),
+                "prefix closure violated: {:?}",
+                mask.landed()
+            );
+            let r = img.read_line(LineAddr(1), c.engine());
+            assert!(
+                matches!(r, LineRead::Unwritten) || r.is_clean(),
+                "mask {:?} garbled line 1: the independence bug",
+                mask.landed()
+            );
+        }
+    }
+
+    #[test]
+    fn quiesced_crash_has_single_image() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        c.writeback(LineAddr(4), [1; 64], false, Time::ZERO, &mut s);
+        c.writeback(LineAddr(4), [2; 64], false, Time::from_ns(400), &mut s);
+        let set = c.crash_set(c.quiesce_time());
+        assert_eq!(set.group_count(), 0, "no in-flight entries after quiesce");
+        let e = set.enumerate(EnumOpts::default());
+        assert_eq!(e.images.len(), 1);
+        assert_eq!(
+            e.images[0].1.fingerprint(),
+            c.build_image(None).fingerprint(),
+            "the single image is the everything-landed journal"
+        );
+    }
+
+    #[test]
+    fn shadowed_group_is_pruned() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        // Filler pairs back up the serialized pairing coordinator so the
+        // pair under test stays in flight for hundreds of ns.
+        for i in 0..4u64 {
+            c.writeback(LineAddr(100 + i), [0; 64], true, Time::from_ns(i), &mut s);
+        }
+        // The shadowed victim: a CA pair to line 4 whose ready time is
+        // far out, followed by *guaranteed-fast* plain writes covering
+        // both halves — a newer ciphertext for the data line and (via
+        // ccwb) a newer counter line.
+        c.writeback(LineAddr(4), [1; 64], true, Time::from_ns(10), &mut s);
+        c.writeback(LineAddr(4), [2; 64], false, Time::from_ns(20), &mut s);
+        c.counter_writeback(LineAddr(4), Time::from_ns(70), &mut s);
+        let t = Time::from_ns(250);
+        let set = c.crash_set(t);
+        assert!(
+            set.pruned_groups() >= 1,
+            "the covered pair must be pruned (pruned={}, groups={})",
+            set.pruned_groups(),
+            set.group_count()
+        );
+        // Whatever the surviving choice groups do, line 4 is pinned by
+        // the later guaranteed writes: always the newest plaintext.
+        for (mask, img) in set.enumerate(EnumOpts::default()).images {
+            assert_eq!(
+                img.read_line(LineAddr(4), c.engine()),
+                LineRead::Clean([2; 64]),
+                "mask {:?} changed a fully shadowed line",
+                mask.landed()
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let (mut c, mut s) = ctl(Design::Fca);
+        // Back-to-back CA writes chain on the pairing coordinator
+        // (~100 ns per handshake), so a mid-burst crash sees far more
+        // pairs in flight than the cap admits images.
+        for i in 0..100u64 {
+            c.writeback(LineAddr(i), [i as u8; 64], false, Time::from_ns(i), &mut s);
+        }
+        let t = Time::from_ns(600);
+        let set = c.crash_set(t);
+        assert!(
+            set.legal_images() > 64,
+            "need a big in-flight window, got {} groups",
+            set.group_count()
+        );
+        let opts = EnumOpts {
+            max_images: 64,
+            seed: 7,
+        };
+        let a = set.enumerate(opts);
+        let b = set.enumerate(opts);
+        assert!(!a.stats.exhaustive);
+        assert_eq!(a.stats.masks_explored, 64);
+        assert_eq!(a.images.len(), b.images.len());
+        for ((ma, ia), (mb, ib)) in a.images.iter().zip(b.images.iter()) {
+            assert_eq!(ma, mb);
+            assert_eq!(ia.fingerprint(), ib.fingerprint());
+        }
+        for (mask, _) in &a.images {
+            assert!(set.is_legal(mask), "sampled an illegal mask");
+        }
+        // A different seed explores a different sample.
+        let c2 = set.enumerate(EnumOpts {
+            max_images: 64,
+            seed: 8,
+        });
+        assert!(
+            a.images
+                .iter()
+                .zip(c2.images.iter())
+                .any(|(x, y)| x.0 != y.0),
+            "different seeds should sample different masks"
+        );
+    }
+
+    #[test]
+    fn landmask_bit_ops() {
+        let mut m = LandMask::zeros(70);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 70);
+        m.set(0, true);
+        m.set(69, true);
+        assert!(m.get(0) && m.get(69) && !m.get(35));
+        assert_eq!(m.landed(), vec![0, 69]);
+        assert_eq!(m.count_landed(), 2);
+        m.set(69, false);
+        assert_eq!(m.count_landed(), 1);
+        assert_eq!(LandMask::ones(70).count_landed(), 70);
+    }
+}

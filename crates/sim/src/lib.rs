@@ -58,6 +58,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod controller;
+pub mod crashmc;
 pub mod device;
 pub mod nvmm;
 pub mod stats;
@@ -69,6 +70,7 @@ pub mod wq;
 
 pub use addr::{ByteAddr, CounterLineAddr, LineAddr};
 pub use config::{Design, SimConfig};
+pub use crashmc::{CrashSet, EnumOpts, EnumStats, Enumeration, LandMask};
 pub use nvmm::{LineRead, NvmmImage};
 pub use stats::Stats;
 pub use system::{run_to_completion, CrashSpec, RunOutcome, System};

@@ -206,6 +206,46 @@ impl NvmmImage {
         self.data.len()
     }
 
+    /// A 128-bit FNV-1a digest of the image's line-level content: every
+    /// resident data line (bytes + ground-truth counter), counter line,
+    /// and co-located counter, in address order. Two images with the
+    /// same fingerprint persist the same architectural state; the crash
+    /// model checker uses this to collapse mask assignments that
+    /// materialize identical images.
+    pub fn fingerprint(&self) -> u128 {
+        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u128).wrapping_mul(PRIME);
+            }
+        };
+        let mut data: Vec<_> = self.data.iter().collect();
+        data.sort_by_key(|(addr, _)| **addr);
+        for (addr, stored) in data {
+            eat(b"d");
+            eat(&addr.0.to_le_bytes());
+            eat(&stored.bytes);
+            eat(&stored.encrypted_with.to_bytes());
+        }
+        let mut counters: Vec<_> = self.counters.iter().collect();
+        counters.sort_by_key(|(addr, _)| **addr);
+        for (addr, cl) in counters {
+            eat(b"c");
+            eat(&addr.0.to_le_bytes());
+            eat(&cl.to_bytes());
+        }
+        let mut co: Vec<_> = self.co_located.iter().collect();
+        co.sort_by_key(|(addr, _)| **addr);
+        for (addr, ctr) in co {
+            eat(b"o");
+            eat(&addr.0.to_le_bytes());
+            eat(&ctr.to_bytes());
+        }
+        h
+    }
+
     /// Iterates over resident data line addresses.
     pub fn data_line_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.data.keys().copied()

@@ -15,6 +15,7 @@ use crate::addr::LineAddr;
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
 use crate::controller::MemoryController;
+use crate::crashmc::CrashSet;
 use crate::nvmm::NvmmImage;
 use crate::stats::Stats;
 use crate::telemetry::{EpochSampler, Timeline};
@@ -43,6 +44,20 @@ pub struct RunOutcome {
     pub image: NvmmImage,
     /// The instant the crash took effect, if one was injected.
     pub crash_time: Option<Time>,
+    /// The full adversarial crash state at `crash_time`: guaranteed
+    /// writes plus the in-flight choice groups whose landing ADR leaves
+    /// undefined. `image` is its all-miss baseline; the
+    /// [`crate::crashmc`] model checker enumerates the rest. `None`
+    /// when the run completed without a crash.
+    pub crash_set: Option<CrashSet>,
+    /// The `(submitted_at, guaranteed_at)` in-flight window of every
+    /// write whose ADR guarantee arrived strictly after its submission,
+    /// in submission order. A [`CrashSpec::AtTime`] instant inside one
+    /// of these windows observes that write in flight; instants outside
+    /// all of them see a fully determined image. Event-aligned crash
+    /// points ([`CrashSpec::AfterEvent`]) usually skip the windows
+    /// entirely, so adversarial crash-image exploration starts here.
+    pub persist_windows: Vec<(Time, Time)>,
     /// Number of trace events processed before stopping.
     pub events_processed: u64,
     /// Per-epoch telemetry, present iff
@@ -164,6 +179,8 @@ impl System {
         self.stats.distinct_lines_written = distinct;
         self.stats.max_line_writes = max;
         let image = self.controller.build_image(crash_time);
+        let crash_set = crash_time.map(|t| self.controller.crash_set(t));
+        let persist_windows = self.controller.persist_windows();
         let timeline = self
             .sampler
             .take()
@@ -172,6 +189,8 @@ impl System {
             stats: self.stats,
             image,
             crash_time,
+            crash_set,
+            persist_windows,
             events_processed: self.events_processed,
             timeline,
         }

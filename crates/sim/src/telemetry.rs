@@ -436,6 +436,83 @@ mod tests {
     }
 
     #[test]
+    fn run_shorter_than_one_epoch_yields_single_partial_epoch() {
+        // Epoch far wider than the whole run: `observe` never closes
+        // anything and `finish` emits exactly one partial epoch that
+        // covers the run and carries every counter.
+        let out = run_to_completion(telemetry_cfg(Design::Fca, 1_000_000), vec![busy_trace(6)]);
+        let tl = out.timeline.expect("telemetry enabled");
+        assert!(
+            out.stats.runtime < Time::from_ns(1_000_000),
+            "trace must fit inside one epoch for this edge case"
+        );
+        assert_eq!(tl.epochs.len(), 1, "one partial epoch covers the run");
+        let e = &tl.epochs[0];
+        assert_eq!(e.start, Time::ZERO);
+        assert_eq!(e.end, out.stats.runtime);
+        assert_eq!(tl.total(|e| e.bytes_written), out.stats.bytes_written);
+        assert_eq!(tl.total(|e| e.nvmm_data_writes), out.stats.nvmm_data_writes);
+        assert_eq!(
+            tl.total(|e| e.nvmm_counter_writes),
+            out.stats.nvmm_counter_writes
+        );
+    }
+
+    #[test]
+    fn crash_on_exact_epoch_boundary_reconciles() {
+        // Crash at an instant that is an exact multiple of the epoch
+        // width: interior epochs still close on boundaries and the
+        // truncated run's totals still reconcile.
+        let epoch = Time::from_ns(100);
+        let out = System::new(telemetry_cfg(Design::Fca, 100), vec![busy_trace(40)])
+            .run(CrashSpec::AtTime(Time::from_ns(300)));
+        assert_eq!(
+            out.crash_time,
+            Some(Time::from_ns(300)),
+            "crash lands exactly on the third boundary"
+        );
+        let tl = out.timeline.expect("telemetry enabled");
+        for w in tl.epochs.windows(2) {
+            assert_eq!(
+                w[0].end.0 % epoch.0,
+                0,
+                "interior epoch must end on a boundary"
+            );
+        }
+        assert_eq!(tl.total(|e| e.bytes_written), out.stats.bytes_written);
+        assert_eq!(tl.total(|e| e.pairing_stalls), out.stats.pairing_stalls);
+        assert_eq!(
+            tl.total(|e| e.nvmm_data_writes + e.nvmm_counter_writes),
+            out.stats.nvmm_data_writes + out.stats.nvmm_counter_writes
+        );
+    }
+
+    #[test]
+    fn boundary_instant_closes_epoch_exactly_once() {
+        // Observing exactly on a boundary closes that epoch; finishing
+        // at the same instant must not double-count the activity — the
+        // trailing zero-width epoch carries no deltas (it survives
+        // elision only to report residual queue depth).
+        let cfg = SimConfig::single_core(Design::Sca);
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        let mut sampler = EpochSampler::new(Time::from_ns(100));
+        c.writeback(LineAddr(1), [1; 64], false, Time::from_ns(10), &mut s);
+        sampler.observe(Time::from_ns(100), &s, &c);
+        let tl = sampler.finish(Time::from_ns(100), &s, &c);
+        assert_eq!(tl.total(|e| e.bytes_written), s.bytes_written);
+        assert_eq!(tl.total(|e| e.nvmm_data_writes), s.nvmm_data_writes);
+        assert_eq!(tl.epochs[0].start, Time::ZERO);
+        assert_eq!(tl.epochs[0].end, Time::from_ns(100));
+        for e in &tl.epochs {
+            if e.start == e.end {
+                assert_eq!(e.bytes_written, 0, "zero-width epoch must carry no deltas");
+                assert_eq!(e.nvmm_data_writes, 0);
+            }
+        }
+    }
+
+    #[test]
     fn sample_and_timeline_json_roundtrip() {
         let out = run_to_completion(telemetry_cfg(Design::Fca, 150), vec![busy_trace(20)]);
         let tl = out.timeline.unwrap();

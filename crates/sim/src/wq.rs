@@ -274,6 +274,35 @@ impl WriteQueues {
     pub fn counter_occupancy(&self, t: Time) -> usize {
         self.counter.occupancy_at(t)
     }
+
+    /// Data-queue slot capacity.
+    pub fn data_capacity(&self) -> usize {
+        self.data.capacity
+    }
+
+    /// Counter-queue slot capacity.
+    pub fn counter_capacity(&self) -> usize {
+        self.counter.capacity
+    }
+
+    /// How long a counter-atomic submission arriving at `t` would wait
+    /// for the serialized pairing coordinator. Everything submitted
+    /// before the coordinator frees is in flight: its ready bit is not
+    /// set yet, so a crash may or may not persist it — the in-flight
+    /// window the crash model checker enumerates over.
+    pub fn pairing_backlog(&self, t: Time) -> Time {
+        self.pairing_free.saturating_sub(t)
+    }
+
+    /// The instant every accepted entry has finished draining and the
+    /// pairing coordinator is idle. A crash at or after this time has an
+    /// empty in-flight set: exactly one legal post-crash image.
+    pub fn quiesce_time(&self) -> Time {
+        let drain = |q: &SlotQueue| q.slots.back().copied().unwrap_or(Time::ZERO);
+        drain(&self.data)
+            .max(drain(&self.counter))
+            .max(self.pairing_free)
+    }
 }
 
 #[cfg(test)]

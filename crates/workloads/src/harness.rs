@@ -29,6 +29,7 @@ use nvmm_core::undo::UndoLog;
 use nvmm_sim::addr::ByteAddr;
 use nvmm_sim::config::{Design, SimConfig};
 use nvmm_sim::system::{CrashSpec, RunOutcome, System};
+use nvmm_sim::time::Time;
 use nvmm_sim::trace::Trace;
 
 /// A functionally executed workload instance for one core.
@@ -195,9 +196,27 @@ pub fn check_recovered_image(
     design: Design,
     recovery_window: u64,
 ) -> Result<CrashCheckOutcome, ConsistencyError> {
+    check_image(spec, ex, &out.image, key, design, recovery_window)
+}
+
+/// The image-level core of [`check_recovered_image`]: runs the full
+/// recovery protocol against *one* NVMM image, wherever it came from —
+/// a simulated run's single filtered journal, or one member of the
+/// adversarial crash-image set the [`model_check`] enumerator explores.
+///
+/// # Errors
+///
+/// Returns a [`ConsistencyError`] exactly as [`check_recovered_image`].
+pub fn check_image(
+    spec: &WorkloadSpec,
+    ex: &Executed,
+    image: &nvmm_sim::NvmmImage,
+    key: [u8; 16],
+    design: Design,
+    recovery_window: u64,
+) -> Result<CrashCheckOutcome, ConsistencyError> {
     let trace_events = ex.pm.trace().len() as u64;
-    let mut mem =
-        RecoveredMemory::new(out.image.clone(), key).with_recovery_window(recovery_window);
+    let mut mem = RecoveredMemory::new(image.clone(), key).with_recovery_window(recovery_window);
     let report = spec.mechanism.recover(&mut mem, &ex.log);
     ensure!(
         report.reads_clean,
@@ -266,6 +285,288 @@ pub fn crash_sweep(
         k += step;
     }
     Ok(outcomes)
+}
+
+/// Bounds and switches for one adversarial model-check run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelCheckOpts {
+    /// Landing masks to materialize per crash instant (full `2^k`
+    /// enumeration when it fits, deterministic seeded sampling beyond).
+    pub max_images: usize,
+    /// Seed for the sampling stream.
+    pub seed: u64,
+    /// Osiris-style counter-recovery window (0 = disabled), as in
+    /// [`crash_check_cfg`].
+    pub recovery_window: u64,
+    /// Drop every `counter_cache_writeback()` from the trace before
+    /// simulation — the positive-control bug: an SCA program that
+    /// forgets the flush must yield at least one violating image.
+    pub strip_counter_writebacks: bool,
+}
+
+impl Default for ModelCheckOpts {
+    fn default() -> Self {
+        Self {
+            max_images: 128,
+            seed: 0xadc0_ffee,
+            recovery_window: 0,
+            strip_counter_writebacks: false,
+        }
+    }
+}
+
+/// The workload trace as one model-check run will replay it (with the
+/// counter-cache write-backs stripped when the positive-control switch
+/// is on).
+fn prepared_trace(ex: &Executed, opts: &ModelCheckOpts) -> Trace {
+    let trace = ex.pm.trace().clone();
+    if !opts.strip_counter_writebacks {
+        return trace;
+    }
+    trace
+        .events()
+        .iter()
+        .filter(|e| !matches!(e, nvmm_sim::TraceEvent::CounterCacheWriteback { .. }))
+        .cloned()
+        .collect()
+}
+
+/// Crash instants at which at least one write is observably in flight,
+/// harvested from a completed (crash-free) run's persist windows: the
+/// midpoint of each post-setup window, deduplicated and evenly thinned
+/// to at most `limit`. Event-aligned crash points almost always fall
+/// outside the in-flight windows (the core clock trails the controller
+/// pipeline), so these are the instants where adversarial enumeration
+/// actually has choices to explore; feed them to [`model_check`] as
+/// [`CrashSpec::AtTime`]. Instants inside the setup phase are excluded
+/// for the same reason crash sweeps skip it: the checkers deliberately
+/// do not model a crash before the structure exists.
+pub fn crash_instants(
+    spec: &WorkloadSpec,
+    design: Design,
+    opts: &ModelCheckOpts,
+    limit: usize,
+) -> Vec<Time> {
+    crash_instants_cfg(spec, SimConfig::single_core(design), opts, limit)
+}
+
+/// [`crash_instants`] with a caller-supplied configuration.
+pub fn crash_instants_cfg(
+    spec: &WorkloadSpec,
+    config: SimConfig,
+    opts: &ModelCheckOpts,
+    limit: usize,
+) -> Vec<Time> {
+    let ex = execute(spec, 0, spec.ops);
+    let trace = prepared_trace(&ex, opts);
+    // The setup boundary as an instant: the core clock right after the
+    // last setup event of the prepared trace (stripping ccwb events
+    // shifts the boundary index).
+    let setup_events = if opts.strip_counter_writebacks {
+        ex.pm.trace().events()[..ex.setup_events]
+            .iter()
+            .filter(|e| !matches!(e, nvmm_sim::TraceEvent::CounterCacheWriteback { .. }))
+            .count()
+    } else {
+        ex.setup_events
+    };
+    let setup_end = if setup_events == 0 {
+        Time::ZERO
+    } else {
+        System::new(config.clone(), vec![trace.clone()])
+            .run(CrashSpec::AfterEvent(setup_events as u64 - 1))
+            .crash_time
+            .unwrap_or(Time::ZERO)
+    };
+    let out = System::new(config, vec![trace]).run(CrashSpec::None);
+    let mut mids: Vec<Time> = out
+        .persist_windows
+        .iter()
+        .map(|&(s, g)| Time::from_ps(s.0 + (g.0 - s.0) / 2))
+        .filter(|&m| m >= setup_end)
+        .collect();
+    mids.sort_unstable();
+    mids.dedup();
+    if limit == 0 || mids.len() <= limit {
+        return mids;
+    }
+    // Even stride over the sorted midpoints keeps coverage spread across
+    // the whole run rather than clustered at its start.
+    (0..limit).map(|i| mids[i * mids.len() / limit]).collect()
+}
+
+/// The smallest failing landing-set found for a violating crash state,
+/// plus the error it produces — the model checker's stand-in for
+/// proptest shrinking (the vendored `proptest` does not shrink).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimalViolation {
+    /// Choice groups that land in the minimal failing image (empty when
+    /// the ADR-pessimistic baseline itself fails).
+    pub landed: Vec<usize>,
+    /// The consistency error that image produces.
+    pub error: ConsistencyError,
+}
+
+/// Outcome of model-checking every enumerated crash image at one crash
+/// instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCheckReport {
+    /// Enumeration accounting (groups, pruning, masks, dedupe).
+    pub stats: nvmm_sim::EnumStats,
+    /// Line-level-distinct images fed through the recovery oracle.
+    pub images_checked: usize,
+    /// Images on which the recovery protocol failed.
+    pub violations: usize,
+    /// Whether the all-miss baseline (the image [`crash_check`] would
+    /// test) is itself a violation.
+    pub baseline_violation: bool,
+    /// Greedily minimized failing landing-set, when any image violated.
+    pub minimal: Option<MinimalViolation>,
+}
+
+impl ModelCheckReport {
+    /// `true` when every enumerated image recovered cleanly.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Model-checks one crash instant: enumerates every ADR-legal post-crash
+/// image within `opts`' bounds and runs the full recovery protocol
+/// ([`check_image`]) over each. Where [`crash_check`] samples the single
+/// pessimistic image, this is the paper's universal claim made
+/// executable: *no* legal image may fail recovery.
+pub fn model_check(
+    spec: &WorkloadSpec,
+    design: Design,
+    crash: CrashSpec,
+    opts: &ModelCheckOpts,
+) -> ModelCheckReport {
+    model_check_cfg(spec, SimConfig::single_core(design), crash, opts)
+}
+
+/// [`model_check`] with a caller-supplied configuration.
+pub fn model_check_cfg(
+    spec: &WorkloadSpec,
+    config: SimConfig,
+    crash: CrashSpec,
+    opts: &ModelCheckOpts,
+) -> ModelCheckReport {
+    let design = config.design;
+    let key = config.key;
+    let ex = execute(spec, 0, spec.ops);
+    let trace = prepared_trace(&ex, opts);
+    let out = System::new(config, vec![trace]).run(crash);
+    match out.crash_set {
+        Some(set) => check_crash_set(spec, &ex, &set, key, design, opts),
+        None => {
+            // Completed run: exactly one legal image.
+            let verdict = check_image(spec, &ex, &out.image, key, design, opts.recovery_window);
+            let failed = verdict.is_err();
+            ModelCheckReport {
+                stats: nvmm_sim::EnumStats {
+                    groups: 0,
+                    groups_pruned: 0,
+                    domains: 0,
+                    masks_explored: 1,
+                    images_unique: 1,
+                    exhaustive: true,
+                },
+                images_checked: 1,
+                violations: failed as usize,
+                baseline_violation: failed,
+                minimal: verdict.err().map(|error| MinimalViolation {
+                    landed: Vec::new(),
+                    error,
+                }),
+            }
+        }
+    }
+}
+
+/// The checking half of [`model_check_cfg`]: verifies an
+/// already-captured crash state against an already-executed workload.
+/// Split out so a sweep can simulate many crash cells in parallel and
+/// replay the enumerated checks afterwards (see the `crash_matrix`
+/// binary).
+pub fn check_crash_set(
+    spec: &WorkloadSpec,
+    ex: &Executed,
+    set: &nvmm_sim::CrashSet,
+    key: [u8; 16],
+    design: Design,
+    opts: &ModelCheckOpts,
+) -> ModelCheckReport {
+    let en = set.enumerate(nvmm_sim::EnumOpts {
+        max_images: opts.max_images,
+        seed: opts.seed,
+    });
+    let mut violations = 0usize;
+    let mut baseline_violation = false;
+    let mut first_fail: Option<(nvmm_sim::LandMask, ConsistencyError)> = None;
+    for (i, (mask, img)) in en.images.iter().enumerate() {
+        if let Err(error) = check_image(spec, ex, img, key, design, opts.recovery_window) {
+            violations += 1;
+            // `images[0]` is always the all-miss baseline.
+            baseline_violation |= i == 0;
+            if first_fail.is_none() {
+                first_fail = Some((mask.clone(), error));
+            }
+        }
+    }
+    let minimal = first_fail.map(|(mask, error)| {
+        minimize_violation(
+            spec,
+            ex,
+            set,
+            key,
+            design,
+            opts.recovery_window,
+            mask,
+            error,
+        )
+    });
+    ModelCheckReport {
+        stats: en.stats,
+        images_checked: en.images.len(),
+        violations,
+        baseline_violation,
+        minimal,
+    }
+}
+
+/// Greedy mask minimization: repeatedly step to a smaller *legal* mask
+/// (each candidate drops the last landed group of one serialization
+/// domain) while the image keeps failing, until no step fails.
+#[allow(clippy::too_many_arguments)]
+fn minimize_violation(
+    spec: &WorkloadSpec,
+    ex: &Executed,
+    set: &nvmm_sim::CrashSet,
+    key: [u8; 16],
+    design: Design,
+    recovery_window: u64,
+    mut mask: nvmm_sim::LandMask,
+    mut error: ConsistencyError,
+) -> MinimalViolation {
+    loop {
+        let mut improved = false;
+        for cand in set.shrink_candidates(&mask) {
+            if let Err(e) = check_image(spec, ex, &set.image(&cand), key, design, recovery_window) {
+                mask = cand;
+                error = e;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    MinimalViolation {
+        landed: mask.landed(),
+        error,
+    }
 }
 
 #[cfg(test)]

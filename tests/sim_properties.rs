@@ -147,6 +147,92 @@ proptest! {
         prop_assert_eq!(e.decrypt(addr, &ca, Counter(ctr)), pa);
     }
 
+    /// Pairing invariants under arbitrary interleavings of plain and
+    /// counter-atomic submissions: occupancy never exceeds capacity in
+    /// either queue, the ready-bit backlog never underflows (it decays
+    /// to exactly zero at the quiesce instant), and readiness chains
+    /// monotonically.
+    #[test]
+    fn wq_mixed_fill_drain_ready_invariants(
+        submissions in proptest::collection::vec(
+            (0u64..64, prop::bool::ANY, 0u64..500), 1..80),
+    ) {
+        let cfg = SimConfig::single_core(Design::Sca);
+        let mut dev = PcmDevice::new(&cfg);
+        let mut wq = WriteQueues::new(8, 4, Time::from_ns(100));
+        let mut t = Time::ZERO;
+        let mut last_ready = Time::ZERO;
+        for (line, counter_atomic, gap_ns) in submissions {
+            t += Time::from_ns(gap_ns);
+            let probe = if counter_atomic {
+                let r = wq.submit_counter_atomic(
+                    &mut dev,
+                    NvmmTarget::Data(LineAddr(line)),
+                    NvmmTarget::Counter(CounterLineAddr(line / 8)),
+                    t,
+                );
+                prop_assert!(r.ready >= last_ready, "ready bits must chain");
+                last_ready = r.ready;
+                r.ready
+            } else {
+                wq.submit_plain(&mut dev, NvmmTarget::Data(LineAddr(line)), t).accepted
+            };
+            prop_assert!(
+                wq.data_occupancy(probe) <= wq.data_capacity(),
+                "data queue over capacity"
+            );
+            prop_assert!(
+                wq.counter_occupancy(probe) <= wq.counter_capacity(),
+                "counter queue over capacity"
+            );
+        }
+        // The backlog decays to zero, never below: at quiesce the queues
+        // are drained, the coordinator is free, and both stay that way.
+        let q = wq.quiesce_time();
+        prop_assert_eq!(wq.pairing_backlog(q), Time::ZERO);
+        prop_assert_eq!(wq.data_occupancy(q), 0);
+        prop_assert_eq!(wq.counter_occupancy(q), 0);
+        prop_assert_eq!(wq.pairing_backlog(q + Time::from_ns(1)), Time::ZERO);
+        prop_assert!(q >= last_ready, "quiesce cannot precede the last ready bit");
+    }
+
+    /// The ready-bit pairing rule, end to end: drive the controller with
+    /// random counter-atomic write sequences, crash at random instants,
+    /// and enumerate every legal image — no image may expose a data line
+    /// whose counter half is missing (a half-persisted pair).
+    #[test]
+    fn fca_random_sequences_never_expose_half_pair(
+        writes in proptest::collection::vec((0u64..24, 0u64..200), 1..24),
+        crash_ns in 0u64..4000,
+    ) {
+        use nvmm::sim::controller::MemoryController;
+        use nvmm::sim::crashmc::EnumOpts;
+        use nvmm::sim::stats::Stats;
+        let cfg = SimConfig::single_core(Design::Fca);
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        let mut t = Time::ZERO;
+        let mut latest: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (i, &(line, gap_ns)) in writes.iter().enumerate() {
+            t += Time::from_ns(gap_ns);
+            c.writeback(LineAddr(line), [i as u8; 64], false, t, &mut s);
+            latest.insert(line, i as u8);
+        }
+        let set = c.crash_set(Time::from_ns(crash_ns));
+        let en = set.enumerate(EnumOpts { max_images: 32, ..EnumOpts::default() });
+        for (mask, img) in &en.images {
+            prop_assert!(set.is_legal(mask));
+            for &line in latest.keys() {
+                let r = img.read_line(LineAddr(line), c.engine());
+                prop_assert!(
+                    r.is_clean() || matches!(r, nvmm::sim::nvmm::LineRead::Unwritten),
+                    "mask {:?} at {crash_ns}ns exposed a half pair on line {line}: {r:?}",
+                    mask.landed()
+                );
+            }
+        }
+    }
+
     /// Replay determinism over arbitrary small workload shapes: two
     /// replays of the same trace agree on every statistic.
     #[test]
