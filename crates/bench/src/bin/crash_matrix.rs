@@ -4,20 +4,24 @@
 //! `crash_consistency.rs` sample.
 //!
 //! For each of the five workloads under {FCA, SCA, write-through
-//! (co-located), crash-unsafe baseline}, crash instants are harvested
-//! from the run's persist windows (`crash_instants`) — the moments
-//! where writes are observably in flight and the enumerator has real
-//! choices. Designs whose writes persist instantly (write-through
-//! co-location, and the unsafe baseline under light traffic) expose no
-//! windows, so those cells fall back to event-aligned crash points
-//! spread across the post-setup trace; the unsafe baseline's stranded
-//! counters are visible there already.
+//! (co-located), crash-unsafe baseline} plus the integrity designs
+//! {SCA+strict, SCA+lazy}, crash instants are harvested from the run's
+//! persist windows (`crash_instants`) — the moments where writes are
+//! observably in flight and the enumerator has real choices. Designs
+//! whose writes persist instantly (write-through co-location, and the
+//! unsafe baseline under light traffic) expose no windows, so those
+//! cells fall back to event-aligned crash points spread across the
+//! post-setup trace; the unsafe baseline's stranded counters are
+//! visible there already. The integrity cells run each image through
+//! the MAC/tree oracle (`verify_image`) on top of the recovery
+//! protocol.
 //!
 //! The binary is self-checking: it exits nonzero unless the
-//! counter-atomic designs (FCA, SCA, write-through) survive every
-//! enumerated image, the unsafe baseline fails somewhere, and the
-//! positive control — SCA with every `counter_cache_writeback()`
-//! stripped — yields at least one violating image.
+//! counter-atomic designs (FCA, SCA, write-through) and both integrity
+//! designs survive every enumerated image, the unsafe baseline fails
+//! somewhere, and the positive control — SCA with every
+//! `counter_cache_writeback()` stripped — yields at least one
+//! violating image.
 //!
 //! Environment knobs, on top of the crate-wide ones:
 //!
@@ -37,10 +41,10 @@
 
 use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{print_table, Experiment};
-use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::config::{Design, IntegrityPolicy, SimConfig};
 use nvmm_sim::system::CrashSpec;
 use nvmm_workloads::{
-    crash_instants, execute, model_check, ModelCheckOpts, ModelCheckReport, WorkloadKind,
+    crash_instants_cfg, execute, model_check_cfg, ModelCheckOpts, ModelCheckReport, WorkloadKind,
     WorkloadSpec,
 };
 use std::collections::BTreeMap;
@@ -76,30 +80,63 @@ impl CellAgg {
     }
 }
 
-/// Model-checks one cell: window-derived instants when the design
-/// exposes any, event-aligned fallback points otherwise.
+/// Model-checks one cell: window-derived instants when the
+/// configuration exposes any, event-aligned fallback points otherwise.
 fn check_cell(
     spec: &WorkloadSpec,
-    design: Design,
+    cfg: &SimConfig,
     opts: &ModelCheckOpts,
     points: usize,
 ) -> CellAgg {
     let mut agg = CellAgg::default();
-    let instants = crash_instants(spec, design, opts, points);
+    let instants = crash_instants_cfg(spec, cfg.clone(), opts, points);
     if instants.is_empty() {
         let ex = execute(spec, 0, spec.ops);
         let total = ex.pm.trace().len() as u64;
         let start = ex.setup_events as u64;
         for i in 1..=points as u64 {
             let k = start + (total - start) * i / (points as u64 + 1);
-            agg.absorb(&model_check(spec, design, CrashSpec::AfterEvent(k), opts));
+            agg.absorb(&model_check_cfg(
+                spec,
+                cfg.clone(),
+                CrashSpec::AfterEvent(k),
+                opts,
+            ));
         }
     } else {
         for &t in &instants {
-            agg.absorb(&model_check(spec, design, CrashSpec::AtTime(t), opts));
+            agg.absorb(&model_check_cfg(
+                spec,
+                cfg.clone(),
+                CrashSpec::AtTime(t),
+                opts,
+            ));
         }
     }
     agg
+}
+
+/// The matrix columns: each is a display label plus the configuration
+/// model-checked under it. The first four are the paper's designs; the
+/// last two put the integrity subsystem's persistence policies on top
+/// of SCA.
+fn columns() -> Vec<(String, SimConfig)> {
+    let mut cols: Vec<(String, SimConfig)> = [
+        Design::Fca,
+        Design::Sca,
+        Design::CoLocated,
+        Design::UnsafeNoAtomicity,
+    ]
+    .into_iter()
+    .map(|d| (d.label().to_string(), SimConfig::single_core(d)))
+    .collect();
+    for p in [IntegrityPolicy::Strict, IntegrityPolicy::Lazy] {
+        cols.push((
+            format!("SCA+{p}"),
+            SimConfig::single_core(Design::Sca).with_integrity(p),
+        ));
+    }
+    cols
 }
 
 fn main() {
@@ -110,20 +147,15 @@ fn main() {
         seed: env_u64("NVMM_MC_SEED", ModelCheckOpts::default().seed),
         ..ModelCheckOpts::default()
     };
-    let designs = [
-        Design::Fca,
-        Design::Sca,
-        Design::CoLocated,
-        Design::UnsafeNoAtomicity,
-    ];
+    let columns = columns();
 
     // Phase 1: model-check the matrix.
     let mut matrix: BTreeMap<(String, String), CellAgg> = BTreeMap::new();
     for kind in WorkloadKind::ALL {
         let spec = WorkloadSpec::smoke(kind).with_ops(ops);
-        for design in designs {
-            let agg = check_cell(&spec, design, &opts, points);
-            matrix.insert((kind.label().to_string(), design.label().to_string()), agg);
+        for (label, cfg) in &columns {
+            let agg = check_cell(&spec, cfg, &opts, points);
+            matrix.insert((kind.label().to_string(), label.clone()), agg);
         }
     }
 
@@ -134,7 +166,12 @@ fn main() {
         strip_counter_writebacks: true,
         ..opts
     };
-    let control = check_cell(&control_spec, Design::Sca, &control_opts, points);
+    let control = check_cell(
+        &control_spec,
+        &SimConfig::single_core(Design::Sca),
+        &control_opts,
+        points,
+    );
 
     // Phase 2: one crash-free reference run per cell through the sweep
     // engine (deduplicated, parallel) so the artifact's `cells` carry
@@ -143,14 +180,10 @@ fn main() {
         .iter()
         .flat_map(|&kind| {
             let spec = WorkloadSpec::smoke(kind).with_ops(ops);
-            designs.map(|design| {
-                SweepCell::new(
-                    kind.label(),
-                    design.label(),
-                    &spec,
-                    SimConfig::single_core(design),
-                )
-            })
+            columns
+                .iter()
+                .map(|(label, cfg)| SweepCell::new(kind.label(), label, &spec, cfg.clone()))
+                .collect::<Vec<_>>()
         })
         .collect();
     let outs = SweepRunner::from_env().run(cells);
@@ -179,23 +212,35 @@ fn main() {
         control.images as f64,
     );
 
-    // Report.
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
-        let mut vals = Vec::new();
-        for design in designs {
-            let agg = &matrix[&(kind.label().to_string(), design.label().to_string())];
-            vals.push(agg.violations as f64);
-            vals.push(agg.images as f64);
-        }
-        rows.push((kind.label().to_string(), vals));
-    }
-    print_table(
+    // Report: the paper's designs, then the integrity designs.
+    let table = |title: &str, labels: &[&(String, SimConfig)], series: &[&str]| {
+        let rows: Vec<(String, Vec<f64>)> = WorkloadKind::ALL
+            .iter()
+            .map(|kind| {
+                let vals = labels
+                    .iter()
+                    .flat_map(|(label, _)| {
+                        let agg = &matrix[&(kind.label().to_string(), label.clone())];
+                        [agg.violations as f64, agg.images as f64]
+                    })
+                    .collect();
+                (kind.label().to_string(), vals)
+            })
+            .collect();
+        print_table(title, series, &rows);
+    };
+    let cols: Vec<&(String, SimConfig)> = columns.iter().collect();
+    table(
         "violating / enumerated images per design",
+        &cols[..4],
         &[
             "FCA viol", "images", "SCA viol", "images", "WT viol", "images", "unsafe", "images",
         ],
-        &rows,
+    );
+    table(
+        "violating / enumerated images per integrity design",
+        &cols[4..],
+        &["strict viol", "images", "lazy viol", "images"],
     );
     println!(
         "\npositive control (SCA w/o ccwb, {}): {} violating of {} images over {} points",
@@ -205,14 +250,15 @@ fn main() {
         control.points
     );
 
-    // Self-check: the matrix must reproduce the paper's claim.
+    // Self-check: the matrix must reproduce the paper's claim, and the
+    // integrity designs (counter-atomic SCA underneath) inherit it.
     let mut failed = false;
     for ((row, series), agg) in &matrix {
-        let design = designs
+        let design = columns
             .iter()
-            .copied()
-            .find(|d| d.label() == *series)
-            .expect("matrix series is a design label");
+            .find(|(label, _)| label == series)
+            .map(|(_, cfg)| cfg.design)
+            .expect("matrix series is a column label");
         let safe = design.enforces_counter_atomicity() || design.write_through();
         if safe && agg.violations > 0 {
             eprintln!(
@@ -223,7 +269,8 @@ fn main() {
         }
         if safe && agg.in_flight_points == 0 && agg.images <= agg.points {
             // Not fatal — write-through cells legitimately enumerate a
-            // single image per point — but worth surfacing for FCA/SCA.
+            // single image per point — but worth surfacing for FCA/SCA
+            // and the integrity designs riding on SCA.
             if design.enforces_counter_atomicity() {
                 eprintln!("FAIL: {row} under {series}: no in-flight instants explored");
                 failed = true;

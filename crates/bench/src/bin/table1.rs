@@ -53,8 +53,16 @@ fn main() {
     let mut ok = 0u64;
     let mut rolled_back = 0u64;
     for (cell, out) in outs.iter() {
-        let outcome = check_recovered_image(&spec, &ex, out, key, Design::Sca, 0)
-            .unwrap_or_else(|e| panic!("crash after event {}: {e}", cell.series));
+        let outcome = check_recovered_image(
+            &spec,
+            &ex,
+            out,
+            key,
+            Design::Sca,
+            nvmm_sim::IntegritySpec::disabled(),
+            0,
+        )
+        .unwrap_or_else(|e| panic!("crash after event {}: {e}", cell.series));
         ok += 1;
         if outcome.rolled_back {
             rolled_back += 1;

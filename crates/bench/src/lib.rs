@@ -15,13 +15,14 @@
 //! | `fig16`     | Fig. 16 — transaction-size sensitivity |
 //! | `fig17`     | Fig. 17 — NVM latency sensitivity |
 //! | `overhead`  | §6.3.7 — hardware overhead accounting |
-//! | `crash_matrix` | adversarial crash-image model check: five workloads × designs over every ADR-legal image (self-checking; no paper figure) |
+//! | `crash_matrix` | adversarial crash-image model check: five workloads × designs (including SCA+strict / SCA+lazy integrity) over every ADR-legal image (self-checking; no paper figure) |
+//! | `fig_integrity` | integrity-policy cost: runtime and metadata write amplification of mac-only / lazy / strict on top of SCA (self-checking; no paper figure) |
 //!
 //! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
 //! prints a human-readable table and writes machine-readable JSON to
 //! `target/experiments/` — the plotted `rows` plus a `cells` array
 //! carrying the full [`Stats`] (and optional
-//! [`Timeline`](nvmm_sim::telemetry::Timeline)) behind every number.
+//! [`nvmm_sim::telemetry::Timeline`]) behind every number.
 //!
 //! The binaries enumerate their grids as [`sweep::SweepCell`]s and run
 //! them through the [`sweep`] engine, which caches functional

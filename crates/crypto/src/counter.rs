@@ -40,6 +40,23 @@ impl Counter {
         self.0 == 0
     }
 
+    /// The next per-line counter value, skipping the reserved
+    /// [`Counter::ZERO`] on wraparound.
+    ///
+    /// Per-line minor counters are bumped on every write-back; after
+    /// 2^64 − 1 bumps the successor of `u64::MAX` would be 0, which
+    /// would make a heavily written line indistinguishable from a line
+    /// that was *never* written — recovery would then accept a garbled
+    /// read as "unwritten". A real design re-keys the region when a
+    /// counter saturates; the model keeps the reserved value reserved
+    /// by wrapping to 1.
+    pub fn bump(self) -> Counter {
+        match self.0.checked_add(1) {
+            Some(next) => Counter(next),
+            None => Counter(1),
+        }
+    }
+
     /// The little-endian on-NVMM encoding of this counter.
     pub fn to_bytes(self) -> [u8; COUNTER_BYTES] {
         self.0.to_le_bytes()
@@ -203,6 +220,19 @@ mod tests {
     }
 
     #[test]
+    fn bump_is_increment_off_the_boundary() {
+        assert_eq!(Counter(1).bump(), Counter(2));
+        assert_eq!(Counter::ZERO.bump(), Counter(1));
+    }
+
+    #[test]
+    fn bump_wraps_past_reserved_zero() {
+        // Wraparound must never alias "never written".
+        assert_eq!(Counter(u64::MAX).bump(), Counter(1));
+        assert!(!Counter(u64::MAX).bump().is_unwritten());
+    }
+
+    #[test]
     fn slot_mapping_examples() {
         assert_eq!(
             counter_slot_for(0),
@@ -266,6 +296,31 @@ mod tests {
         fn distinct_lines_distinct_slots(a in 0u64..100_000, b in 0u64..100_000) {
             prop_assume!(a != b);
             prop_assert_ne!(counter_slot_for(a), counter_slot_for(b));
+        }
+
+        /// The inverse direction of the bijection: every legal
+        /// `(counter line, slot)` pair maps to exactly one data line,
+        /// and mapping back recovers the pair — together with
+        /// `counter_mapping_bijective` this pins the data-line ↔
+        /// `(line, slot)` mapping as a bijection from both sides.
+        #[test]
+        fn slot_mapping_bijective_inverse(
+            counter_line in 0u64..1_000_000,
+            slot in 0usize..COUNTERS_PER_LINE,
+        ) {
+            let s = CounterSlot { counter_line, slot };
+            let data_line = data_line_for(s);
+            prop_assert_eq!(counter_slot_for(data_line), s);
+        }
+
+        /// Fresh counters never alias the reserved "never written"
+        /// value, no matter where in the u64 range the per-line minor
+        /// counter currently sits.
+        #[test]
+        fn bump_never_yields_unwritten(v in 0u64..u64::MAX) {
+            prop_assert!(!Counter(v).bump().is_unwritten());
+            // Off the wraparound boundary the bump is a plain +1.
+            prop_assert_eq!(Counter(v).bump(), Counter(v + 1));
         }
 
         #[test]

@@ -44,7 +44,9 @@ pub mod aes;
 pub mod compress;
 pub mod counter;
 pub mod engine;
+pub mod mac;
 pub mod otp;
 
 pub use counter::{Counter, CounterLine, GlobalCounter, COUNTERS_PER_LINE, LINE_BYTES};
 pub use engine::{EncryptedWrite, EncryptionEngine, LineData};
+pub use mac::{Mac, MacEngine, MacLine, MACS_PER_LINE, MAC_BYTES};

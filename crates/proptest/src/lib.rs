@@ -3,8 +3,8 @@
 //!
 //! The crates-io registry is unreachable in the environments this
 //! reproduction builds in, so the workspace carries this small harness
-//! under the same name: the [`proptest!`] macro, [`Strategy`] with
-//! `prop_map`, range/tuple/[`Just`]/[`prop_oneof!`] strategies,
+//! under the same name: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, range/tuple/[`strategy::Just`]/[`prop_oneof!`] strategies,
 //! [`collection::vec`], [`array::uniform8`]/[`array::uniform32`],
 //! [`arbitrary::any`], and the `prop_assert*` / [`prop_assume!`] macros.
 //!

@@ -6,6 +6,7 @@
 //! `nvmm_crypto::counter` for the data-line → counter-slot mapping).
 
 use nvmm_crypto::counter::{counter_slot_for, CounterSlot};
+use nvmm_crypto::mac::{mac_slot_for, MacSlot};
 
 /// Size of a cache line in bytes.
 pub const LINE_BYTES: u64 = 64;
@@ -45,6 +46,16 @@ impl LineAddr {
     pub fn counter_line(self) -> CounterLineAddr {
         CounterLineAddr(self.counter_slot().counter_line)
     }
+
+    /// The MAC line and slot holding this data line's MAC.
+    pub fn mac_slot(self) -> MacSlot {
+        mac_slot_for(self.0)
+    }
+
+    /// The MAC line holding this data line's MAC.
+    pub fn mac_line(self) -> MacLineAddr {
+        MacLineAddr(self.mac_slot().mac_line)
+    }
 }
 
 impl std::fmt::Display for LineAddr {
@@ -78,16 +89,54 @@ impl std::fmt::Display for CounterLineAddr {
     }
 }
 
-/// A physical target on the NVMM device: either a data line or a counter
-/// line. Used by the device model to assign banks; the counter region is
-/// offset so counter traffic spreads across banks independently of the
-/// data traffic it accompanies.
+/// A cache-line-granular address in the MAC region (MAC line index).
+/// One MAC line packs the MACs of eight consecutive data lines, exactly
+/// mirroring the counter region's packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacLineAddr(pub u64);
+
+impl std::fmt::Display for MacLineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "M{:#x}", self.0)
+    }
+}
+
+/// A node of the N-ary counter/integrity tree (see `crate::integrity`).
+///
+/// Level 0 is the counter-line region itself (leaves); internal nodes
+/// start at level 1, and the node at the configured top level with
+/// index 0 is the persistent root. A node at `(level, index)` covers
+/// the eight level-`level − 1` nodes `8·index .. 8·index + 8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TreeNodeAddr {
+    /// Tree level, `1..=tree_levels` (leaves — counter lines — are
+    /// level 0 and are addressed by [`CounterLineAddr`]).
+    pub level: u32,
+    /// Node index within the level.
+    pub index: u64,
+}
+
+impl std::fmt::Display for TreeNodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}:{:#x}", self.level, self.index)
+    }
+}
+
+/// A physical target on the NVMM device: a data line, a counter line,
+/// or integrity metadata (a MAC line or an integrity-tree node). Used
+/// by the device model to assign banks; each region is hashed with its
+/// own constant so its traffic spreads across banks independently of
+/// the data traffic it accompanies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NvmmTarget {
     /// A 64-byte data line (72 bytes in co-located designs).
     Data(LineAddr),
     /// A 64-byte line of eight packed counters.
     Counter(CounterLineAddr),
+    /// A 64-byte line of eight packed per-line MACs.
+    Mac(MacLineAddr),
+    /// A 64-byte integrity-tree node of eight packed child digests.
+    TreeNode(TreeNodeAddr),
 }
 
 impl NvmmTarget {
@@ -105,9 +154,17 @@ impl NvmmTarget {
         assert!(nbanks > 0, "device must have at least one bank");
         let mixed = match self {
             NvmmTarget::Data(l) => l.0.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            // Separate constant: a data line and its own counter line
-            // land on independent banks.
+            // Separate constants per region: a data line and its own
+            // counter/MAC/tree metadata land on independent banks.
             NvmmTarget::Counter(c) => (c.0 ^ 0x5bd1_e995).wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+            NvmmTarget::Mac(m) => (m.0 ^ 0x85eb_ca6b).wrapping_mul(0xff51_afd7_ed55_8ccd),
+            // The level must land in the low bits: wrapping_mul only
+            // propagates carries upward, so high-bit mixing would never
+            // reach the bank-selecting bits of the product.
+            NvmmTarget::TreeNode(t) => {
+                (t.index ^ u64::from(t.level).wrapping_mul(0x7f4a_7c15) ^ 0xc4ce_b9fe)
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            }
         };
         ((mixed >> 32) % nbanks as u64) as usize
     }
@@ -145,6 +202,38 @@ mod tests {
             let b = NvmmTarget::Data(LineAddr(i)).bank(8);
             assert!(b < 8);
         }
+    }
+
+    #[test]
+    fn mac_line_mapping_mirrors_counter_lines() {
+        assert_eq!(LineAddr(0).mac_line(), MacLineAddr(0));
+        assert_eq!(LineAddr(7).mac_line(), MacLineAddr(0));
+        assert_eq!(LineAddr(8).mac_line(), MacLineAddr(1));
+        assert_eq!(LineAddr(9).mac_slot().slot, 1);
+    }
+
+    #[test]
+    fn metadata_banks_cover_range() {
+        for i in 0..64 {
+            assert!(NvmmTarget::Mac(MacLineAddr(i)).bank(8) < 8);
+            let t = TreeNodeAddr { level: 1, index: i };
+            assert!(NvmmTarget::TreeNode(t).bank(8) < 8);
+        }
+    }
+
+    #[test]
+    fn tree_levels_hash_independently() {
+        // The same index at different levels should not systematically
+        // alias onto one bank.
+        let mut differ = 0;
+        for i in 0..64u64 {
+            let a = NvmmTarget::TreeNode(TreeNodeAddr { level: 1, index: i }).bank(8);
+            let b = NvmmTarget::TreeNode(TreeNodeAddr { level: 2, index: i }).bank(8);
+            if a != b {
+                differ += 1;
+            }
+        }
+        assert!(differ > 32, "tree levels should spread across banks");
     }
 
     #[test]

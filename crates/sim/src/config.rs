@@ -149,6 +149,102 @@ impl FromJson for Design {
     }
 }
 
+/// Persistence policy of the integrity-verification subsystem
+/// (`crate::integrity`): per-line MACs plus an N-ary counter/integrity
+/// tree over the counter region, layered on top of a separate-counter
+/// design. Selects *when* the metadata a data write dirties (MAC line +
+/// tree path) persists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntegrityPolicy {
+    /// Integrity verification disabled (the paper's baseline model).
+    None,
+    /// Per-line MACs only, no tree — a lower bound on integrity cost.
+    /// The MAC rides in the counter-atomic write set; otherwise it
+    /// coalesces in the metadata cache until eviction or
+    /// `counter_cache_writeback()`.
+    MacOnly,
+    /// MACs plus a lazily persisted tree: tree nodes coalesce in the
+    /// metadata cache and persist on eviction only. Recovery rebuilds
+    /// internal nodes from the persisted leaves (counter lines),
+    /// Phoenix-style, so stale internal nodes are recoverable — only
+    /// the leaves and MACs must be crash consistent.
+    Lazy,
+    /// MACs plus a strictly persisted tree: every write persists its
+    /// dirty tree path leaf-to-root, counter-atomically with the data.
+    /// Consecutive writes serialize on the root update — the paper's
+    /// write-pressure story, amplified.
+    Strict,
+}
+
+impl IntegrityPolicy {
+    /// All policies, in increasing persistence-cost order.
+    pub const ALL: [IntegrityPolicy; 4] = [
+        IntegrityPolicy::None,
+        IntegrityPolicy::MacOnly,
+        IntegrityPolicy::Lazy,
+        IntegrityPolicy::Strict,
+    ];
+
+    /// Whether the integrity subsystem is active at all.
+    pub fn enabled(self) -> bool {
+        !matches!(self, IntegrityPolicy::None)
+    }
+
+    /// Whether the policy maintains the counter/integrity tree (MACs
+    /// are maintained by every enabled policy).
+    pub fn has_tree(self) -> bool {
+        matches!(self, IntegrityPolicy::Lazy | IntegrityPolicy::Strict)
+    }
+
+    /// Whether every write persists its tree path leaf-to-root,
+    /// counter-atomically (which also forces the write itself to be
+    /// counter-atomic).
+    pub fn strict(self) -> bool {
+        matches!(self, IntegrityPolicy::Strict)
+    }
+
+    /// Short label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntegrityPolicy::None => "no integrity",
+            IntegrityPolicy::MacOnly => "mac-only",
+            IntegrityPolicy::Lazy => "lazy",
+            IntegrityPolicy::Strict => "strict",
+        }
+    }
+}
+
+impl std::fmt::Display for IntegrityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ToJson for IntegrityPolicy {
+    /// An `IntegrityPolicy` serializes as its variant name.
+    fn to_json(&self) -> Json {
+        let name = match self {
+            IntegrityPolicy::None => "None",
+            IntegrityPolicy::MacOnly => "MacOnly",
+            IntegrityPolicy::Lazy => "Lazy",
+            IntegrityPolicy::Strict => "Strict",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for IntegrityPolicy {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        match json.as_str() {
+            Some("None") => Ok(IntegrityPolicy::None),
+            Some("MacOnly") => Ok(IntegrityPolicy::MacOnly),
+            Some("Lazy") => Ok(IntegrityPolicy::Lazy),
+            Some("Strict") => Ok(IntegrityPolicy::Strict),
+            _ => Err(FromJsonError(format!("unknown integrity policy {json}"))),
+        }
+    }
+}
+
 /// Geometry of one set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
@@ -354,6 +450,28 @@ pub struct SimConfig {
     /// of per-epoch telemetry samples with this epoch length; `None`
     /// (the default) records nothing and pays nothing.
     pub telemetry_epoch: Option<Time>,
+    /// Integrity-verification persistence policy (default
+    /// [`IntegrityPolicy::None`]). Enabled policies require a
+    /// separate-counter encrypted design (not co-located).
+    pub integrity: IntegrityPolicy,
+    /// On-chip metadata cache for MAC lines and integrity-tree nodes:
+    /// 256 KB, 8-way by default. Only consulted when `integrity` is
+    /// enabled.
+    pub metadata_cache: CacheGeometry,
+    /// Metadata (MAC/tree) write queue capacity (16).
+    pub metadata_write_queue_entries: usize,
+    /// Height of the N-ary (arity-8) counter/integrity tree: internal
+    /// levels above the counter-line leaves, root included. The default
+    /// of 10 covers 8^10 counter lines — 512 GiB of data space — which
+    /// accommodates every per-core region the workloads use.
+    pub tree_levels: u32,
+    /// Positive-control bug switch for the crash model checker: when
+    /// true, the strict policy persists tree-path nodes as plain
+    /// metadata writes at submission time — the *parent* can become
+    /// durable before its child leaf's counter-atomic pair drains,
+    /// without any barrier. The model checker must flag the resulting
+    /// parent-without-child images.
+    pub tree_bug_parent_first: bool,
 }
 
 impl SimConfig {
@@ -392,6 +510,15 @@ impl SimConfig {
             key: *b"nvmm-sim aes key",
             verify_reads: false,
             telemetry_epoch: None,
+            integrity: IntegrityPolicy::None,
+            metadata_cache: CacheGeometry {
+                capacity_bytes: 256 * 1024,
+                ways: 8,
+                latency: Time::from_ns(1),
+            },
+            metadata_write_queue_entries: 16,
+            tree_levels: 10,
+            tree_bug_parent_first: false,
         }
     }
 
@@ -409,6 +536,19 @@ impl SimConfig {
     /// Enables per-epoch telemetry with the given epoch length.
     pub fn with_telemetry_epoch(mut self, epoch: Time) -> Self {
         self.telemetry_epoch = Some(epoch);
+        self
+    }
+
+    /// Selects an integrity-verification persistence policy.
+    pub fn with_integrity(mut self, policy: IntegrityPolicy) -> Self {
+        self.integrity = policy;
+        self
+    }
+
+    /// Enables the injected tree-ordering bug (model-checker positive
+    /// control; see [`SimConfig::tree_bug_parent_first`]).
+    pub fn with_tree_bug(mut self) -> Self {
+        self.tree_bug_parent_first = true;
         self
     }
 }
@@ -456,6 +596,17 @@ impl ToJson for SimConfig {
                 "telemetry_epoch".to_string(),
                 self.telemetry_epoch.to_json(),
             ),
+            ("integrity".to_string(), self.integrity.to_json()),
+            ("metadata_cache".to_string(), self.metadata_cache.to_json()),
+            (
+                "metadata_write_queue_entries".to_string(),
+                self.metadata_write_queue_entries.to_json(),
+            ),
+            ("tree_levels".to_string(), self.tree_levels.to_json()),
+            (
+                "tree_bug_parent_first".to_string(),
+                self.tree_bug_parent_first.to_json(),
+            ),
         ])
     }
 }
@@ -482,6 +633,11 @@ impl FromJson for SimConfig {
             key: field(json, "key")?,
             verify_reads: field(json, "verify_reads")?,
             telemetry_epoch: field(json, "telemetry_epoch")?,
+            integrity: field(json, "integrity")?,
+            metadata_cache: field(json, "metadata_cache")?,
+            metadata_write_queue_entries: field(json, "metadata_write_queue_entries")?,
+            tree_levels: field(json, "tree_levels")?,
+            tree_bug_parent_first: field(json, "tree_bug_parent_first")?,
         })
     }
 }
@@ -547,9 +703,13 @@ mod tests {
 
     #[test]
     fn config_json_roundtrip() {
-        let c = SimConfig::table2(Design::Fca, 2)
+        let mut c = SimConfig::table2(Design::Fca, 2)
             .with_counter_cache_bytes(512 * 1024)
-            .with_telemetry_epoch(Time::from_ns(500));
+            .with_telemetry_epoch(Time::from_ns(500))
+            .with_integrity(IntegrityPolicy::Lazy)
+            .with_tree_bug();
+        c.tree_levels = 6;
+        c.metadata_write_queue_entries = 8;
         let text = c.to_json().to_pretty();
         let back = SimConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, c);
@@ -561,5 +721,33 @@ mod tests {
             assert_eq!(Design::from_json(&d.to_json()).unwrap(), d);
         }
         assert!(Design::from_json(&Json::Str("Bogus".to_string())).is_err());
+    }
+
+    #[test]
+    fn integrity_policy_json_roundtrip_all() {
+        for p in IntegrityPolicy::ALL {
+            assert_eq!(IntegrityPolicy::from_json(&p.to_json()).unwrap(), p);
+        }
+        assert!(IntegrityPolicy::from_json(&Json::Str("Bogus".to_string())).is_err());
+    }
+
+    #[test]
+    fn integrity_policy_predicates() {
+        assert!(!IntegrityPolicy::None.enabled());
+        assert!(IntegrityPolicy::MacOnly.enabled());
+        assert!(!IntegrityPolicy::MacOnly.has_tree());
+        assert!(IntegrityPolicy::Lazy.has_tree());
+        assert!(!IntegrityPolicy::Lazy.strict());
+        assert!(IntegrityPolicy::Strict.has_tree());
+        assert!(IntegrityPolicy::Strict.strict());
+    }
+
+    #[test]
+    fn integrity_defaults_off() {
+        let c = SimConfig::single_core(Design::Sca);
+        assert_eq!(c.integrity, IntegrityPolicy::None);
+        assert!(!c.tree_bug_parent_first);
+        assert_eq!(c.metadata_cache.capacity_bytes, 256 * 1024);
+        assert_eq!(c.tree_levels, 10);
     }
 }

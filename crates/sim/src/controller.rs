@@ -33,16 +33,18 @@
 //! hardware could legally leave behind instead of the single
 //! everything-lost image [`MemoryController::build_image`] picks.
 
-use crate::addr::{CounterLineAddr, LineAddr, NvmmTarget};
+use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, NvmmTarget, TreeNodeAddr};
 use crate::cache::SetAssocCache;
 use crate::config::{Design, SimConfig};
 use crate::device::{AccessKind, PcmDevice};
+use crate::integrity::{DigestLine, IntegrityState, MetaKey};
 use crate::nvmm::NvmmImage;
 use crate::stats::Stats;
 use crate::time::Time;
-use crate::wq::WriteQueues;
+use crate::wq::{PlainReceipt, WriteQueues};
 use nvmm_crypto::counter::CounterLine;
 use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_crypto::mac::MacLine;
 use nvmm_crypto::LineData;
 use std::collections::HashMap;
 
@@ -86,6 +88,14 @@ pub(crate) enum JournalOp {
         cline: CounterLineAddr,
         counters: CounterLine,
     },
+    MacLine {
+        mline: MacLineAddr,
+        macs: MacLine,
+    },
+    TreeNode {
+        node: TreeNodeAddr,
+        digests: DigestLine,
+    },
 }
 
 impl JournalOp {
@@ -104,6 +114,8 @@ impl JournalOp {
                 counter,
             } => img.write_co_located(*line, *ciphertext, *counter),
             JournalOp::CounterLine { cline, counters } => img.write_counter_line(*cline, *counters),
+            JournalOp::MacLine { mline, macs } => img.write_mac_line(*mline, *macs),
+            JournalOp::TreeNode { node, digests } => img.write_tree_node(*node, *digests),
         }
     }
 
@@ -114,6 +126,8 @@ impl JournalOp {
             | JournalOp::Encrypted { line, .. }
             | JournalOp::CoLocated { line, .. } => NvmmTarget::Data(*line),
             JournalOp::CounterLine { cline, .. } => NvmmTarget::Counter(*cline),
+            JournalOp::MacLine { mline, .. } => NvmmTarget::Mac(*mline),
+            JournalOp::TreeNode { node, .. } => NvmmTarget::TreeNode(*node),
         }
     }
 
@@ -164,6 +178,13 @@ pub struct MemoryController {
     stop_loss: Option<u64>,
     /// Un-persisted counter bumps per counter line.
     counter_lag: HashMap<CounterLineAddr, u64>,
+    /// The integrity-verification subsystem, when the config enables it.
+    integrity: Option<IntegrityState>,
+    /// Fault injection: journal strict-policy tree-path updates as
+    /// independent instantly-guaranteed writes instead of riding the
+    /// counter-atomic pair — the parent-ahead-of-child ordering bug the
+    /// model checker must catch.
+    tree_bug_parent_first: bool,
 }
 
 impl MemoryController {
@@ -179,6 +200,7 @@ impl MemoryController {
             queues: WriteQueues::new(
                 config.data_write_queue_entries,
                 config.counter_write_queue_entries,
+                config.metadata_write_queue_entries,
                 config.ca_pair_overhead,
             ),
             engine: EncryptionEngine::new(config.key),
@@ -193,6 +215,8 @@ impl MemoryController {
             wear: HashMap::new(),
             stop_loss: config.stop_loss,
             counter_lag: HashMap::new(),
+            integrity: IntegrityState::from_config(config),
+            tree_bug_parent_first: config.tree_bug_parent_first,
         }
     }
 
@@ -273,10 +297,126 @@ impl MemoryController {
                 .insert(cline, (), false)
         {
             if victim.dirty {
-                self.write_counter_line(victim.key, t, stats);
+                stats.counter_cache_evictions += 1;
+                self.persist_counter_line(victim.key, t, stats);
             }
         }
         Some(fill_done)
+    }
+
+    /// Submits a MAC-line or tree-node write to the metadata write
+    /// queue, charging stats and wear.
+    fn submit_meta_write(
+        &mut self,
+        target: NvmmTarget,
+        t: Time,
+        stats: &mut Stats,
+    ) -> PlainReceipt {
+        let receipt = self.queues.submit_plain(&mut self.device, target, t);
+        if receipt.coalesced {
+            stats.coalesced_metadata_writes += 1;
+        } else {
+            stats.nvmm_metadata_writes += 1;
+            stats.bytes_written += 64;
+            *self.wear.entry(target).or_default() += 1;
+        }
+        receipt
+    }
+
+    /// Persists `cline` together with its MAC line as one atomic unit
+    /// (shared pair id, common guarantee instant). The MAC binds the
+    /// counter, so recovery must see both halves from the same snapshot
+    /// — persisting them apart would manufacture MAC violations out of
+    /// a perfectly legal crash. Cleans both cached copies.
+    fn flush_counter_mac_pair(
+        &mut self,
+        cline: CounterLineAddr,
+        t: Time,
+        stats: &mut Stats,
+    ) -> Time {
+        let mline = MacLineAddr(cline.0);
+        let rc = self
+            .queues
+            .submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
+        if rc.coalesced {
+            stats.coalesced_counter_writes += 1;
+        } else {
+            stats.nvmm_counter_writes += 1;
+            stats.bytes_written += self.counter_line_cost(cline);
+            *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
+        }
+        let rm = self.submit_meta_write(NvmmTarget::Mac(mline), t, stats);
+        let guaranteed = rc.accepted.max(rm.accepted);
+        let pair = Some(self.next_pair);
+        self.next_pair += 1;
+        let integ = self.integrity.as_mut().expect("integrity enabled");
+        integ.clean(MetaKey::Mac(mline));
+        let macs = integ.mac_snapshot(mline);
+        self.journal.push(JournalRecord {
+            submitted_at: t,
+            guaranteed_at: guaranteed,
+            pair,
+            domain: crate::crashmc::Domain::CounterQueue,
+            op: JournalOp::CounterLine {
+                cline,
+                counters: self.current_counter_line(cline),
+            },
+        });
+        self.journal.push(JournalRecord {
+            submitted_at: t,
+            guaranteed_at: guaranteed,
+            pair,
+            domain: crate::crashmc::Domain::CounterQueue,
+            op: JournalOp::MacLine { mline, macs },
+        });
+        if let Some(cache) = self.counter_cache.as_mut() {
+            cache.clean(&cline);
+        }
+        guaranteed
+    }
+
+    /// Persists `cline` by whatever mechanism the configuration
+    /// requires: alone when integrity is off or its MAC line is clean,
+    /// atomically with the MAC line otherwise. Returns the guarantee
+    /// time; the caller still owns the counter cache's dirty bit when
+    /// the plain path is taken.
+    fn persist_counter_line(&mut self, cline: CounterLineAddr, t: Time, stats: &mut Stats) -> Time {
+        let mac_dirty = self
+            .integrity
+            .as_ref()
+            .is_some_and(|i| i.is_dirty(MetaKey::Mac(MacLineAddr(cline.0))));
+        if mac_dirty {
+            self.flush_counter_mac_pair(cline, t, stats)
+        } else {
+            self.write_counter_line(cline, t, stats)
+        }
+    }
+
+    /// Persists a dirty metadata-cache victim: a MAC line drags its
+    /// counter line along (they persist as a unit); a tree node goes out
+    /// alone through the metadata queue.
+    fn persist_meta_eviction(&mut self, key: MetaKey, t: Time, stats: &mut Stats) {
+        stats.tree_cache_evictions += 1;
+        match key {
+            MetaKey::Mac(mline) => {
+                self.flush_counter_mac_pair(CounterLineAddr(mline.0), t, stats);
+            }
+            MetaKey::Node(node) => {
+                let r = self.submit_meta_write(NvmmTarget::TreeNode(node), t, stats);
+                let digests = self
+                    .integrity
+                    .as_ref()
+                    .expect("integrity enabled")
+                    .tree_snapshot(node);
+                self.journal.push(JournalRecord {
+                    submitted_at: t,
+                    guaranteed_at: r.accepted,
+                    pair: None,
+                    domain: crate::crashmc::Domain::MetadataQueue,
+                    op: JournalOp::TreeNode { node, digests },
+                });
+            }
+        }
     }
 
     /// Submits a counter-line write (eviction or explicit writeback);
@@ -439,7 +579,7 @@ impl MemoryController {
         // keep counter lines compressible and, with stop-loss, make the
         // post-crash candidate window bounded).
         let current = self.current_counter_line(cline).get(slot);
-        let counter = nvmm_crypto::Counter(current.0 + 1);
+        let counter = current.bump();
         let ciphertext = self.engine.encrypt_with(line.0, &data, counter);
         let enc = nvmm_crypto::EncryptedWrite {
             ciphertext,
@@ -457,7 +597,11 @@ impl MemoryController {
         let _ = self.probe_counter_cache(cline, t, stats);
 
         let enforce_ca = counter_atomic && self.design.enforces_counter_atomicity()
-            || self.design.all_writes_counter_atomic();
+            || self.design.all_writes_counter_atomic()
+            // Strict integrity makes every write counter-atomic: the
+            // leaf-to-root tree update only stays consistent if the
+            // counter it digests lands with it.
+            || self.integrity.as_ref().is_some_and(|i| i.policy().strict());
 
         if enforce_ca {
             let r = self.queues.submit_counter_atomic(
@@ -485,11 +629,91 @@ impl MemoryController {
             if let Some(cache) = self.counter_cache.as_mut() {
                 cache.clean(&cline);
             }
+            // Integrity metadata rides the pair: the MAC line always;
+            // the leaf-to-root tree path too under strict, where the
+            // guarantee additionally serializes through the root-update
+            // engine. All pair members must share one guarantee instant
+            // or the ready-bit atomicity tears.
+            let mut guaranteed = r.ready;
+            let mut pair_ops: Vec<JournalOp> = Vec::new();
+            let mut bug_ops: Vec<(Time, JournalOp)> = Vec::new();
+            let mut evicted: Vec<MetaKey> = Vec::new();
+            if self.integrity.is_some() {
+                let policy = self.integrity.as_ref().expect("checked").policy();
+                let mline =
+                    self.integrity
+                        .as_mut()
+                        .expect("checked")
+                        .record_mac(line, enc.counter, &data);
+                let rm = self.submit_meta_write(NvmmTarget::Mac(mline), t_enq, stats);
+                guaranteed = guaranteed.max(rm.accepted);
+                let counters_bytes = self.current_counter_line(cline).to_bytes();
+                {
+                    let integ = self.integrity.as_mut().expect("checked");
+                    pair_ops.push(JournalOp::MacLine {
+                        mline,
+                        macs: integ.mac_snapshot(mline),
+                    });
+                    let (victim, hit) = integ.touch(MetaKey::Mac(mline), false);
+                    if hit {
+                        stats.tree_cache_hits += 1;
+                    } else {
+                        stats.tree_cache_misses += 1;
+                    }
+                    evicted.extend(victim);
+                }
+                if policy.has_tree() {
+                    let strict = policy.strict();
+                    let path = {
+                        let integ = self.integrity.as_mut().expect("checked");
+                        let path = integ.update_tree_path(cline, &counters_bytes);
+                        for (node, _) in &path {
+                            // Strict persists the path with the pair, so
+                            // the cached nodes stay clean; lazy leaves
+                            // them dirty for eviction-time persistence.
+                            let (victim, hit) = integ.touch(MetaKey::Node(*node), !strict);
+                            if hit {
+                                stats.tree_cache_hits += 1;
+                            } else {
+                                stats.tree_cache_misses += 1;
+                            }
+                            evicted.extend(victim);
+                        }
+                        path
+                    };
+                    if strict {
+                        for (node, digests) in &path {
+                            let rn =
+                                self.submit_meta_write(NvmmTarget::TreeNode(*node), t_enq, stats);
+                            let op = JournalOp::TreeNode {
+                                node: *node,
+                                digests: *digests,
+                            };
+                            if self.tree_bug_parent_first {
+                                bug_ops.push((rn.accepted, op));
+                            } else {
+                                guaranteed = guaranteed.max(rn.accepted);
+                                pair_ops.push(op);
+                            }
+                        }
+                        if !self.tree_bug_parent_first {
+                            let integ = self.integrity.as_mut().expect("checked");
+                            if integ.root_free > guaranteed {
+                                stats.root_update_stalls += 1;
+                                stats.root_update_stall += integ.root_free - guaranteed;
+                                guaranteed = integ.root_free;
+                            }
+                            guaranteed += self.crypto_latency;
+                            integ.root_free = guaranteed;
+                        }
+                    }
+                }
+            }
             let pair = Some(self.next_pair);
             self.next_pair += 1;
             self.journal.push(JournalRecord {
                 submitted_at: t_enq,
-                guaranteed_at: r.ready,
+                guaranteed_at: guaranteed,
                 pair,
                 domain: crate::crashmc::Domain::Pairing,
                 op: JournalOp::Encrypted {
@@ -500,7 +724,7 @@ impl MemoryController {
             });
             self.journal.push(JournalRecord {
                 submitted_at: t_enq,
-                guaranteed_at: r.ready,
+                guaranteed_at: guaranteed,
                 pair,
                 domain: crate::crashmc::Domain::Pairing,
                 op: JournalOp::CounterLine {
@@ -508,7 +732,31 @@ impl MemoryController {
                     counters: self.current_counter_line(cline),
                 },
             });
-            r.ready
+            for op in pair_ops {
+                self.journal.push(JournalRecord {
+                    submitted_at: t_enq,
+                    guaranteed_at: guaranteed,
+                    pair,
+                    domain: crate::crashmc::Domain::Pairing,
+                    op,
+                });
+            }
+            // The injected bug: tree-path updates journaled outside the
+            // pair, guaranteed the instant the metadata queue accepted
+            // them — parents race ahead of the children they digest.
+            for (g, op) in bug_ops {
+                self.journal.push(JournalRecord {
+                    submitted_at: t_enq,
+                    guaranteed_at: g,
+                    pair: None,
+                    domain: crate::crashmc::Domain::MetadataQueue,
+                    op,
+                });
+            }
+            for key in evicted {
+                self.persist_meta_eviction(key, t_enq, stats);
+            }
+            guaranteed
         } else {
             // Plain data write; the counter stays dirty on chip until a
             // counter_cache_writeback or an eviction (§4.2's reordering
@@ -537,6 +785,39 @@ impl MemoryController {
                     counter: enc.counter,
                 },
             });
+            // Integrity metadata stays dirty on chip alongside the dirty
+            // counter: the MAC line (and, under lazy, the tree path)
+            // reaches NVMM with the counter's own flush or on eviction.
+            if self.integrity.is_some() {
+                let policy = self.integrity.as_ref().expect("checked").policy();
+                let counters_bytes = self.current_counter_line(cline).to_bytes();
+                let mut evicted: Vec<MetaKey> = Vec::new();
+                {
+                    let integ = self.integrity.as_mut().expect("checked");
+                    let mline = integ.record_mac(line, enc.counter, &data);
+                    let (victim, hit) = integ.touch(MetaKey::Mac(mline), true);
+                    if hit {
+                        stats.tree_cache_hits += 1;
+                    } else {
+                        stats.tree_cache_misses += 1;
+                    }
+                    evicted.extend(victim);
+                    if policy.has_tree() {
+                        for (node, _) in integ.update_tree_path(cline, &counters_bytes) {
+                            let (victim, hit) = integ.touch(MetaKey::Node(node), true);
+                            if hit {
+                                stats.tree_cache_hits += 1;
+                            } else {
+                                stats.tree_cache_misses += 1;
+                            }
+                            evicted.extend(victim);
+                        }
+                    }
+                }
+                for key in evicted {
+                    self.persist_meta_eviction(key, t_enq, stats);
+                }
+            }
             // Stop-loss (Osiris-style): after `n` un-persisted counter
             // bumps on this counter line, force a write-back so the
             // post-crash candidate window stays bounded.
@@ -545,7 +826,7 @@ impl MemoryController {
                 *lag += 1;
                 if *lag >= n {
                     *lag = 0;
-                    self.write_counter_line(cline, r.accepted, stats);
+                    self.persist_counter_line(cline, r.accepted, stats);
                     if let Some(cache) = self.counter_cache.as_mut() {
                         cache.clean(&cline);
                     }
@@ -571,7 +852,7 @@ impl MemoryController {
         if !dirty {
             return t;
         }
-        let guaranteed = self.write_counter_line(cline, t, stats);
+        let guaranteed = self.persist_counter_line(cline, t, stats);
         if let Some(cache) = self.counter_cache.as_mut() {
             cache.clean(&cline);
         }
@@ -859,6 +1140,104 @@ mod tests {
             "at least both data lines and one counter line"
         );
         assert!(max >= 3, "line 5 absorbed three writes (max={max})");
+    }
+
+    fn integ_ctl(
+        policy: crate::config::IntegrityPolicy,
+    ) -> (
+        MemoryController,
+        Stats,
+        [u8; 16],
+        crate::integrity::IntegritySpec,
+    ) {
+        let cfg = SimConfig::single_core(Design::Sca).with_integrity(policy);
+        let spec = crate::integrity::IntegritySpec::from_config(&cfg);
+        let key = cfg.key;
+        (MemoryController::new(&cfg), Stats::new(1), key, spec)
+    }
+
+    #[test]
+    fn strict_write_verifies_at_every_crash_instant() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, key, spec) = integ_ctl(IntegrityPolicy::Strict);
+        let data = [5u8; 64];
+        let g = c.writeback(LineAddr(12), data, false, Time::ZERO, &mut s);
+        for ns in 0..800 {
+            let img = c.build_image(Some(Time::from_ns(ns)));
+            crate::integrity::verify_image(&img, spec, key)
+                .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
+        }
+        let img = c.build_image(Some(g));
+        assert_eq!(
+            img.read_line(LineAddr(12), c.engine()),
+            LineRead::Clean(data)
+        );
+        assert!(s.nvmm_metadata_writes > 0, "MAC + tree path were written");
+    }
+
+    #[test]
+    fn strict_turns_every_write_into_a_full_metadata_pair() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, _, _) = integ_ctl(IntegrityPolicy::Strict);
+        c.writeback(LineAddr(1), [1; 64], false, Time::ZERO, &mut s);
+        // data + counter + MAC + tree_levels path nodes, all journaled.
+        let cfg = SimConfig::single_core(Design::Sca);
+        assert_eq!(c.journal_len(), 3 + cfg.tree_levels as usize);
+        assert!(s.metadata_write_amplification() > 1.0);
+    }
+
+    #[test]
+    fn lazy_ccwb_carries_the_mac_line_with_the_counter() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, key, spec) = integ_ctl(IntegrityPolicy::Lazy);
+        let data = [6u8; 64];
+        c.writeback(LineAddr(3), data, false, Time::ZERO, &mut s);
+        let g = c.counter_writeback(LineAddr(3), Time::from_ns(100), &mut s);
+        assert!(
+            s.nvmm_metadata_writes >= 1,
+            "the flush persists the MAC line too"
+        );
+        // At every crash instant the image passes the MAC oracle: the
+        // counter and its MAC only ever persist together.
+        for ns in 0..800 {
+            let img = c.build_image(Some(Time::from_ns(ns)));
+            crate::integrity::verify_image(&img, spec, key)
+                .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
+        }
+        let img = c.build_image(Some(g));
+        assert_eq!(
+            img.read_line(LineAddr(3), c.engine()),
+            LineRead::Clean(data)
+        );
+    }
+
+    #[test]
+    fn mac_only_persists_no_tree_nodes() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, key, spec) = integ_ctl(IntegrityPolicy::MacOnly);
+        c.writeback(LineAddr(4), [9; 64], true, Time::ZERO, &mut s);
+        let img = c.build_image(None);
+        assert_eq!(img.tree_nodes().count(), 0);
+        assert!(crate::integrity::verify_image(&img, spec, key).is_ok());
+    }
+
+    #[test]
+    fn injected_tree_bug_lets_parents_race_ahead_of_children() {
+        use crate::config::IntegrityPolicy;
+        let cfg = SimConfig::single_core(Design::Sca)
+            .with_integrity(IntegrityPolicy::Strict)
+            .with_tree_bug();
+        let spec = crate::integrity::IntegritySpec::from_config(&cfg);
+        let key = cfg.key;
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        let g = c.writeback(LineAddr(12), [5; 64], false, Time::ZERO, &mut s);
+        // Just before the pair's guarantee the eagerly-persisted tree
+        // nodes are on NVMM but the counter line they digest is not.
+        let img = c.build_image(Some(g.saturating_sub(Time::from_ps(1))));
+        let err = crate::integrity::verify_image(&img, spec, key)
+            .expect_err("parent-first ordering must be flagged");
+        assert!(err.contains("never persisted"), "{err}");
     }
 
     #[test]

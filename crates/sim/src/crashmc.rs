@@ -23,12 +23,13 @@
 //! ## Serialization domains
 //!
 //! Choice groups are *not* independent booleans. Each guarantee point
-//! is produced by one of three serialized mechanisms:
+//! is produced by one of four serialized mechanisms:
 //!
-//! * [`Domain::Pairing`] — the single ready-bit coordinator every
+//! * `Domain::Pairing` — the single ready-bit coordinator every
 //!   counter-atomic pair handshakes through, one pair at a time;
-//! * [`Domain::DataQueue`] / [`Domain::CounterQueue`] — FIFO slot
-//!   acceptance into the plain data / counter write queues.
+//! * `Domain::DataQueue` / `Domain::CounterQueue` /
+//!   `Domain::MetadataQueue` — FIFO slot acceptance into the plain
+//!   data / counter / integrity-metadata write queues.
 //!
 //! Within one domain the guarantee points are totally ordered, so "a
 //! later write latched but an earlier one did not" is physically
@@ -71,9 +72,20 @@ pub(crate) enum Domain {
     DataQueue,
     /// FIFO acceptance into the plain counter write queue.
     CounterQueue,
+    /// FIFO acceptance into the integrity-metadata (MAC/tree) write
+    /// queue — plain metadata writes from metadata-cache evictions and
+    /// `counter_cache_writeback()` flushes. Metadata records that ride
+    /// in a counter-atomic write set belong to `Domain::Pairing`
+    /// instead, like the pair they land with.
+    MetadataQueue,
 }
 
-const DOMAINS: [Domain; 3] = [Domain::Pairing, Domain::DataQueue, Domain::CounterQueue];
+const DOMAINS: [Domain; 4] = [
+    Domain::Pairing,
+    Domain::DataQueue,
+    Domain::CounterQueue,
+    Domain::MetadataQueue,
+];
 
 /// Bounds for one enumeration. Identical opts over an identical
 /// [`CrashSet`] yield identical results.

@@ -1,0 +1,661 @@
+//! The integrity-verification subsystem: per-line MACs plus an N-ary
+//! counter/integrity tree over the counter region.
+//!
+//! Encrypted NVMM needs more than confidentiality: a physical attacker
+//! can splice stale (ciphertext, counter) pairs back into the DIMM, so
+//! production designs pair counter-mode encryption with (i) a per-line
+//! MAC binding address, counter, and content, and (ii) a Merkle-style
+//! counter tree whose persistent root makes replay detectable (Bonsai
+//! Merkle trees; SGX-style integrity engines). This module models both
+//! on top of the crash-consistency machinery:
+//!
+//! * **Leaves** are the counter lines themselves (level 0). An internal
+//!   node at `(level, index)` packs the eight digests of its children
+//!   at `level − 1`; the single node at the configured top level is the
+//!   persistent root.
+//! * **MACs** live in their own region, packed eight to a line exactly
+//!   like counters ([`nvmm_crypto::mac`]); MAC line `k` guards the same
+//!   eight data lines as counter line `k`, so the two persist together.
+//! * A shared **metadata cache** (one [`SetAssocCache`]) holds MAC
+//!   lines and tree nodes on chip; the persistence policy decides when
+//!   dirty metadata reaches NVMM.
+//!
+//! Three policies ([`IntegrityPolicy`]):
+//!
+//! * `strict` — every write persists its MAC line and full leaf-to-root
+//!   tree path atomically with the (data, counter) pair; root updates
+//!   serialize through a single engine. Post-crash, every persisted
+//!   tree node verifies against its persisted children.
+//! * `lazy` — MAC lines persist with their counter lines (counter-
+//!   atomic writes, `counter_cache_writeback`, evictions); tree nodes
+//!   stay dirty on chip and reach NVMM only on eviction. Recovery
+//!   rebuilds the tree from the persisted leaves (Phoenix-style), so
+//!   stale interior nodes are tolerated by construction.
+//! * `mac-only` — no tree at all; the bound on replay is per-line.
+//!
+//! [`verify_image`] is the post-crash oracle the model checker runs on
+//! every enumerated image; [`rebuild_tree`] is the lazy-policy recovery
+//! path whose cost the recovery figures report.
+
+use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
+use crate::cache::SetAssocCache;
+use crate::config::{IntegrityPolicy, SimConfig};
+use crate::nvmm::{LineRead, NvmmImage};
+use nvmm_crypto::counter::LINE_BYTES;
+use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_crypto::mac::{MacEngine, MacLine};
+use nvmm_crypto::Counter;
+use std::collections::HashMap;
+
+/// Children per tree node: one 64-byte node packs eight 8-byte digests,
+/// mirroring the counter region's eight-counters-per-line packing.
+pub const TREE_ARITY: usize = 8;
+
+/// A 64-byte integrity-tree node: eight packed child digests. Digest 0
+/// is reserved to mean "child subtree never written".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DigestLine {
+    digests: [u64; TREE_ARITY],
+}
+
+impl DigestLine {
+    /// A node whose every child slot is unwritten.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the digest in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= TREE_ARITY`.
+    pub fn get(&self, slot: usize) -> u64 {
+        self.digests[slot]
+    }
+
+    /// Replaces the digest in `slot`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= TREE_ARITY`.
+    pub fn set(&mut self, slot: usize, digest: u64) -> u64 {
+        std::mem::replace(&mut self.digests[slot], digest)
+    }
+
+    /// Serializes the node to its 64-byte NVMM representation.
+    pub fn to_bytes(&self) -> [u8; LINE_BYTES] {
+        let mut out = [0u8; LINE_BYTES];
+        for (i, d) in self.digests.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&d.to_le_bytes());
+        }
+        out
+    }
+
+    /// Iterates over `(slot, digest)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.digests.iter().copied().enumerate()
+    }
+}
+
+/// FNV-1a 64 over `bytes`, with 0 remapped to 1 so the all-zero digest
+/// keeps its reserved "never written" meaning in [`DigestLine`] slots.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// The parent of a level-0 leaf (counter line) or internal node.
+fn parent_of(level: u32, index: u64) -> TreeNodeAddr {
+    TreeNodeAddr {
+        level: level + 1,
+        index: index >> 3,
+    }
+}
+
+/// Which slot of its parent a node at `(level, index)` occupies.
+fn slot_in_parent(index: u64) -> usize {
+    (index % TREE_ARITY as u64) as usize
+}
+
+/// The leaf-to-root tree path covering `cline`: node addresses at
+/// levels `1..=levels`, ascending. The last element is the root
+/// `(levels, 0)`.
+///
+/// # Panics
+///
+/// Panics if `cline` lies outside the tree's coverage (its index has
+/// bits above `3 * levels`).
+pub fn tree_path(cline: CounterLineAddr, levels: u32) -> Vec<TreeNodeAddr> {
+    assert!(
+        levels == 0 || cline.0 >> (3 * levels.min(21)) == 0,
+        "counter line {cline} outside a {levels}-level tree's coverage; raise tree_levels"
+    );
+    (1..=levels)
+        .map(|l| TreeNodeAddr {
+            level: l,
+            index: cline.0 >> (3 * l),
+        })
+        .collect()
+}
+
+/// What the verification oracle checks for a given run configuration.
+/// Built from [`SimConfig`] by the workload harness and threaded to
+/// every post-crash image check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegritySpec {
+    /// The persistence policy the run used.
+    pub policy: IntegrityPolicy,
+    /// Height of the counter tree (0 internal levels = no tree).
+    pub levels: u32,
+}
+
+impl IntegritySpec {
+    /// The spec for a run with integrity disabled: [`verify_image`]
+    /// accepts every image.
+    pub fn disabled() -> Self {
+        Self {
+            policy: IntegrityPolicy::None,
+            levels: 0,
+        }
+    }
+
+    /// The spec `config` implies.
+    pub fn from_config(config: &SimConfig) -> Self {
+        Self {
+            policy: config.integrity,
+            levels: config.tree_levels,
+        }
+    }
+}
+
+/// A line resident in the integrity-metadata cache: a MAC line or a
+/// tree node. Presence/dirtiness lives in the cache; values live in
+/// [`IntegrityState`]'s architectural maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaKey {
+    /// A MAC line.
+    Mac(MacLineAddr),
+    /// An internal integrity-tree node.
+    Node(TreeNodeAddr),
+}
+
+/// The controller-resident half of the subsystem: the MAC engine, the
+/// architecturally-latest MAC and tree values, the metadata cache, and
+/// the root-update serialization point. The memory controller owns one
+/// when [`SimConfig::integrity`] is enabled and drives it from the
+/// write datapath; journaling of the resulting NVMM writes stays in the
+/// controller.
+#[derive(Debug)]
+pub struct IntegrityState {
+    policy: IntegrityPolicy,
+    levels: u32,
+    mac_engine: MacEngine,
+    /// Architecturally latest MAC lines (cache plus everything below).
+    mac_state: HashMap<MacLineAddr, MacLine>,
+    /// Architecturally latest tree nodes.
+    tree_state: HashMap<TreeNodeAddr, DigestLine>,
+    /// Presence/dirtiness of metadata lines on chip.
+    pub(crate) cache: SetAssocCache<MetaKey, ()>,
+    /// Next instant the serialized root-update engine is free (strict).
+    pub(crate) root_free: crate::time::Time,
+}
+
+impl IntegrityState {
+    /// Builds the state `config` asks for, or `None` when integrity is
+    /// off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if integrity is enabled on a design without a separate
+    /// counter region (unencrypted or co-located): per-line MACs bind
+    /// the separate counter, and the tree's leaves *are* the counter
+    /// region.
+    pub fn from_config(config: &SimConfig) -> Option<Self> {
+        if !config.integrity.enabled() {
+            return None;
+        }
+        assert!(
+            config.design.encrypted() && !config.design.co_located(),
+            "integrity policy {} requires a separate-counter encrypted design, not {}",
+            config.integrity,
+            config.design
+        );
+        Some(Self {
+            policy: config.integrity,
+            levels: config.tree_levels,
+            mac_engine: MacEngine::new(config.key),
+            mac_state: HashMap::new(),
+            tree_state: HashMap::new(),
+            cache: SetAssocCache::new(config.metadata_cache.sets(), config.metadata_cache.ways),
+            root_free: crate::time::Time::ZERO,
+        })
+    }
+
+    /// The policy this state implements.
+    pub fn policy(&self) -> IntegrityPolicy {
+        self.policy
+    }
+
+    /// Tree height in internal levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Recomputes and records the MAC of `line` after a write that
+    /// encrypted `plaintext` under `counter`. Returns the MAC line the
+    /// slot lives in.
+    pub fn record_mac(
+        &mut self,
+        line: LineAddr,
+        counter: Counter,
+        plaintext: &[u8; LINE_BYTES],
+    ) -> MacLineAddr {
+        let slot = line.mac_slot();
+        let mac = self.mac_engine.line_mac(line.0, counter, plaintext);
+        self.mac_state
+            .entry(MacLineAddr(slot.mac_line))
+            .or_default()
+            .set(slot.slot, mac);
+        MacLineAddr(slot.mac_line)
+    }
+
+    /// The architecturally latest content of a MAC line.
+    pub fn mac_snapshot(&self, mline: MacLineAddr) -> MacLine {
+        self.mac_state.get(&mline).copied().unwrap_or_default()
+    }
+
+    /// The architecturally latest content of a tree node.
+    pub fn tree_snapshot(&self, node: TreeNodeAddr) -> DigestLine {
+        self.tree_state.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Propagates a counter-line update through the tree: recomputes the
+    /// leaf digest from `counter_line_bytes` and folds it up to the
+    /// root. Returns the updated path `(node, new content)`, leaf-most
+    /// first — the write set a strict-policy write must persist.
+    pub fn update_tree_path(
+        &mut self,
+        cline: CounterLineAddr,
+        counter_line_bytes: &[u8; LINE_BYTES],
+    ) -> Vec<(TreeNodeAddr, DigestLine)> {
+        let mut digest = digest64(counter_line_bytes);
+        let mut index = cline.0;
+        let mut path = Vec::with_capacity(self.levels as usize);
+        for node in tree_path(cline, self.levels) {
+            let entry = self.tree_state.entry(node).or_default();
+            entry.set(slot_in_parent(index), digest);
+            let snap = *entry;
+            digest = digest64(&snap.to_bytes());
+            index = node.index;
+            path.push((node, snap));
+        }
+        path
+    }
+
+    /// Touches `key` in the metadata cache, marking it dirty or clean
+    /// (clean = the current value just persisted). Returns the dirty
+    /// victim's key if the insertion evicted one the caller must
+    /// persist, plus whether the touch hit.
+    pub fn touch(&mut self, key: MetaKey, dirty: bool) -> (Option<MetaKey>, bool) {
+        let hit = self.cache.get(&key).is_some();
+        if hit && !dirty {
+            self.cache.clean(&key);
+        }
+        let victim = self
+            .cache
+            .insert(key, (), dirty)
+            .filter(|v| v.dirty)
+            .map(|v| v.key);
+        (victim, hit)
+    }
+
+    /// Whether `key` is resident and dirty.
+    pub fn is_dirty(&self, key: MetaKey) -> bool {
+        self.cache.is_dirty(&key)
+    }
+
+    /// Clears `key`'s dirty bit after its current value persisted.
+    pub fn clean(&mut self, key: MetaKey) {
+        self.cache.clean(&key);
+    }
+}
+
+/// Rebuilds the integrity tree bottom-up from an image's persisted
+/// counter lines — the lazy policy's recovery path (stale or missing
+/// interior nodes are simply recomputed). Returns the root node and the
+/// number of nodes rebuilt.
+pub fn rebuild_tree(img: &NvmmImage, levels: u32) -> (DigestLine, usize) {
+    let mut level: HashMap<u64, DigestLine> = HashMap::new();
+    for (cline, counters) in img.counter_lines() {
+        let parent = parent_of(0, cline.0);
+        level
+            .entry(parent.index)
+            .or_default()
+            .set(slot_in_parent(cline.0), digest64(&counters.to_bytes()));
+    }
+    let mut rebuilt = level.len();
+    for _ in 2..=levels.max(1) {
+        let mut next: HashMap<u64, DigestLine> = HashMap::new();
+        for (index, node) in &level {
+            next.entry(index >> 3)
+                .or_default()
+                .set(slot_in_parent(*index), digest64(&node.to_bytes()));
+        }
+        rebuilt += next.len();
+        level = next;
+    }
+    (level.get(&0).copied().unwrap_or_default(), rebuilt)
+}
+
+/// The post-crash integrity oracle: checks one enumerated NVMM image
+/// against the invariants `spec`'s policy promises to maintain across
+/// any crash. Returns a description of the first violation found.
+///
+/// * **MAC** (all enabled policies): every data line that decrypts
+///   cleanly under its persisted counter must carry a persisted MAC
+///   matching a recomputation over (address, counter, plaintext).
+///   Garbled lines are skipped — whether *they* are acceptable is the
+///   crash-consistency oracle's question, not the integrity engine's.
+/// * **Tree** (strict): every persisted node's non-reserved child
+///   digests must match a present, persisted child (the counter line
+///   itself at level 1). Child-before-parent is the one legal
+///   persistence order; a parent embedding a child state that never
+///   reached NVMM is exactly the ordering bug the checker must catch.
+/// * **Tree** (lazy): interior nodes are rebuilt from the leaves
+///   ([`rebuild_tree`]), so persisted interiors are ignored; the
+///   rebuild is still exercised here so recovery cost stays honest.
+pub fn verify_image(img: &NvmmImage, spec: IntegritySpec, key: [u8; 16]) -> Result<(), String> {
+    if !spec.policy.enabled() {
+        return Ok(());
+    }
+    let engine = EncryptionEngine::new(key);
+    let mac_engine = MacEngine::new(key);
+    for line in img.data_line_addrs() {
+        let read = img.read_line(line, &engine);
+        let LineRead::Clean(plaintext) = read else {
+            continue;
+        };
+        let counter = img.persisted_counter(line);
+        if counter.is_unwritten() {
+            continue;
+        }
+        let expect = mac_engine.line_mac(line.0, counter, &plaintext);
+        let got = img.persisted_mac(line);
+        if got != expect {
+            return Err(format!(
+                "MAC mismatch on {line}: persisted {got}, recomputed {expect} over {counter}"
+            ));
+        }
+    }
+    if spec.policy.strict() {
+        for (node, digests) in img.tree_nodes() {
+            for (slot, digest) in digests.iter().filter(|&(_, d)| d != 0) {
+                let child_index = node.index * TREE_ARITY as u64 + slot as u64;
+                let actual = if node.level == 1 {
+                    let cline = CounterLineAddr(child_index);
+                    if !img.counter_line_present(cline) {
+                        return Err(format!(
+                            "tree node {node} slot {slot} references counter line \
+                             {cline} that never persisted"
+                        ));
+                    }
+                    digest64(&img.counter_line(cline).to_bytes())
+                } else {
+                    let child = TreeNodeAddr {
+                        level: node.level - 1,
+                        index: child_index,
+                    };
+                    match img.tree_node(child) {
+                        Some(c) => digest64(&c.to_bytes()),
+                        None => {
+                            return Err(format!(
+                                "tree node {node} slot {slot} references child {child} \
+                                 that never persisted"
+                            ));
+                        }
+                    }
+                };
+                if actual != digest {
+                    return Err(format!(
+                        "tree node {node} slot {slot} digest {digest:#x} does not match \
+                         its persisted child ({actual:#x}): parent persisted ahead of child"
+                    ));
+                }
+            }
+        }
+    } else if spec.policy.has_tree() {
+        let _ = rebuild_tree(img, spec.levels);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm_crypto::counter::CounterLine;
+
+    #[test]
+    fn digest_is_deterministic_and_never_reserved() {
+        let a = digest64(&[1, 2, 3]);
+        assert_eq!(a, digest64(&[1, 2, 3]));
+        assert_ne!(a, digest64(&[1, 2, 4]));
+        assert_ne!(digest64(&[]), 0);
+    }
+
+    #[test]
+    fn digest_line_roundtrip_and_reserved_zero() {
+        let mut d = DigestLine::new();
+        assert_eq!(d.set(2, 42), 0);
+        assert_eq!(d.set(2, 43), 42);
+        assert_eq!(d.get(2), 43);
+        assert_eq!(d.iter().filter(|&(_, v)| v != 0).count(), 1);
+        assert_eq!(&d.to_bytes()[16..24], &43u64.to_le_bytes());
+    }
+
+    #[test]
+    fn tree_path_walks_to_the_root() {
+        let path = tree_path(CounterLineAddr(0o1234), 4);
+        assert_eq!(path.len(), 4);
+        assert_eq!(
+            path[0],
+            TreeNodeAddr {
+                level: 1,
+                index: 0o123
+            }
+        );
+        assert_eq!(
+            path[1],
+            TreeNodeAddr {
+                level: 2,
+                index: 0o12
+            }
+        );
+        assert_eq!(path[3], TreeNodeAddr { level: 4, index: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn tree_path_rejects_uncovered_lines() {
+        tree_path(CounterLineAddr(1 << 20), 2);
+    }
+
+    #[test]
+    fn update_tree_path_binds_leaf_to_root() {
+        let cfg = SimConfig::single_core(crate::config::Design::Sca)
+            .with_integrity(IntegrityPolicy::Strict);
+        let mut st = IntegrityState::from_config(&cfg).expect("enabled");
+        let mut cl = CounterLine::new();
+        cl.set(3, Counter(7));
+        let path = st.update_tree_path(CounterLineAddr(5), &cl.to_bytes());
+        assert_eq!(path.len(), st.levels() as usize);
+        assert_eq!(path[0].1.get(5), digest64(&cl.to_bytes()));
+        // Each parent embeds the digest of the freshly updated child.
+        for pair in path.windows(2) {
+            let (child, parent) = (&pair[0], &pair[1]);
+            assert_eq!(
+                parent.1.get(slot_in_parent(child.0.index)),
+                digest64(&child.1.to_bytes())
+            );
+        }
+        assert_eq!(path.last().unwrap().0.index, 0, "path ends at the root");
+    }
+
+    #[test]
+    fn record_mac_lands_in_the_right_slot() {
+        let cfg = SimConfig::single_core(crate::config::Design::Sca)
+            .with_integrity(IntegrityPolicy::MacOnly);
+        let mut st = IntegrityState::from_config(&cfg).expect("enabled");
+        let mline = st.record_mac(LineAddr(9), Counter(4), &[1; 64]);
+        assert_eq!(mline, MacLineAddr(1));
+        let snap = st.mac_snapshot(mline);
+        assert!(!snap.get(1).is_unwritten());
+        assert!(snap.get(0).is_unwritten());
+    }
+
+    #[test]
+    fn touch_reports_hits_and_dirty_victims() {
+        let mut cfg = SimConfig::single_core(crate::config::Design::Sca)
+            .with_integrity(IntegrityPolicy::Lazy);
+        cfg.metadata_cache.capacity_bytes = 128; // two lines total
+        cfg.metadata_cache.ways = 1;
+        let mut st = IntegrityState::from_config(&cfg).expect("enabled");
+        let (v, hit) = st.touch(MetaKey::Mac(MacLineAddr(1)), true);
+        assert!(v.is_none() && !hit);
+        let (_, hit) = st.touch(MetaKey::Mac(MacLineAddr(1)), true);
+        assert!(hit);
+        assert!(st.is_dirty(MetaKey::Mac(MacLineAddr(1))));
+        st.clean(MetaKey::Mac(MacLineAddr(1)));
+        assert!(!st.is_dirty(MetaKey::Mac(MacLineAddr(1))));
+    }
+
+    #[test]
+    fn disabled_when_config_says_none() {
+        let cfg = SimConfig::single_core(crate::config::Design::Sca);
+        assert!(IntegrityState::from_config(&cfg).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "separate-counter")]
+    fn co_located_designs_rejected() {
+        let cfg = SimConfig::single_core(crate::config::Design::CoLocated)
+            .with_integrity(IntegrityPolicy::Strict);
+        IntegrityState::from_config(&cfg);
+    }
+
+    #[test]
+    fn rebuild_tree_matches_strict_path_updates() {
+        let cfg = SimConfig::single_core(crate::config::Design::Sca)
+            .with_integrity(IntegrityPolicy::Strict);
+        let mut st = IntegrityState::from_config(&cfg).expect("enabled");
+        let mut img = NvmmImage::new();
+        for i in 0..3u64 {
+            let mut cl = CounterLine::new();
+            cl.set(0, Counter(i + 1));
+            img.write_counter_line(CounterLineAddr(i * 9), cl);
+            st.update_tree_path(CounterLineAddr(i * 9), &cl.to_bytes());
+        }
+        let (root, rebuilt) = rebuild_tree(&img, st.levels());
+        assert_eq!(
+            root,
+            st.tree_snapshot(TreeNodeAddr {
+                level: st.levels(),
+                index: 0
+            }),
+            "a full rebuild from leaves must reproduce the strict root"
+        );
+        assert!(rebuilt >= st.levels() as usize);
+    }
+
+    #[test]
+    fn verify_accepts_empty_and_disabled_images() {
+        let img = NvmmImage::new();
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Strict,
+            levels: 4,
+        };
+        assert!(verify_image(&img, spec, [0; 16]).is_ok());
+        assert!(verify_image(&img, IntegritySpec::disabled(), [0; 16]).is_ok());
+    }
+
+    #[test]
+    fn verify_flags_parent_without_child() {
+        let mut img = NvmmImage::new();
+        let mut parent = DigestLine::new();
+        parent.set(2, 0x1234);
+        img.write_tree_node(TreeNodeAddr { level: 1, index: 0 }, parent);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Strict,
+            levels: 4,
+        };
+        let err = verify_image(&img, spec, [0; 16]).expect_err("must flag");
+        assert!(err.contains("never persisted"), "{err}");
+    }
+
+    #[test]
+    fn verify_flags_stale_child_digest() {
+        let mut img = NvmmImage::new();
+        let mut cl = CounterLine::new();
+        cl.set(2, Counter(9));
+        img.write_counter_line(CounterLineAddr(2), cl);
+        let mut parent = DigestLine::new();
+        parent.set(2, digest64(&CounterLine::new().to_bytes()));
+        img.write_tree_node(TreeNodeAddr { level: 1, index: 0 }, parent);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Strict,
+            levels: 4,
+        };
+        let err = verify_image(&img, spec, [0; 16]).expect_err("must flag");
+        assert!(err.contains("ahead of child"), "{err}");
+    }
+
+    #[test]
+    fn verify_flags_missing_mac_on_clean_line() {
+        let key = [3u8; 16];
+        let mut e = EncryptionEngine::new(key);
+        let mut img = NvmmImage::new();
+        let w = e.encrypt(5, &[7; 64]);
+        img.write_encrypted(LineAddr(5), w.ciphertext, w.counter);
+        let slot = LineAddr(5).counter_slot();
+        let mut cl = CounterLine::new();
+        cl.set(slot.slot, w.counter);
+        img.write_counter_line(CounterLineAddr(slot.counter_line), cl);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::MacOnly,
+            levels: 0,
+        };
+        let err = verify_image(&img, spec, key).expect_err("no MAC persisted");
+        assert!(err.contains("MAC mismatch"), "{err}");
+        // Persist the matching MAC: the image verifies.
+        let m = MacEngine::new(key).line_mac(5, w.counter, &[7; 64]);
+        let ms = LineAddr(5).mac_slot();
+        let mut ml = MacLine::new();
+        ml.set(ms.slot, m);
+        img.write_mac_line(MacLineAddr(ms.mac_line), ml);
+        assert!(verify_image(&img, spec, key).is_ok());
+    }
+
+    #[test]
+    fn verify_skips_garbled_lines() {
+        // A garbled line (counter lost) is the crash oracle's concern,
+        // not the MAC verifier's.
+        let key = [3u8; 16];
+        let mut e = EncryptionEngine::new(key);
+        let mut img = NvmmImage::new();
+        let w = e.encrypt(5, &[7; 64]);
+        img.write_encrypted(LineAddr(5), w.ciphertext, w.counter);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::MacOnly,
+            levels: 0,
+        };
+        assert!(verify_image(&img, spec, key).is_ok());
+    }
+}

@@ -60,6 +60,7 @@ pub mod config;
 pub mod controller;
 pub mod crashmc;
 pub mod device;
+pub mod integrity;
 pub mod nvmm;
 pub mod stats;
 pub mod system;
@@ -68,9 +69,10 @@ pub mod time;
 pub mod trace;
 pub mod wq;
 
-pub use addr::{ByteAddr, CounterLineAddr, LineAddr};
-pub use config::{Design, SimConfig};
+pub use addr::{ByteAddr, CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
+pub use config::{Design, IntegrityPolicy, SimConfig};
 pub use crashmc::{CrashSet, EnumOpts, EnumStats, Enumeration, LandMask};
+pub use integrity::{rebuild_tree, verify_image, DigestLine, IntegritySpec};
 pub use nvmm::{LineRead, NvmmImage};
 pub use stats::Stats;
 pub use system::{run_to_completion, CrashSpec, RunOutcome, System};

@@ -9,9 +9,11 @@
 //! are still produced by genuinely decrypting with the (wrong) persisted
 //! counter.
 
-use crate::addr::{CounterLineAddr, LineAddr};
+use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
+use crate::integrity::DigestLine;
 use nvmm_crypto::counter::CounterLine;
 use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_crypto::mac::{Mac, MacLine};
 use nvmm_crypto::{Counter, LineData};
 use std::collections::HashMap;
 
@@ -55,8 +57,10 @@ struct StoredLine {
     encrypted_with: Counter,
 }
 
-/// The NVMM image: data region, counter region, and (for co-located
-/// designs) per-line co-located counters.
+/// The NVMM image: data region, counter region, (for co-located
+/// designs) per-line co-located counters, and (for integrity-enabled
+/// configurations) the MAC region and the persisted integrity-tree
+/// nodes.
 #[derive(Debug, Clone, Default)]
 pub struct NvmmImage {
     data: HashMap<LineAddr, StoredLine>,
@@ -64,6 +68,11 @@ pub struct NvmmImage {
     /// Counters stored inside the widened 72-byte line (co-located
     /// designs). Persisted atomically with the data by construction.
     co_located: HashMap<LineAddr, Counter>,
+    /// Per-line MAC region (integrity-enabled configurations).
+    macs: HashMap<MacLineAddr, MacLine>,
+    /// Persisted integrity-tree nodes (internal levels; the counter
+    /// region itself is the leaf level).
+    tree: HashMap<TreeNodeAddr, DigestLine>,
 }
 
 impl NvmmImage {
@@ -117,6 +126,49 @@ impl NvmmImage {
     /// written).
     pub fn counter_line(&self, line: CounterLineAddr) -> CounterLine {
         self.counters.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Whether the counter region holds a persisted line at `line`.
+    pub fn counter_line_present(&self, line: CounterLineAddr) -> bool {
+        self.counters.contains_key(&line)
+    }
+
+    /// Iterates over persisted counter lines.
+    pub fn counter_lines(&self) -> impl Iterator<Item = (CounterLineAddr, CounterLine)> + '_ {
+        self.counters.iter().map(|(a, c)| (*a, *c))
+    }
+
+    /// Persists a full MAC line into the MAC region.
+    pub fn write_mac_line(&mut self, line: MacLineAddr, macs: MacLine) {
+        self.macs.insert(line, macs);
+    }
+
+    /// The MAC region's current MAC line (all-unwritten if never
+    /// written).
+    pub fn mac_line(&self, line: MacLineAddr) -> MacLine {
+        self.macs.get(&line).copied().unwrap_or_default()
+    }
+
+    /// The persisted MAC slot for `line` ([`Mac::ZERO`] if never
+    /// written).
+    pub fn persisted_mac(&self, line: LineAddr) -> Mac {
+        let slot = line.mac_slot();
+        self.mac_line(MacLineAddr(slot.mac_line)).get(slot.slot)
+    }
+
+    /// Persists an integrity-tree node.
+    pub fn write_tree_node(&mut self, node: TreeNodeAddr, digests: DigestLine) {
+        self.tree.insert(node, digests);
+    }
+
+    /// The persisted integrity-tree node at `node`, if any.
+    pub fn tree_node(&self, node: TreeNodeAddr) -> Option<DigestLine> {
+        self.tree.get(&node).copied()
+    }
+
+    /// Iterates over persisted integrity-tree nodes.
+    pub fn tree_nodes(&self) -> impl Iterator<Item = (TreeNodeAddr, DigestLine)> + '_ {
+        self.tree.iter().map(|(a, d)| (*a, *d))
     }
 
     /// The counter the *architecture* would use to decrypt `line`:
@@ -208,7 +260,8 @@ impl NvmmImage {
 
     /// A 128-bit FNV-1a digest of the image's line-level content: every
     /// resident data line (bytes + ground-truth counter), counter line,
-    /// and co-located counter, in address order. Two images with the
+    /// co-located counter, MAC line, and integrity-tree node, in
+    /// address order. Two images with the
     /// same fingerprint persist the same architectural state; the crash
     /// model checker uses this to collapse mask assignments that
     /// materialize identical images.
@@ -242,6 +295,21 @@ impl NvmmImage {
             eat(b"o");
             eat(&addr.0.to_le_bytes());
             eat(&ctr.to_bytes());
+        }
+        let mut macs: Vec<_> = self.macs.iter().collect();
+        macs.sort_by_key(|(addr, _)| **addr);
+        for (addr, ml) in macs {
+            eat(b"m");
+            eat(&addr.0.to_le_bytes());
+            eat(&ml.to_bytes());
+        }
+        let mut tree: Vec<_> = self.tree.iter().collect();
+        tree.sort_by_key(|(addr, _)| (addr.level, addr.index));
+        for (addr, node) in tree {
+            eat(b"t");
+            eat(&u64::from(addr.level).to_le_bytes());
+            eat(&addr.index.to_le_bytes());
+            eat(&node.to_bytes());
         }
         h
     }
@@ -356,5 +424,49 @@ mod tests {
         img.write_encrypted(LineAddr(2), w1.ciphertext, w1.counter);
         img.write_encrypted(LineAddr(2), w2.ciphertext, w2.counter);
         assert_eq!(img.encryption_counter(LineAddr(2)), w2.counter);
+    }
+
+    #[test]
+    fn mac_region_roundtrip() {
+        let mut img = NvmmImage::new();
+        assert!(img.persisted_mac(LineAddr(17)).is_unwritten());
+        let slot = LineAddr(17).mac_slot();
+        let mut ml = MacLine::new();
+        ml.set(slot.slot, Mac(0xfeed));
+        img.write_mac_line(MacLineAddr(slot.mac_line), ml);
+        assert_eq!(img.persisted_mac(LineAddr(17)), Mac(0xfeed));
+        // Neighbouring slots in the same MAC line stay unwritten.
+        assert!(img.persisted_mac(LineAddr(16)).is_unwritten());
+    }
+
+    #[test]
+    fn tree_region_roundtrip() {
+        let mut img = NvmmImage::new();
+        let node = TreeNodeAddr { level: 2, index: 5 };
+        assert!(img.tree_node(node).is_none());
+        let mut d = DigestLine::new();
+        d.set(3, 0xabcd);
+        img.write_tree_node(node, d);
+        assert_eq!(img.tree_node(node), Some(d));
+        assert_eq!(img.tree_nodes().count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_covers_integrity_metadata() {
+        let mut img = NvmmImage::new();
+        let base = img.fingerprint();
+        let mut ml = MacLine::new();
+        ml.set(0, Mac(1));
+        img.write_mac_line(MacLineAddr(0), ml);
+        let with_mac = img.fingerprint();
+        assert_ne!(base, with_mac, "MAC writes must change the fingerprint");
+        let mut d = DigestLine::new();
+        d.set(0, 7);
+        img.write_tree_node(TreeNodeAddr { level: 1, index: 0 }, d);
+        assert_ne!(
+            with_mac,
+            img.fingerprint(),
+            "tree writes must change the fingerprint"
+        );
     }
 }

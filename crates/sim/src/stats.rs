@@ -67,6 +67,26 @@ pub struct Stats {
     /// Maximum writes absorbed by any single NVMM target — the wear
     /// hot spot a leveling scheme must spread.
     pub max_line_writes: u64,
+    /// Dirty counter-cache victims written back on eviction (as opposed
+    /// to explicit `counter_cache_writeback` flushes).
+    pub counter_cache_evictions: u64,
+    /// Integrity-metadata cache hits (MAC lines + tree nodes).
+    pub tree_cache_hits: u64,
+    /// Integrity-metadata cache misses.
+    pub tree_cache_misses: u64,
+    /// Dirty integrity-metadata victims persisted on eviction.
+    pub tree_cache_evictions: u64,
+    /// MAC-line and tree-node writes drained (or guaranteed) to NVMM.
+    pub nvmm_metadata_writes: u64,
+    /// Metadata write-queue entries merged into an existing same-line
+    /// entry.
+    pub coalesced_metadata_writes: u64,
+    /// Strict-policy writes that waited on the serialized root-update
+    /// engine.
+    pub root_update_stalls: u64,
+    /// Cumulative time strict-policy writes waited for the root-update
+    /// engine.
+    pub root_update_stall: Time,
 }
 
 impl Stats {
@@ -88,9 +108,20 @@ impl Stats {
         }
     }
 
-    /// Total NVMM write accesses (data + counter lines).
+    /// Total NVMM write accesses (data + counter + integrity metadata).
     pub fn nvmm_writes(&self) -> u64 {
-        self.nvmm_data_writes + self.nvmm_counter_writes
+        self.nvmm_data_writes + self.nvmm_counter_writes + self.nvmm_metadata_writes
+    }
+
+    /// Metadata write amplification: counter + MAC/tree writes per data
+    /// write (0.0 for a run with no data writes).
+    pub fn metadata_write_amplification(&self) -> f64 {
+        if self.nvmm_data_writes == 0 {
+            0.0
+        } else {
+            (self.nvmm_counter_writes + self.nvmm_metadata_writes) as f64
+                / self.nvmm_data_writes as f64
+        }
     }
 
     /// Transactions per simulated second; 0.0 for a zero-length run.
@@ -129,7 +160,14 @@ macro_rules! stats_u64_fields {
             transactions_committed,
             counter_cache_writebacks,
             distinct_lines_written,
-            max_line_writes
+            max_line_writes,
+            counter_cache_evictions,
+            tree_cache_hits,
+            tree_cache_misses,
+            tree_cache_evictions,
+            nvmm_metadata_writes,
+            coalesced_metadata_writes,
+            root_update_stalls
         );
     };
 }
@@ -145,6 +183,10 @@ impl ToJson for Stats {
                 self.queue_full_stall.to_json(),
             ),
             ("pairing_stall".to_string(), self.pairing_stall.to_json()),
+            (
+                "root_update_stall".to_string(),
+                self.root_update_stall.to_json(),
+            ),
         ];
         macro_rules! push_u64 {
             ($($name:ident),*) => {
@@ -164,6 +206,7 @@ impl FromJson for Stats {
             barrier_stall: field(json, "barrier_stall")?,
             queue_full_stall: field(json, "queue_full_stall")?,
             pairing_stall: field(json, "pairing_stall")?,
+            root_update_stall: field(json, "root_update_stall")?,
             ..Stats::default()
         };
         macro_rules! read_u64 {
@@ -239,6 +282,14 @@ mod tests {
             counter_cache_writebacks: 21,
             distinct_lines_written: 22,
             max_line_writes: 23,
+            counter_cache_evictions: 24,
+            tree_cache_hits: 25,
+            tree_cache_misses: 26,
+            tree_cache_evictions: 27,
+            nvmm_metadata_writes: 28,
+            coalesced_metadata_writes: 29,
+            root_update_stalls: 30,
+            root_update_stall: Time::from_ns(31),
         };
         let back = Stats::from_json(&Json::parse(&s.to_json().to_compact()).unwrap()).unwrap();
         assert_eq!(back, s);

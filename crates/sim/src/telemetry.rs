@@ -41,6 +41,9 @@ macro_rules! epoch_delta_fields {
             pairing_stalls,
             counter_cache_hits,
             counter_cache_misses,
+            counter_cache_evictions,
+            counter_cache_writebacks,
+            nvmm_metadata_writes,
             bytes_written
         );
     };
@@ -71,6 +74,12 @@ pub struct EpochSample {
     pub counter_cache_hits: u64,
     /// Counter-cache misses during the epoch.
     pub counter_cache_misses: u64,
+    /// Dirty counter-cache victims written back during the epoch.
+    pub counter_cache_evictions: u64,
+    /// `counter_cache_writeback` operations executed during the epoch.
+    pub counter_cache_writebacks: u64,
+    /// MAC-line and tree-node NVMM writes accepted during the epoch.
+    pub nvmm_metadata_writes: u64,
     /// Bytes written to NVMM during the epoch.
     pub bytes_written: u64,
 }
@@ -204,6 +213,9 @@ struct Baseline {
     pairing_stalls: u64,
     counter_cache_hits: u64,
     counter_cache_misses: u64,
+    counter_cache_evictions: u64,
+    counter_cache_writebacks: u64,
+    nvmm_metadata_writes: u64,
     bytes_written: u64,
 }
 
@@ -397,8 +409,39 @@ mod tests {
                 s.counter_cache_misses,
                 "{design:?}"
             );
+            assert_eq!(
+                tl.total(|e| e.counter_cache_evictions),
+                s.counter_cache_evictions,
+                "{design:?}"
+            );
+            assert_eq!(
+                tl.total(|e| e.counter_cache_writebacks),
+                s.counter_cache_writebacks,
+                "{design:?}"
+            );
+            assert_eq!(
+                tl.total(|e| e.nvmm_metadata_writes),
+                s.nvmm_metadata_writes,
+                "{design:?}"
+            );
             assert_eq!(tl.total(|e| e.bytes_written), s.bytes_written, "{design:?}");
         }
+    }
+
+    #[test]
+    fn integrity_run_reconciles_metadata_deltas() {
+        let cfg =
+            telemetry_cfg(Design::Sca, 150).with_integrity(crate::config::IntegrityPolicy::Strict);
+        let out = run_to_completion(cfg, vec![busy_trace(40)]);
+        let tl = out.timeline.expect("telemetry enabled");
+        assert!(
+            out.stats.nvmm_metadata_writes > 0,
+            "strict integrity must write MAC/tree metadata"
+        );
+        assert_eq!(
+            tl.total(|e| e.nvmm_metadata_writes),
+            out.stats.nvmm_metadata_writes
+        );
     }
 
     #[test]

@@ -112,6 +112,9 @@ impl SlotQueue {
 pub struct WriteQueues {
     data: SlotQueue,
     counter: SlotQueue,
+    /// Integrity-metadata (MAC line / tree node) write queue; unused
+    /// (but present) when the integrity policy is off.
+    meta: SlotQueue,
     /// Pending (not yet draining) entries eligible for coalescing.
     pending: HashMap<NvmmTarget, Pending>,
     /// Next instant the pairing coordinator is free: consecutive
@@ -124,11 +127,17 @@ pub struct WriteQueues {
 
 impl WriteQueues {
     /// Creates queues with the given capacities (Table 2: 64 data,
-    /// 16 counter).
-    pub fn new(data_entries: usize, counter_entries: usize, pair_overhead: Time) -> Self {
+    /// 16 counter; the metadata queue mirrors the counter queue's 16).
+    pub fn new(
+        data_entries: usize,
+        counter_entries: usize,
+        meta_entries: usize,
+        pair_overhead: Time,
+    ) -> Self {
         Self {
             data: SlotQueue::new(data_entries),
             counter: SlotQueue::new(counter_entries),
+            meta: SlotQueue::new(meta_entries),
             pending: HashMap::new(),
             pairing_free: Time::ZERO,
             pair_overhead,
@@ -166,12 +175,14 @@ impl WriteQueues {
         let q = match target {
             NvmmTarget::Data(_) => &mut self.data,
             NvmmTarget::Counter(_) => &mut self.counter,
+            NvmmTarget::Mac(_) | NvmmTarget::TreeNode(_) => &mut self.meta,
         };
         let accepted = q.accept(t);
         let sched = device.schedule(target, AccessKind::Write, accepted);
         let q = match target {
             NvmmTarget::Data(_) => &mut self.data,
             NvmmTarget::Counter(_) => &mut self.counter,
+            NvmmTarget::Mac(_) | NvmmTarget::TreeNode(_) => &mut self.meta,
         };
         q.push_drain(sched.done);
         self.pending.insert(
@@ -275,6 +286,11 @@ impl WriteQueues {
         self.counter.occupancy_at(t)
     }
 
+    /// Metadata-queue occupancy at `t`.
+    pub fn meta_occupancy(&self, t: Time) -> usize {
+        self.meta.occupancy_at(t)
+    }
+
     /// Data-queue slot capacity.
     pub fn data_capacity(&self) -> usize {
         self.data.capacity
@@ -301,6 +317,7 @@ impl WriteQueues {
         let drain = |q: &SlotQueue| q.slots.back().copied().unwrap_or(Time::ZERO);
         drain(&self.data)
             .max(drain(&self.counter))
+            .max(drain(&self.meta))
             .max(self.pairing_free)
     }
 }
@@ -315,7 +332,7 @@ mod tests {
         let cfg = SimConfig::single_core(Design::Sca);
         (
             PcmDevice::new(&cfg),
-            WriteQueues::new(4, 2, Time::from_ns(150)),
+            WriteQueues::new(4, 2, 2, Time::from_ns(150)),
         )
     }
 
@@ -478,6 +495,23 @@ mod tests {
         let b = wq.submit_plain(&mut dev, data(2), Time::ZERO);
         // Bank-parallel: drains overlap (unlike the CA engine).
         assert!(b.drained < a.drained + Time::from_ns(313));
+    }
+
+    #[test]
+    fn metadata_writes_use_their_own_queue() {
+        use crate::addr::{MacLineAddr, TreeNodeAddr};
+        let (mut dev, mut wq) = setup();
+        let m = NvmmTarget::Mac(MacLineAddr(3));
+        let n = NvmmTarget::TreeNode(TreeNodeAddr { level: 1, index: 0 });
+        wq.submit_plain(&mut dev, m, Time::ZERO);
+        wq.submit_plain(&mut dev, n, Time::ZERO);
+        assert_eq!(wq.meta_occupancy(Time::ZERO), 2);
+        assert_eq!(wq.data_occupancy(Time::ZERO), 0);
+        assert_eq!(wq.counter_occupancy(Time::ZERO), 0);
+        // A third metadata write must wait: the 2-entry queue is full.
+        let late = wq.submit_plain(&mut dev, NvmmTarget::Mac(MacLineAddr(77)), Time::ZERO);
+        assert!(late.accepted > Time::ZERO, "meta queue backpressure");
+        assert!(wq.quiesce_time() >= late.drained);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use nvmm_core::recovery::RecoveredMemory;
 use nvmm_core::undo::UndoLog;
 use nvmm_sim::addr::ByteAddr;
 use nvmm_sim::config::{Design, SimConfig};
+use nvmm_sim::integrity::IntegritySpec;
 use nvmm_sim::system::{CrashSpec, RunOutcome, System};
 use nvmm_sim::time::Time;
 use nvmm_sim::trace::Trace;
@@ -168,11 +169,12 @@ pub fn crash_check_cfg(
     recovery_window: u64,
 ) -> Result<CrashCheckOutcome, ConsistencyError> {
     let design = config.design;
+    let integrity = IntegritySpec::from_config(&config);
     let ex = execute(spec, 0, spec.ops);
     let trace = ex.pm.trace().clone();
     let key = config.key;
     let out = System::new(config, vec![trace]).run(crash);
-    check_recovered_image(spec, &ex, &out, key, design, recovery_window)
+    check_recovered_image(spec, &ex, &out, key, design, integrity, recovery_window)
 }
 
 /// The checking half of [`crash_check_cfg`]: given an already-executed
@@ -188,15 +190,25 @@ pub fn crash_check_cfg(
 /// Returns a [`ConsistencyError`] exactly as [`crash_check_cfg`] does:
 /// when recovery reads a garbled line, a structural invariant fails, or
 /// the recovered bytes deviate from the replayed ground truth.
+#[allow(clippy::too_many_arguments)]
 pub fn check_recovered_image(
     spec: &WorkloadSpec,
     ex: &Executed,
     out: &RunOutcome,
     key: [u8; 16],
     design: Design,
+    integrity: IntegritySpec,
     recovery_window: u64,
 ) -> Result<CrashCheckOutcome, ConsistencyError> {
-    check_image(spec, ex, &out.image, key, design, recovery_window)
+    check_image(
+        spec,
+        ex,
+        &out.image,
+        key,
+        design,
+        integrity,
+        recovery_window,
+    )
 }
 
 /// The image-level core of [`check_recovered_image`]: runs the full
@@ -207,14 +219,26 @@ pub fn check_recovered_image(
 /// # Errors
 ///
 /// Returns a [`ConsistencyError`] exactly as [`check_recovered_image`].
+#[allow(clippy::too_many_arguments)]
 pub fn check_image(
     spec: &WorkloadSpec,
     ex: &Executed,
     image: &nvmm_sim::NvmmImage,
     key: [u8; 16],
     design: Design,
+    integrity: IntegritySpec,
     recovery_window: u64,
 ) -> Result<CrashCheckOutcome, ConsistencyError> {
+    // Integrity oracle first: before recovery touches anything, every
+    // cleanly-decrypting line must authenticate against its persisted
+    // MAC, and (under strict) every persisted tree node against its
+    // persisted children.
+    if let Err(err) = nvmm_sim::verify_image(image, integrity, key) {
+        ensure!(
+            false,
+            "integrity oracle rejected the image under {design}: {err}"
+        );
+    }
     let trace_events = ex.pm.trace().len() as u64;
     let mut mem = RecoveredMemory::new(image.clone(), key).with_recovery_window(recovery_window);
     let report = spec.mechanism.recover(&mut mem, &ex.log);
@@ -453,15 +477,24 @@ pub fn model_check_cfg(
     opts: &ModelCheckOpts,
 ) -> ModelCheckReport {
     let design = config.design;
+    let integrity = IntegritySpec::from_config(&config);
     let key = config.key;
     let ex = execute(spec, 0, spec.ops);
     let trace = prepared_trace(&ex, opts);
     let out = System::new(config, vec![trace]).run(crash);
     match out.crash_set {
-        Some(set) => check_crash_set(spec, &ex, &set, key, design, opts),
+        Some(set) => check_crash_set(spec, &ex, &set, key, design, integrity, opts),
         None => {
             // Completed run: exactly one legal image.
-            let verdict = check_image(spec, &ex, &out.image, key, design, opts.recovery_window);
+            let verdict = check_image(
+                spec,
+                &ex,
+                &out.image,
+                key,
+                design,
+                integrity,
+                opts.recovery_window,
+            );
             let failed = verdict.is_err();
             ModelCheckReport {
                 stats: nvmm_sim::EnumStats {
@@ -489,12 +522,14 @@ pub fn model_check_cfg(
 /// Split out so a sweep can simulate many crash cells in parallel and
 /// replay the enumerated checks afterwards (see the `crash_matrix`
 /// binary).
+#[allow(clippy::too_many_arguments)]
 pub fn check_crash_set(
     spec: &WorkloadSpec,
     ex: &Executed,
     set: &nvmm_sim::CrashSet,
     key: [u8; 16],
     design: Design,
+    integrity: IntegritySpec,
     opts: &ModelCheckOpts,
 ) -> ModelCheckReport {
     let en = set.enumerate(nvmm_sim::EnumOpts {
@@ -505,7 +540,8 @@ pub fn check_crash_set(
     let mut baseline_violation = false;
     let mut first_fail: Option<(nvmm_sim::LandMask, ConsistencyError)> = None;
     for (i, (mask, img)) in en.images.iter().enumerate() {
-        if let Err(error) = check_image(spec, ex, img, key, design, opts.recovery_window) {
+        if let Err(error) = check_image(spec, ex, img, key, design, integrity, opts.recovery_window)
+        {
             violations += 1;
             // `images[0]` is always the all-miss baseline.
             baseline_violation |= i == 0;
@@ -521,6 +557,7 @@ pub fn check_crash_set(
             set,
             key,
             design,
+            integrity,
             opts.recovery_window,
             mask,
             error,
@@ -545,6 +582,7 @@ fn minimize_violation(
     set: &nvmm_sim::CrashSet,
     key: [u8; 16],
     design: Design,
+    integrity: IntegritySpec,
     recovery_window: u64,
     mut mask: nvmm_sim::LandMask,
     mut error: ConsistencyError,
@@ -552,7 +590,15 @@ fn minimize_violation(
     loop {
         let mut improved = false;
         for cand in set.shrink_candidates(&mask) {
-            if let Err(e) = check_image(spec, ex, &set.image(&cand), key, design, recovery_window) {
+            if let Err(e) = check_image(
+                spec,
+                ex,
+                &set.image(&cand),
+                key,
+                design,
+                integrity,
+                recovery_window,
+            ) {
                 mask = cand;
                 error = e;
                 improved = true;

@@ -7,10 +7,11 @@
 //! per crash point; these tests enumerate the whole legal image set at
 //! instants where writes are observably in flight.
 
-use nvmm::sim::config::Design;
+use nvmm::sim::config::{Design, IntegrityPolicy, SimConfig};
 use nvmm::sim::system::CrashSpec;
 use nvmm::workloads::{
-    crash_instants, execute, model_check, ModelCheckOpts, WorkloadKind, WorkloadSpec,
+    crash_instants, crash_instants_cfg, execute, model_check, model_check_cfg, ModelCheckOpts,
+    WorkloadKind, WorkloadSpec,
 };
 
 fn opts(max_images: usize) -> ModelCheckOpts {
@@ -146,6 +147,71 @@ fn model_check_is_deterministic_for_fixed_seed_and_bound() {
         let b = model_check(&spec, Design::Sca, CrashSpec::AtTime(t), &o);
         assert_eq!(a, b);
     }
+}
+
+/// Acceptance criterion for the integrity subsystem: across all five
+/// workloads under SCA with the strict and lazy policies, every
+/// enumerated image at every in-flight crash instant passes both the
+/// recovery oracle *and* the integrity oracle (MAC authentication plus,
+/// under strict, tree-node/child digest agreement).
+#[test]
+fn integrity_policies_pass_model_check_on_all_workloads() {
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec::smoke(kind).with_ops(4);
+        for policy in [IntegrityPolicy::Strict, IntegrityPolicy::Lazy] {
+            let cfg = SimConfig::single_core(Design::Sca).with_integrity(policy);
+            let o = opts(32);
+            let instants = crash_instants_cfg(&spec, cfg.clone(), &o, 6);
+            assert!(
+                !instants.is_empty(),
+                "{kind} under {policy}: no in-flight instants found"
+            );
+            for &t in &instants {
+                let rep = model_check_cfg(&spec, cfg.clone(), CrashSpec::AtTime(t), &o);
+                assert!(
+                    rep.clean(),
+                    "{kind} under {policy} at {t}: {} of {} images violated; minimal: {:?}",
+                    rep.violations,
+                    rep.images_checked,
+                    rep.minimal
+                );
+            }
+        }
+    }
+}
+
+/// Positive control for the integrity oracle: a strict-policy
+/// controller whose tree-path updates persist eagerly instead of riding
+/// the counter-atomic pair (the parent-ahead-of-child ordering bug) must
+/// yield violating images, and the minimized witness must carry the
+/// tree oracle's error.
+#[test]
+fn injected_tree_ordering_bug_is_caught() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap).with_ops(4);
+    let cfg = SimConfig::single_core(Design::Sca)
+        .with_integrity(IntegrityPolicy::Strict)
+        .with_tree_bug();
+    let o = opts(32);
+    let instants = crash_instants_cfg(&spec, cfg.clone(), &o, 8);
+    assert!(!instants.is_empty());
+    let mut violations = 0;
+    let mut tree_error_seen = false;
+    for &t in &instants {
+        let rep = model_check_cfg(&spec, cfg.clone(), CrashSpec::AtTime(t), &o);
+        violations += rep.violations;
+        if let Some(m) = rep.minimal {
+            tree_error_seen |=
+                m.error.0.contains("never persisted") || m.error.0.contains("ahead of child");
+        }
+    }
+    assert!(
+        violations >= 1,
+        "parent-first tree persistence must produce at least one violating image"
+    );
+    assert!(
+        tree_error_seen,
+        "the witness must blame the tree ordering, not an unrelated oracle"
+    );
 }
 
 /// A run that completes (or quiesces) has exactly one legal image, and

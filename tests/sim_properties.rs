@@ -23,7 +23,7 @@ proptest! {
     ) {
         let cfg = SimConfig::single_core(Design::Sca);
         let mut dev = PcmDevice::new(&cfg);
-        let mut wq = WriteQueues::new(8, 4, Time::from_ns(100));
+        let mut wq = WriteQueues::new(8, 4, 4, Time::from_ns(100));
         let mut t = Time::ZERO;
         for (line, gap_ns) in submissions {
             t += Time::from_ns(gap_ns);
@@ -42,7 +42,7 @@ proptest! {
     ) {
         let cfg = SimConfig::single_core(Design::Sca);
         let mut dev = PcmDevice::new(&cfg);
-        let mut wq = WriteQueues::new(16, 4, Time::from_ns(100));
+        let mut wq = WriteQueues::new(16, 4, 4, Time::from_ns(100));
         let mut t = Time::ZERO;
         let mut last_ready = Time::ZERO;
         for (line, gap_ns) in submissions {
@@ -159,7 +159,7 @@ proptest! {
     ) {
         let cfg = SimConfig::single_core(Design::Sca);
         let mut dev = PcmDevice::new(&cfg);
-        let mut wq = WriteQueues::new(8, 4, Time::from_ns(100));
+        let mut wq = WriteQueues::new(8, 4, 4, Time::from_ns(100));
         let mut t = Time::ZERO;
         let mut last_ready = Time::ZERO;
         for (line, counter_atomic, gap_ns) in submissions {
@@ -256,7 +256,7 @@ fn wq_occupancy_is_bounded_by_capacity() {
     // Deterministic corner: flood a tiny queue and check occupancy.
     let cfg = SimConfig::single_core(Design::Sca);
     let mut dev = PcmDevice::new(&cfg);
-    let mut wq = WriteQueues::new(4, 2, Time::from_ns(100));
+    let mut wq = WriteQueues::new(4, 2, 2, Time::from_ns(100));
     for i in 0..50u64 {
         // Distinct lines on purpose (no coalescing).
         let r = wq.submit_plain(&mut dev, NvmmTarget::Data(LineAddr(i * 97)), Time::ZERO);
