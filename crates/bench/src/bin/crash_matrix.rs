@@ -32,20 +32,27 @@
 //! * `NVMM_CRASH_POINTS` — crash instants checked per cell (default 6).
 //! * `NVMM_OPS` — transactions per workload (default 6 here; the
 //!   model check replays one simulation per instant × image set).
+//! * `NVMM_MC_THREADS` — model-checker worker threads (defaults to
+//!   `NVMM_THREADS`, then available parallelism). The crash instants
+//!   of each cell fan out over these workers; the artifact is
+//!   byte-identical for any setting.
 //!
 //! The artifact (`target/experiments/crash_matrix.json`) records, per
 //! `workload` row and `design` series, the violation count, plus
-//! `<design>/images`, `<design>/masks`, `<design>/pruned`, and
-//! `<design>/points` metrics; the `cells` array carries the full stats
-//! of each cell's crash-free reference run via the sweep engine.
+//! `<design>/images`, `<design>/masks`, `<design>/deduped`,
+//! `<design>/pruned`, and `<design>/points` metrics; the `cells` array
+//! carries the full stats of each cell's crash-free reference run via
+//! the sweep engine. Wall-clock per cell (`<design>/mc_wall_ns`) is
+//! nondeterministic and so lands in the companion
+//! `crash_matrix_timing.json`, keeping the main artifact reproducible.
 
 use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{print_table, Experiment};
 use nvmm_sim::config::{Design, IntegrityPolicy, SimConfig};
 use nvmm_sim::system::CrashSpec;
 use nvmm_workloads::{
-    crash_instants_cfg, execute, model_check_cfg, ModelCheckOpts, ModelCheckReport, WorkloadKind,
-    WorkloadSpec,
+    crash_instants_cfg, execute, model_check_cfg, model_check_instants_cfg, ModelCheckOpts,
+    ModelCheckReport, WorkloadKind, WorkloadSpec,
 };
 use std::collections::BTreeMap;
 
@@ -62,9 +69,11 @@ struct CellAgg {
     points: u64,
     images: u64,
     masks: u64,
+    deduped: u64,
     pruned: u64,
     violations: u64,
     in_flight_points: u64,
+    wall_ns: u64,
 }
 
 impl CellAgg {
@@ -72,11 +81,13 @@ impl CellAgg {
         self.points += 1;
         self.images += rep.images_checked as u64;
         self.masks += rep.stats.masks_explored;
+        self.deduped += rep.stats.images_deduped;
         self.pruned += rep.stats.groups_pruned as u64;
         self.violations += rep.violations as u64;
         if rep.stats.groups > 0 {
             self.in_flight_points += 1;
         }
+        self.wall_ns += rep.mc_wall_ns;
     }
 }
 
@@ -104,13 +115,10 @@ fn check_cell(
             ));
         }
     } else {
-        for &t in &instants {
-            agg.absorb(&model_check_cfg(
-                spec,
-                cfg.clone(),
-                CrashSpec::AtTime(t),
-                opts,
-            ));
+        // The instants fan out over `NVMM_MC_THREADS` workers; reports
+        // come back in instant order, bit-identical to a sequential run.
+        for rep in model_check_instants_cfg(spec, cfg.clone(), &instants, opts) {
+            agg.absorb(&rep);
         }
     }
     agg
@@ -195,11 +203,20 @@ fn main() {
     outs.record_all(&mut exp, |cell, _| {
         matrix[&(cell.row.clone(), cell.series.clone())].violations as f64
     });
+    // Wall-clock is nondeterministic, so it lives in a companion
+    // artifact: `crash_matrix.json` itself must stay byte-identical
+    // across `NVMM_MC_THREADS` settings (CI compares it).
+    let mut timing = Experiment::new(
+        "crash_matrix_timing",
+        "wall-clock ns spent model-checking each (workload, design) cell",
+    );
     for ((row, series), agg) in &matrix {
         exp.insert(row, &format!("{series}/images"), agg.images as f64);
         exp.insert(row, &format!("{series}/masks"), agg.masks as f64);
+        exp.insert(row, &format!("{series}/deduped"), agg.deduped as f64);
         exp.insert(row, &format!("{series}/pruned"), agg.pruned as f64);
         exp.insert(row, &format!("{series}/points"), agg.points as f64);
+        timing.insert(row, &format!("{series}/mc_wall_ns"), agg.wall_ns as f64);
     }
     exp.insert(
         control_spec.kind.label(),
@@ -293,6 +310,8 @@ fn main() {
 
     let path = exp.save().expect("write results");
     println!("saved {}", path.display());
+    let timing_path = timing.save().expect("write timing");
+    println!("saved {}", timing_path.display());
     if failed {
         std::process::exit(1);
     }

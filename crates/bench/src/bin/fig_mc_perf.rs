@@ -1,0 +1,236 @@
+//! Model-checker performance: eager rebuild-per-mask enumeration (the
+//! pre-overlay baseline, retained as `CrashSet::enumerate_eager`, with
+//! per-image engine construction) versus the incremental copy-on-write
+//! walk (`CrashSet::enumerate_parallel`) with warm shared engines and
+//! `NVMM_MC_THREADS` workers.
+//!
+//! For each of the five workloads under SCA with strict integrity
+//! (so the per-image verify oracle does real MAC/tree work), crash
+//! instants are harvested from the run's persist windows and each
+//! instant's crash set is enumerated **and** verified (the image-level
+//! integrity oracle over every enumerated image, default `EnumOpts`)
+//! twice in the same process:
+//!
+//! * **eager** — `enumerate_eager` builds every candidate image from
+//!   scratch by replaying the whole journal prefix, then each image is
+//!   verified with freshly constructed encryption/MAC engines — exactly
+//!   the shape of the checker before the overlay landed;
+//! * **incremental** — `enumerate_parallel` walks the mask schedule by
+//!   applying/undoing only the choice group that changed, images are
+//!   deduplicated by the O(1) incremental fingerprint, and
+//!   verification shares one warmed engine pair (OTP pad memo included)
+//!   across all images and workers.
+//!
+//! The binary is self-checking: both paths must produce the same image
+//! count, the same fingerprints, and the same verdict on every image,
+//! and on a sampled subset the incremental fingerprint must equal a
+//! from-scratch recompute. It exits nonzero on any divergence — speed
+//! means nothing if the fast path explores a different space.
+//!
+//! Environment knobs:
+//!
+//! * `NVMM_OPS` — transactions per workload (default 8).
+//! * `NVMM_PAYLOAD_LINES` — cache lines written per transaction
+//!   (default 8; denser transactions leave more writes in flight, so
+//!   crash sets carry more choice groups).
+//! * `NVMM_CRASH_POINTS` — crash instants per workload (default 5).
+//! * `NVMM_MC_THREADS` — incremental-path workers (defaults to
+//!   `NVMM_THREADS`, then available parallelism).
+//!
+//! The artifact (`target/experiments/BENCH_crashmc.json`) records, per
+//! workload, `eager_ns`, `incremental_ns`, `speedup`, plus the
+//! enumeration shape (`points`, `images`, `masks`, `deduped`), and a
+//! `geomean` row carrying the headline speedup. Wall-clock numbers are
+//! inherently nondeterministic; the self-checked equivalences are not.
+
+use nvmm_bench::{geo_mean, print_table, Experiment};
+use nvmm_crypto::mac::MacEngine;
+use nvmm_crypto::EncryptionEngine;
+use nvmm_sim::config::{Design, IntegrityPolicy, SimConfig};
+use nvmm_sim::integrity::IntegritySpec;
+use nvmm_sim::system::{CrashSpec, System};
+use nvmm_sim::{mc_threads, run_parallel, verify_image, verify_image_with, CrashSet, EnumOpts};
+use nvmm_workloads::{crash_instants_cfg, execute, ModelCheckOpts, WorkloadKind, WorkloadSpec};
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Timed outcome of enumerate+verify over one workload's crash sets.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct PathAgg {
+    images: u64,
+    masks: u64,
+    deduped: u64,
+    violations: u64,
+}
+
+/// The eager baseline: rebuild every image from scratch, verify each
+/// with freshly constructed engines, sequentially.
+fn run_eager(
+    sets: &[CrashSet],
+    key: [u8; 16],
+    integrity: IntegritySpec,
+) -> (u64, PathAgg, Vec<Vec<u128>>) {
+    let mut agg = PathAgg::default();
+    let mut fps = Vec::new();
+    let started = Instant::now();
+    for set in sets {
+        let en = set.enumerate_eager(EnumOpts::default());
+        for (_, img) in &en.images {
+            if verify_image(img, integrity, key).is_err() {
+                agg.violations += 1;
+            }
+        }
+        agg.images += en.images.len() as u64;
+        agg.masks += en.stats.masks_explored;
+        agg.deduped += en.stats.images_deduped;
+        fps.push(en.images.iter().map(|(_, img)| img.fingerprint()).collect());
+    }
+    (started.elapsed().as_nanos() as u64, agg, fps)
+}
+
+/// The incremental path: overlay walk, parallel masks, one warmed
+/// engine pair shared across every image and worker.
+fn run_incremental(
+    sets: &[CrashSet],
+    key: [u8; 16],
+    integrity: IntegritySpec,
+) -> (u64, PathAgg, Vec<Vec<u128>>) {
+    let threads = mc_threads();
+    let mut agg = PathAgg::default();
+    let mut fps = Vec::new();
+    let started = Instant::now();
+    let engine = EncryptionEngine::new(key);
+    let mac_engine = MacEngine::new(key);
+    for set in sets {
+        let en = set.enumerate_parallel(EnumOpts::default(), threads);
+        let verdicts = run_parallel(threads, &en.images, |(_, img)| {
+            verify_image_with(img, integrity, &engine, &mac_engine).is_err()
+        });
+        agg.violations += verdicts.iter().filter(|v| **v).count() as u64;
+        agg.images += en.images.len() as u64;
+        agg.masks += en.stats.masks_explored;
+        agg.deduped += en.stats.images_deduped;
+        fps.push(en.images.iter().map(|(_, img)| img.fingerprint()).collect());
+    }
+    (started.elapsed().as_nanos() as u64, agg, fps)
+}
+
+fn main() {
+    let ops = env_u64("NVMM_OPS", 8) as usize;
+    let payload = env_u64("NVMM_PAYLOAD_LINES", 8) as usize;
+    let points = env_u64("NVMM_CRASH_POINTS", 5) as usize;
+    let cfg = SimConfig::single_core(Design::Sca).with_integrity(IntegrityPolicy::Strict);
+    let integrity = IntegritySpec::from_config(&cfg);
+    let key = cfg.key;
+    let mc_opts = ModelCheckOpts::default();
+
+    let mut exp = Experiment::new(
+        "BENCH_crashmc",
+        "enumerate+verify wall-clock per workload: eager rebuild baseline vs incremental overlay",
+    );
+    let mut failed = false;
+    let mut speedups = Vec::new();
+    let mut rows = Vec::new();
+
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec::smoke(kind)
+            .with_ops(ops)
+            .with_payload_lines(payload);
+        let ex = execute(&spec, 0, spec.ops);
+        let trace = ex.pm.trace().clone();
+        let instants = crash_instants_cfg(&spec, cfg.clone(), &mc_opts, points);
+        let sets: Vec<CrashSet> = instants
+            .iter()
+            .filter_map(|&t| {
+                System::new(cfg.clone(), vec![trace.clone()])
+                    .run(CrashSpec::AtTime(t))
+                    .crash_set
+            })
+            .collect();
+        if sets.is_empty() {
+            eprintln!("FAIL: {} exposed no in-flight crash sets", kind.label());
+            failed = true;
+            continue;
+        }
+
+        let (eager_ns, eager, eager_fps) = run_eager(&sets, key, integrity);
+        let (inc_ns, inc, inc_fps) = run_incremental(&sets, key, integrity);
+
+        // Equivalence: same images, same fingerprints, same verdicts.
+        if eager_fps != inc_fps {
+            eprintln!(
+                "FAIL: {}: incremental and eager enumerations diverge",
+                kind.label()
+            );
+            failed = true;
+        }
+        if eager != inc {
+            eprintln!(
+                "FAIL: {}: path accounting diverges (eager {eager:?} vs incremental {inc:?})",
+                kind.label()
+            );
+            failed = true;
+        }
+        // Incremental fingerprint vs from-scratch recompute on a
+        // sampled subset of the enumerated images.
+        for set in &sets {
+            let en = set.enumerate_parallel(EnumOpts::default(), 1);
+            for (_, img) in en.images.iter().step_by(7) {
+                if img.fingerprint() != img.fingerprint_recompute() {
+                    eprintln!(
+                        "FAIL: {}: incremental fingerprint drifted from recompute",
+                        kind.label()
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        let speedup = eager_ns as f64 / inc_ns.max(1) as f64;
+        speedups.push(speedup);
+        let row = kind.label().to_string();
+        exp.insert(&row, "eager_ns", eager_ns as f64);
+        exp.insert(&row, "incremental_ns", inc_ns as f64);
+        exp.insert(&row, "speedup", speedup);
+        exp.insert(&row, "points", sets.len() as f64);
+        exp.insert(&row, "images", inc.images as f64);
+        exp.insert(&row, "masks", inc.masks as f64);
+        exp.insert(&row, "deduped", inc.deduped as f64);
+        rows.push((
+            row,
+            vec![
+                eager_ns as f64 / 1e6,
+                inc_ns as f64 / 1e6,
+                speedup,
+                inc.images as f64,
+                inc.masks as f64,
+            ],
+        ));
+    }
+
+    let headline = geo_mean(&speedups);
+    exp.insert("geomean", "speedup", headline);
+    print_table(
+        "enumerate+verify: eager vs incremental",
+        &["eager ms", "incr ms", "speedup", "images", "masks"],
+        &rows,
+    );
+    println!(
+        "\ngeomean speedup {headline:.2}x over {} workloads ({} workers)",
+        speedups.len(),
+        mc_threads()
+    );
+
+    let path = exp.save().expect("write results");
+    println!("saved {}", path.display());
+    if failed {
+        std::process::exit(1);
+    }
+    println!("crashmc perf self-check clean: incremental path matches the eager baseline");
+}

@@ -17,6 +17,7 @@
 //! | `overhead`  | §6.3.7 — hardware overhead accounting |
 //! | `crash_matrix` | adversarial crash-image model check: five workloads × designs (including SCA+strict / SCA+lazy integrity) over every ADR-legal image (self-checking; no paper figure) |
 //! | `fig_integrity` | integrity-policy cost: runtime and metadata write amplification of mac-only / lazy / strict on top of SCA (self-checking; no paper figure) |
+//! | `fig_mc_perf` | model-checker throughput: eager rebuild-per-mask enumeration vs the incremental copy-on-write walk with parallel verification (self-checking; no paper figure) |
 //!
 //! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
 //! prints a human-readable table and writes machine-readable JSON to

@@ -37,13 +37,13 @@ use crate::{CellRecord, Experiment};
 use nvmm_json::ToJson;
 use nvmm_sim::config::{Design, SimConfig};
 use nvmm_sim::nvmm::NvmmImage;
+use nvmm_sim::parallel::run_parallel;
 use nvmm_sim::system::{CrashSpec, RunOutcome, System};
 use nvmm_sim::time::Time;
 use nvmm_sim::trace::Trace;
 use nvmm_workloads::{traces_for_cores, WorkloadSpec};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One point of an experiment grid.
 #[derive(Debug, Clone)]
@@ -195,38 +195,6 @@ impl SweepRunner {
             .collect();
         SweepOutcomes { cells, outcomes }
     }
-}
-
-/// Distributes `jobs` over up to `threads` workers, returning results in
-/// job order. A single thread (or a single job) runs inline.
-fn run_parallel<T: Sync, R: Send>(
-    threads: usize,
-    jobs: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let result = f(job);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker completed")
-        })
-        .collect()
 }
 
 /// The result of a sweep: outcomes aligned one-to-one with the cells

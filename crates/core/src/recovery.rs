@@ -46,9 +46,19 @@ pub struct RecoveredMemory {
 impl RecoveredMemory {
     /// Wraps a post-crash image with the system's encryption key.
     pub fn new(image: NvmmImage, key: [u8; 16]) -> Self {
+        Self::with_engine(image, EncryptionEngine::new(key))
+    }
+
+    /// Wraps a post-crash image with an existing [`EncryptionEngine`].
+    ///
+    /// The crash model checker recovers hundreds of candidate images
+    /// under one key; handing each recovery a clone of one warmed engine
+    /// shares the OTP pad memo across them instead of re-deriving the
+    /// AES key schedule (and every pad) per image.
+    pub fn with_engine(image: NvmmImage, engine: EncryptionEngine) -> Self {
         Self {
             image,
-            engine: EncryptionEngine::new(key),
+            engine,
             overlay: HashMap::new(),
             garbled_touched: BTreeSet::new(),
             recovery_window: 0,

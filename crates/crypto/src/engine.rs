@@ -11,7 +11,9 @@
 
 use crate::aes::Aes128;
 use crate::counter::{Counter, GlobalCounter, LINE_BYTES};
-use crate::otp::{line_pad, xor_line};
+use crate::otp::{line_pad, xor_line, LinePad};
+use fxhash::FxHashMap;
+use std::sync::{Arc, Mutex};
 
 /// A 64-byte cache-line payload.
 pub type LineData = [u8; LINE_BYTES];
@@ -42,6 +44,14 @@ pub struct EncryptedWrite {
 pub struct EncryptionEngine {
     cipher: Aes128,
     global: GlobalCounter,
+    /// Memo of generated OTPs keyed by `(line address, counter)`. An OTP
+    /// is a pure function of the key and that pair, so memoizing is
+    /// semantically invisible; it matters when the same (addr, counter)
+    /// ciphertext is decrypted thousands of times across enumerated
+    /// crash images. Shared through `Arc` so cloning the engine (the
+    /// model checker hands one warmed engine to every candidate image)
+    /// shares the warm memo rather than cold-starting AES again.
+    pads: Arc<Mutex<FxHashMap<(u64, u64), LinePad>>>,
 }
 
 impl EncryptionEngine {
@@ -51,7 +61,18 @@ impl EncryptionEngine {
         Self {
             cipher: Aes128::new(&key),
             global: GlobalCounter::new(),
+            pads: Arc::new(Mutex::new(FxHashMap::default())),
         }
+    }
+
+    /// The OTP for `(line_addr, counter)`, served from the memo when the
+    /// pair has been seen before.
+    fn memo_pad(&self, line_addr: u64, counter: Counter) -> LinePad {
+        let key = (line_addr, counter.0);
+        let mut pads = self.pads.lock().unwrap_or_else(|e| e.into_inner());
+        *pads
+            .entry(key)
+            .or_insert_with(|| line_pad(&self.cipher, line_addr, counter))
     }
 
     /// Encrypts `plaintext` destined for `line_addr`, drawing a fresh
@@ -77,8 +98,12 @@ impl EncryptionEngine {
     /// result is garbage — exactly the paper's Eq. 4 failure. Callers that
     /// need to *detect* this use integrity checks at a higher level (the
     /// recovery pipeline in `nvmm-core`).
+    ///
+    /// Pads are memoized per `(line_addr, counter)` pair: decrypting the
+    /// same pair again — which the crash model checker does for every
+    /// line shared between candidate images — skips the AES work.
     pub fn decrypt(&self, line_addr: u64, ciphertext: &LineData, counter: Counter) -> LineData {
-        xor_line(ciphertext, &line_pad(&self.cipher, line_addr, counter))
+        xor_line(ciphertext, &self.memo_pad(line_addr, counter))
     }
 
     /// Total number of counters issued (equals the number of encrypted
@@ -126,6 +151,26 @@ mod tests {
         // Matching pairs always decrypt.
         assert_eq!(e.decrypt(5, &new.ciphertext, new.counter), plain);
         assert_eq!(e.decrypt(5, &old.ciphertext, old.counter), plain);
+    }
+
+    #[test]
+    fn pad_memo_is_transparent_and_shared_across_clones() {
+        let mut e = EncryptionEngine::new([4; 16]);
+        let plain = [0x3cu8; 64];
+        let w = e.encrypt(11, &plain);
+        // First decrypt fills the memo, second hits it; both must agree.
+        assert_eq!(e.decrypt(11, &w.ciphertext, w.counter), plain);
+        assert_eq!(e.decrypt(11, &w.ciphertext, w.counter), plain);
+        // A clone shares the warm memo and decrypts identically; a fresh
+        // engine with the same key (cold memo) agrees too.
+        let clone = e.clone();
+        assert_eq!(clone.decrypt(11, &w.ciphertext, w.counter), plain);
+        let cold = EncryptionEngine::new([4; 16]);
+        assert_eq!(cold.decrypt(11, &w.ciphertext, w.counter), plain);
+        // Memoization must be keyed on the counter: a stale counter still
+        // garbles even after the fresh pad was memoized.
+        let w2 = e.encrypt(11, &plain);
+        assert_ne!(e.decrypt(11, &w2.ciphertext, w.counter), plain);
     }
 
     #[test]

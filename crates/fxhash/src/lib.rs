@@ -1,0 +1,184 @@
+//! Workspace-local stand-in for the `fxhash`/`rustc-hash` fast
+//! non-cryptographic hasher.
+//!
+//! The crates-io registry is unreachable in the environments this
+//! reproduction builds in, so — like the in-tree `rand`, `proptest`,
+//! `criterion` and `nvmm-json` stand-ins — the workspace carries the
+//! small API subset it uses under the upstream name.
+//!
+//! The hash is the Firefox/rustc "Fx" multiply-rotate fold: each
+//! machine word of input is rotated into the state and multiplied by a
+//! fixed odd constant. It is not collision-resistant and must never be
+//! used on attacker-controlled keys; the workspace uses it exclusively
+//! for line-address-keyed maps on the simulator's hot paths
+//! (`LineAddr`, `CounterLineAddr`, `MacLineAddr`, `TreeNodeAddr`,
+//! `NvmmTarget`, OTP memo keys), where the default SipHash's
+//! HashDoS resistance buys nothing and costs a measurable fraction of
+//! the crash-image enumerator's runtime.
+//!
+//! Unlike `std::collections::hash_map::RandomState`, [`FxBuildHasher`]
+//! carries no per-process random seed: iteration order of an
+//! [`FxHashMap`] is a pure function of its insertion history, which the
+//! deterministic model checker relies on for cross-process
+//! reproducibility.
+//!
+//! # Examples
+//!
+//! ```
+//! use fxhash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(0x40, "line");
+//! assert_eq!(m.get(&0x40), Some(&"line"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (the golden-ratio-derived odd constant
+/// rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied before each multiply; pushes low-entropy low bits
+/// (line indexes count up from 0) into the high half and back.
+const ROTATE: u32 = 5;
+
+/// The Fx streaming hasher: a multiply-rotate fold over machine words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche: HashMap takes the *low* bits for bucket
+        // selection, but the Fx fold concentrates its entropy in the
+        // high bits of the last multiply.
+        let h = self.hash;
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]: stateless, so identical across
+/// processes and runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`] — for callers that need a raw
+/// index (e.g. cache set selection) rather than a map.
+pub fn hash64<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_ne!(hash64(&42u64), hash64(&43u64));
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&1998));
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert!(s.contains(&7) && !s.contains(&100));
+    }
+
+    #[test]
+    fn streaming_matches_wordwise() {
+        // write() over an 8-byte LE buffer equals write_u64.
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_low_bits() {
+        // Line indexes count up from 0; the buckets they select (the low
+        // bits after finish()) must not collapse onto a few values.
+        let mut buckets: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256u64 {
+            buckets.insert(hash64(&i) % 64);
+        }
+        assert!(
+            buckets.len() > 32,
+            "only {} of 64 buckets used",
+            buckets.len()
+        );
+    }
+}

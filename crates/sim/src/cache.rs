@@ -68,9 +68,7 @@ impl<K: Eq + Hash + Copy, V> SetAssocCache<K, V> {
     fn set_index(&self, key: &K) -> usize {
         // Keys are line indexes in practice; mixing avoids pathological
         // striding when regions are page-aligned.
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        (std::hash::Hasher::finish(&h) % self.sets.len() as u64) as usize
+        (fxhash::hash64(key) % self.sets.len() as u64) as usize
     }
 
     fn bump(&mut self) -> u64 {

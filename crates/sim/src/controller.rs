@@ -42,11 +42,11 @@ use crate::nvmm::NvmmImage;
 use crate::stats::Stats;
 use crate::time::Time;
 use crate::wq::{PlainReceipt, WriteQueues};
+use fxhash::FxHashMap;
 use nvmm_crypto::counter::CounterLine;
 use nvmm_crypto::engine::EncryptionEngine;
 use nvmm_crypto::mac::MacLine;
 use nvmm_crypto::LineData;
-use std::collections::HashMap;
 
 /// One persisted NVMM write, with the instant it entered the write-queue
 /// complex and the instant ADR vouches for it.
@@ -161,10 +161,10 @@ pub struct MemoryController {
     counter_cache: Option<SetAssocCache<CounterLineAddr, ()>>,
     /// Architecturally latest counter values (the counter cache plus
     /// everything below it). Never forgets.
-    counter_state: HashMap<CounterLineAddr, CounterLine>,
+    counter_state: FxHashMap<CounterLineAddr, CounterLine>,
     /// Plaintext view of the newest write-back of every line; the fill
     /// source for LLC read misses.
-    below_llc: HashMap<LineAddr, LineData>,
+    below_llc: FxHashMap<LineAddr, LineData>,
     journal: Vec<JournalRecord>,
     /// Next counter-atomic pair id for journal grouping.
     next_pair: u64,
@@ -172,12 +172,12 @@ pub struct MemoryController {
     overhead: Time,
     compress_counters: bool,
     /// Per-target NVMM write counts (wear tracking, §6.3.3).
-    wear: HashMap<NvmmTarget, u64>,
+    wear: FxHashMap<NvmmTarget, u64>,
     /// Stop-loss window: force a counter-line write-back after this many
     /// un-persisted bumps (None = disabled).
     stop_loss: Option<u64>,
     /// Un-persisted counter bumps per counter line.
-    counter_lag: HashMap<CounterLineAddr, u64>,
+    counter_lag: FxHashMap<CounterLineAddr, u64>,
     /// The integrity-verification subsystem, when the config enables it.
     integrity: Option<IntegrityState>,
     /// Fault injection: journal strict-policy tree-path updates as
@@ -205,16 +205,16 @@ impl MemoryController {
             ),
             engine: EncryptionEngine::new(config.key),
             counter_cache,
-            counter_state: HashMap::new(),
-            below_llc: HashMap::new(),
+            counter_state: FxHashMap::default(),
+            below_llc: FxHashMap::default(),
             journal: Vec::new(),
             next_pair: 0,
             crypto_latency: config.crypto_latency,
             overhead: config.controller_overhead,
             compress_counters: config.compress_counters,
-            wear: HashMap::new(),
+            wear: FxHashMap::default(),
             stop_loss: config.stop_loss,
-            counter_lag: HashMap::new(),
+            counter_lag: FxHashMap::default(),
             integrity: IntegrityState::from_config(config),
             tree_bug_parent_first: config.tree_bug_parent_first,
         }

@@ -55,11 +55,38 @@
 //! Images identical at the line level (e.g. two cuts whose differing
 //! entries coalesce to the same bytes) are deduplicated by
 //! [`NvmmImage::fingerprint`].
+//!
+//! ## Incremental copy-on-write walking
+//!
+//! Candidate images at one crash instant differ only in which in-flight
+//! choice groups land, yet the original enumerator replayed the *whole*
+//! journal into a fresh [`NvmmImage`] per mask. [`ImageOverlay`] instead
+//! builds the guaranteed base image once and walks the cut schedule by
+//! applying/undoing only the ops of the groups whose cut changed. Each
+//! image cell (a data line, a co-located counter, a counter line, a MAC
+//! line, a tree node) tracks the journal indices of its currently landed
+//! writers; the visible value is always the one with the highest
+//! submission index — exactly what submission-order replay produces — so
+//! the walked image is bit-identical to the eager one at every step.
+//! With [`NvmmImage::fingerprint`] maintained incrementally inside the
+//! image, one odometer step costs O(ops of the changed group) instead of
+//! O(journal length).
+//!
+//! [`CrashSet::enumerate_parallel`] fans the schedule out across scoped
+//! worker threads in contiguous chunks, each walked by its own overlay
+//! and deduplicated locally; chunks merge in schedule order, so the
+//! result — retained masks, images, and stats — is bit-identical to the
+//! sequential walk for any thread count. The pre-rewrite path survives
+//! as [`CrashSet::enumerate_eager`]: the differential suite and the
+//! `fig_mc_perf` baseline hold the two implementations against each
+//! other.
 
+use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
 use crate::controller::{JournalOp, JournalRecord};
 use crate::nvmm::NvmmImage;
+use crate::parallel::run_parallel;
 use crate::time::Time;
-use std::collections::{HashMap, HashSet};
+use fxhash::{FxHashMap, FxHashSet};
 
 /// The serialized hardware mechanism that produced a write's guarantee
 /// point. In-flight landings are prefix-closed within a domain and
@@ -237,6 +264,9 @@ pub struct EnumStats {
     pub masks_explored: u64,
     /// Line-level-distinct images among them.
     pub images_unique: usize,
+    /// Masks whose image duplicated an already-seen fingerprint
+    /// (`masks_explored - images_unique`).
+    pub images_deduped: u64,
     /// Whether the full legal-prefix space was covered.
     pub exhaustive: bool,
 }
@@ -245,7 +275,7 @@ impl CrashSet {
     /// Builds the crash state for a crash at `crash_time` from the
     /// controller's journal.
     pub(crate) fn from_journal(journal: &[JournalRecord], crash_time: Time) -> Self {
-        let mut pair_groups: HashMap<u64, usize> = HashMap::new();
+        let mut pair_groups: FxHashMap<u64, usize> = FxHashMap::default();
         let mut entries: Vec<Entry> = Vec::new();
         // Per provisional group: (domain, guarantee point, first entry).
         let mut info: Vec<(Domain, Time, usize)> = Vec::new();
@@ -412,18 +442,25 @@ impl CrashSet {
     /// stays inside the legal-image space (unlike clearing arbitrary
     /// bits).
     pub fn shrink_candidates(&self, mask: &LandMask) -> Vec<LandMask> {
-        self.domain_order
-            .iter()
-            .filter_map(|order| {
-                let prefix = order.iter().take_while(|&&g| mask.get(g)).count();
-                if prefix == 0 {
-                    return None;
-                }
-                let mut m = mask.clone();
-                m.set(order[prefix - 1], false);
-                Some(m)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.shrink_candidates_into(mask, &mut out);
+        out
+    }
+
+    /// [`CrashSet::shrink_candidates`] into a caller-owned buffer, so the
+    /// greedy minimization loop reuses one allocation across its descent
+    /// instead of building a fresh `Vec` per step.
+    pub fn shrink_candidates_into(&self, mask: &LandMask, out: &mut Vec<LandMask>) {
+        out.clear();
+        for order in &self.domain_order {
+            let prefix = order.iter().take_while(|&&g| mask.get(g)).count();
+            if prefix == 0 {
+                continue;
+            }
+            let mut m = mask.clone();
+            m.set(order[prefix - 1], false);
+            out.push(m);
+        }
     }
 
     /// Materializes the image for one landing mask, applying surviving
@@ -455,66 +492,410 @@ impl CrashSet {
         self.image(&LandMask::zeros(self.groups))
     }
 
-    /// Enumerates the legal post-crash images within `opts`' bounds.
-    pub fn enumerate(&self, opts: EnumOpts) -> Enumeration {
+    /// The cut schedule `opts` prescribes: every legal prefix
+    /// combination in odometer order (domain 0 fastest) when the space
+    /// fits the cap, else the two corners followed by the seeded
+    /// splitmix64 stream. Both the incremental and the eager enumerator
+    /// walk this same schedule, so their explored masks are identical by
+    /// construction.
+    fn cut_schedule(&self, opts: EnumOpts) -> CutSchedule {
         let cap = opts.max_images.max(1) as u64;
         let total = self.legal_images();
         let exhaustive = total <= cap;
-        let mut seen: HashSet<u128> = HashSet::new();
-        let mut images: Vec<(LandMask, NvmmImage)> = Vec::new();
-        let mut masks_explored = 0u64;
-        let mut consider = |mask: LandMask, images: &mut Vec<(LandMask, NvmmImage)>| {
-            let img = self.image(&mask);
-            if seen.insert(img.fingerprint()) {
-                images.push((mask, img));
-            }
-        };
         let dims: Vec<usize> = self.domain_order.iter().map(Vec::len).collect();
+        let n_domains = dims.len();
+        let n_masks;
+        let mut flat: Vec<usize>;
         if exhaustive {
-            // Odometer over prefix cuts, all-zeros (the baseline) first.
-            let mut cuts = vec![0usize; dims.len()];
-            'odometer: loop {
-                consider(self.mask_from_cuts(&cuts), &mut images);
-                masks_explored += 1;
-                let mut d = 0;
-                loop {
-                    if d == dims.len() {
-                        break 'odometer;
-                    }
-                    cuts[d] += 1;
-                    if cuts[d] <= dims[d] {
-                        break;
-                    }
-                    cuts[d] = 0;
-                    d += 1;
+            n_masks = total as usize;
+            flat = Vec::with_capacity(n_masks * n_domains);
+            // Mixed-radix decode, least-significant domain first —
+            // exactly the order the original odometer visited.
+            for i in 0..total {
+                let mut rem = i;
+                for &k in &dims {
+                    let radix = k as u64 + 1;
+                    flat.push((rem % radix) as usize);
+                    rem /= radix;
                 }
             }
         } else {
             // Corners first, then the seeded stream. Cut repeats are
             // possible and counted — the bound is on work, not coverage.
-            consider(self.mask_from_cuts(&vec![0; dims.len()]), &mut images);
-            consider(self.mask_from_cuts(&dims), &mut images);
-            masks_explored += 2;
+            n_masks = cap.max(2) as usize;
+            flat = Vec::with_capacity(n_masks * n_domains);
+            flat.extend(std::iter::repeat_n(0, n_domains));
+            flat.extend(dims.iter().copied());
             let mut state = opts.seed;
-            while masks_explored < cap {
-                let cuts: Vec<usize> = dims
-                    .iter()
-                    .map(|&k| (splitmix64(&mut state) % (k as u64 + 1)) as usize)
-                    .collect();
-                consider(self.mask_from_cuts(&cuts), &mut images);
-                masks_explored += 1;
+            for _ in 2..n_masks {
+                for &k in &dims {
+                    flat.push((splitmix64(&mut state) % (k as u64 + 1)) as usize);
+                }
+            }
+        }
+        CutSchedule {
+            flat,
+            n_domains,
+            n_masks,
+            exhaustive,
+        }
+    }
+
+    fn stats_for(&self, sched: &CutSchedule, images_unique: usize) -> EnumStats {
+        let masks_explored = sched.n_masks as u64;
+        EnumStats {
+            groups: self.groups,
+            groups_pruned: self.pruned_groups,
+            domains: self.domain_count(),
+            masks_explored,
+            images_unique,
+            images_deduped: masks_explored - images_unique as u64,
+            exhaustive: sched.exhaustive,
+        }
+    }
+
+    /// How many dedupe-set slots to pre-size for `opts`.
+    fn seen_capacity(&self, opts: EnumOpts) -> usize {
+        self.legal_images().min(opts.max_images.max(1) as u64) as usize
+    }
+
+    /// Enumerates the legal post-crash images within `opts`' bounds,
+    /// single-threaded. Equivalent to
+    /// [`CrashSet::enumerate_parallel`] with one thread.
+    pub fn enumerate(&self, opts: EnumOpts) -> Enumeration {
+        self.enumerate_parallel(opts, 1)
+    }
+
+    /// Enumerates the legal post-crash images within `opts`' bounds over
+    /// up to `threads` worker threads.
+    ///
+    /// The cut schedule is split into contiguous chunks, each walked by
+    /// its own [`ImageOverlay`] and deduplicated locally; chunks merge
+    /// in schedule order, so retained masks, images, and stats are
+    /// bit-identical to the single-threaded walk for any thread count.
+    pub fn enumerate_parallel(&self, opts: EnumOpts, threads: usize) -> Enumeration {
+        let sched = self.cut_schedule(opts);
+        let threads = threads.max(1);
+        let n = sched.n_masks;
+        let chunks = chunk_ranges(n, threads);
+        let walked: Vec<Vec<(u128, LandMask, NvmmImage)>> =
+            run_parallel(threads, &chunks, |&(start, end)| {
+                let mut overlay = ImageOverlay::new(self);
+                let mut local_seen: FxHashSet<u128> = FxHashSet::default();
+                let mut out = Vec::new();
+                for i in start..end {
+                    overlay.goto(sched.cuts(i));
+                    let fp = overlay.image().fingerprint();
+                    if local_seen.insert(fp) {
+                        out.push((fp, overlay.mask().clone(), overlay.image().clone()));
+                    }
+                }
+                out
+            });
+        let mut seen: FxHashSet<u128> = FxHashSet::default();
+        seen.reserve(self.seen_capacity(opts));
+        let mut images: Vec<(LandMask, NvmmImage)> = Vec::new();
+        for chunk in walked {
+            for (fp, mask, img) in chunk {
+                if seen.insert(fp) {
+                    images.push((mask, img));
+                }
             }
         }
         Enumeration {
-            stats: EnumStats {
-                groups: self.groups,
-                groups_pruned: self.pruned_groups,
-                domains: self.domain_count(),
-                masks_explored,
-                images_unique: images.len(),
-                exhaustive,
-            },
+            stats: self.stats_for(&sched, images.len()),
             images,
+        }
+    }
+
+    /// The pre-overlay enumerator: materializes a fresh image with
+    /// [`CrashSet::image`] for every mask of the same cut schedule.
+    /// Retained as the reference implementation the differential tests
+    /// and the `fig_mc_perf` speedup baseline measure against.
+    pub fn enumerate_eager(&self, opts: EnumOpts) -> Enumeration {
+        let sched = self.cut_schedule(opts);
+        let mut seen: FxHashSet<u128> = FxHashSet::default();
+        seen.reserve(self.seen_capacity(opts));
+        let mut images: Vec<(LandMask, NvmmImage)> = Vec::new();
+        for i in 0..sched.n_masks {
+            let mask = self.mask_from_cuts(sched.cuts(i));
+            let img = self.image(&mask);
+            if seen.insert(img.fingerprint()) {
+                images.push((mask, img));
+            }
+        }
+        Enumeration {
+            stats: self.stats_for(&sched, images.len()),
+            images,
+        }
+    }
+}
+
+/// A materialized cut schedule: `n_masks` cut vectors of `n_domains`
+/// entries each, stored flat.
+struct CutSchedule {
+    flat: Vec<usize>,
+    n_domains: usize,
+    n_masks: usize,
+    exhaustive: bool,
+}
+
+impl CutSchedule {
+    fn cuts(&self, i: usize) -> &[usize] {
+        &self.flat[i * self.n_domains..(i + 1) * self.n_domains]
+    }
+}
+
+/// Splits `0..n` into up to `parts` contiguous, near-equal ranges.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// The cell granularity the overlay applies and undoes writes at: one
+/// key per independently-overwritable image entry. A [`JournalOp`]
+/// touches one cell, except a co-located write, which touches its data
+/// cell and its co-located-counter cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CellKey {
+    Data(LineAddr),
+    Co(LineAddr),
+    Ctr(CounterLineAddr),
+    Mac(MacLineAddr),
+    Tree(TreeNodeAddr),
+}
+
+/// The cells `op` writes: (primary, optional co-located counter half).
+fn op_cells(op: &JournalOp) -> (CellKey, Option<CellKey>) {
+    match op {
+        JournalOp::Plain { line, .. } | JournalOp::Encrypted { line, .. } => {
+            (CellKey::Data(*line), None)
+        }
+        JournalOp::CoLocated { line, .. } => (CellKey::Data(*line), Some(CellKey::Co(*line))),
+        JournalOp::CounterLine { cline, .. } => (CellKey::Ctr(*cline), None),
+        JournalOp::MacLine { mline, .. } => (CellKey::Mac(*mline), None),
+        JournalOp::TreeNode { node, .. } => (CellKey::Tree(*node), None),
+    }
+}
+
+/// Writes the `key` half of `op` into `img`. The data half of a
+/// co-located write is exactly a `write_encrypted` — the widened line's
+/// payload and ground-truth counter — while its counter half lands via
+/// the cell-granular co-located setter.
+fn write_cell(img: &mut NvmmImage, key: CellKey, op: &JournalOp) {
+    match (key, op) {
+        (CellKey::Data(_), JournalOp::Plain { line, data }) => img.write_plain(*line, *data),
+        (
+            CellKey::Data(_),
+            JournalOp::Encrypted {
+                line,
+                ciphertext,
+                counter,
+            }
+            | JournalOp::CoLocated {
+                line,
+                ciphertext,
+                counter,
+            },
+        ) => img.write_encrypted(*line, *ciphertext, *counter),
+        (CellKey::Co(_), JournalOp::CoLocated { line, counter, .. }) => {
+            img.write_co_located_counter(*line, *counter)
+        }
+        (CellKey::Ctr(_), JournalOp::CounterLine { cline, counters }) => {
+            img.write_counter_line(*cline, *counters)
+        }
+        (CellKey::Mac(_), JournalOp::MacLine { mline, macs }) => img.write_mac_line(*mline, *macs),
+        (CellKey::Tree(_), JournalOp::TreeNode { node, digests }) => {
+            img.write_tree_node(*node, *digests)
+        }
+        _ => unreachable!("journal op does not write this cell"),
+    }
+}
+
+/// Restores `key` to the never-written state.
+fn clear_cell(img: &mut NvmmImage, key: CellKey) {
+    match key {
+        CellKey::Data(l) => img.remove_data(l),
+        CellKey::Co(l) => img.remove_co_located_counter(l),
+        CellKey::Ctr(c) => img.remove_counter_line(c),
+        CellKey::Mac(m) => img.remove_mac_line(m),
+        CellKey::Tree(t) => img.remove_tree_node(t),
+    }
+}
+
+/// Per-cell landing state: the guaranteed writer (if any) plus the
+/// currently landed in-flight writers, as ascending journal indices.
+/// The visible value is the writer with the highest index — the same
+/// winner submission-order replay produces.
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    /// Highest guaranteed journal index writing this cell, if any.
+    base: Option<usize>,
+    /// Landed in-flight journal indices, ascending. Tiny in practice
+    /// (a cell is touched by few in-flight groups at once).
+    active: Vec<usize>,
+}
+
+impl CellState {
+    fn winner(&self) -> Option<usize> {
+        self.active.last().copied().max(self.base)
+    }
+}
+
+/// An incrementally maintained candidate image for one [`CrashSet`].
+///
+/// Construction replays the guaranteed entries once (the base image,
+/// mask all-miss); [`ImageOverlay::goto`] then moves between cut
+/// vectors by applying/undoing only the ops of the choice groups whose
+/// cut changed, rewriting each touched cell from its new winning
+/// journal entry. [`verify_image_with`](crate::integrity::
+/// verify_image_with) and recovery read the current image through
+/// [`ImageOverlay::image`] without the base ever being cloned; a clone
+/// is taken only when a new fingerprint is retained for the result set.
+pub(crate) struct ImageOverlay<'a> {
+    set: &'a CrashSet,
+    img: NvmmImage,
+    cells: Vec<CellState>,
+    cell_keys: Vec<CellKey>,
+    /// `(cell, journal index)` touches of each choice group, in
+    /// submission order.
+    group_touches: Vec<Vec<(usize, usize)>>,
+    cuts: Vec<usize>,
+    mask: LandMask,
+}
+
+impl<'a> ImageOverlay<'a> {
+    /// Builds the guaranteed base image (the all-miss corner) and the
+    /// per-cell/per-group indexes the walk needs.
+    pub(crate) fn new(set: &'a CrashSet) -> Self {
+        let mut cell_ids: FxHashMap<CellKey, usize> = FxHashMap::default();
+        let mut cells: Vec<CellState> = Vec::new();
+        let mut cell_keys: Vec<CellKey> = Vec::new();
+        let mut group_touches: Vec<Vec<(usize, usize)>> = vec![Vec::new(); set.groups];
+        let mut img = NvmmImage::new();
+        let mut intern = |key: CellKey, cells: &mut Vec<CellState>, keys: &mut Vec<CellKey>| {
+            *cell_ids.entry(key).or_insert_with(|| {
+                cells.push(CellState::default());
+                keys.push(key);
+                cells.len() - 1
+            })
+        };
+        for (i, e) in set.entries.iter().enumerate() {
+            let (a, b) = op_cells(&e.op);
+            match e.fate {
+                Fate::Guaranteed => {
+                    // Entries ascend, so the last assignment wins — the
+                    // base winner is the highest guaranteed index.
+                    let ca = intern(a, &mut cells, &mut cell_keys);
+                    cells[ca].base = Some(i);
+                    if let Some(b) = b {
+                        let cb = intern(b, &mut cells, &mut cell_keys);
+                        cells[cb].base = Some(i);
+                    }
+                    e.op.apply(&mut img);
+                }
+                Fate::Choice(g) => {
+                    let ca = intern(a, &mut cells, &mut cell_keys);
+                    group_touches[g].push((ca, i));
+                    if let Some(b) = b {
+                        let cb = intern(b, &mut cells, &mut cell_keys);
+                        group_touches[g].push((cb, i));
+                    }
+                }
+                Fate::Pruned => {}
+            }
+        }
+        Self {
+            img,
+            cells,
+            cell_keys,
+            group_touches,
+            cuts: vec![0; set.domain_order.len()],
+            mask: LandMask::zeros(set.groups),
+            set,
+        }
+    }
+
+    /// The current candidate image. Valid for the cut vector of the
+    /// latest [`ImageOverlay::goto`] (initially the all-miss corner).
+    pub(crate) fn image(&self) -> &NvmmImage {
+        &self.img
+    }
+
+    /// The landing mask matching [`ImageOverlay::image`].
+    pub(crate) fn mask(&self) -> &LandMask {
+        &self.mask
+    }
+
+    /// Lands choice group `g`: every touched cell gains `g`'s writer
+    /// indices, rewriting the cell when one becomes the new winner.
+    fn apply_group(&mut self, g: usize) {
+        self.mask.set(g, true);
+        for t in 0..self.group_touches[g].len() {
+            let (cell, entry) = self.group_touches[g][t];
+            let st = &mut self.cells[cell];
+            let prev = st.winner();
+            if let Err(pos) = st.active.binary_search(&entry) {
+                st.active.insert(pos, entry);
+            }
+            if prev.is_none_or(|w| entry > w) {
+                write_cell(
+                    &mut self.img,
+                    self.cell_keys[cell],
+                    &self.set.entries[entry].op,
+                );
+            }
+        }
+    }
+
+    /// Reverts choice group `g`: cells that lose their winning writer
+    /// are rewritten from the next-highest landed writer, or cleared
+    /// when none remains.
+    fn undo_group(&mut self, g: usize) {
+        self.mask.set(g, false);
+        for t in 0..self.group_touches[g].len() {
+            let (cell, entry) = self.group_touches[g][t];
+            let st = &mut self.cells[cell];
+            let was_winner = st.winner() == Some(entry);
+            if let Ok(pos) = st.active.binary_search(&entry) {
+                st.active.remove(pos);
+            }
+            if was_winner {
+                match self.cells[cell].winner() {
+                    Some(w) => {
+                        write_cell(&mut self.img, self.cell_keys[cell], &self.set.entries[w].op)
+                    }
+                    None => clear_cell(&mut self.img, self.cell_keys[cell]),
+                }
+            }
+        }
+    }
+
+    /// Moves the overlay to `target` cuts, applying/undoing exactly the
+    /// groups whose domain prefix changed.
+    pub(crate) fn goto(&mut self, target: &[usize]) {
+        debug_assert_eq!(target.len(), self.cuts.len());
+        for (d, &tgt) in target.iter().enumerate() {
+            let cur = self.cuts[d];
+            if tgt > cur {
+                for k in cur..tgt {
+                    self.apply_group(self.set.domain_order[d][k]);
+                }
+            } else {
+                for k in (tgt..cur).rev() {
+                    self.undo_group(self.set.domain_order[d][k]);
+                }
+            }
+            self.cuts[d] = tgt;
         }
     }
 }
@@ -527,6 +908,7 @@ mod tests {
     use crate::controller::MemoryController;
     use crate::nvmm::LineRead;
     use crate::stats::Stats;
+    use proptest::prelude::*;
 
     fn ctl(design: Design) -> (MemoryController, Stats) {
         let cfg = SimConfig::single_core(design);
@@ -729,6 +1111,210 @@ mod tests {
                 .any(|(x, y)| x.0 != y.0),
             "different seeds should sample different masks"
         );
+    }
+
+    /// Asserts the incremental overlay walk, the eager replay, and the
+    /// parallel walk agree exactly: same masks, same fingerprints, same
+    /// stats, in the same order.
+    fn assert_enumerations_agree(set: &CrashSet, opts: EnumOpts) {
+        let eager = set.enumerate_eager(opts);
+        let inc = set.enumerate(opts);
+        assert_eq!(
+            eager.stats,
+            inc.stats,
+            "stats diverged at {}",
+            set.crash_time()
+        );
+        assert_eq!(eager.images.len(), inc.images.len());
+        for ((me, ie), (mi, ii)) in eager.images.iter().zip(inc.images.iter()) {
+            assert_eq!(me, mi, "retained masks diverged at {}", set.crash_time());
+            assert_eq!(
+                ie.fingerprint(),
+                ii.fingerprint(),
+                "images diverged for mask {:?} at {}",
+                me.landed(),
+                set.crash_time()
+            );
+            assert_eq!(ii.fingerprint(), ii.fingerprint_recompute());
+        }
+        for threads in [2, 5] {
+            let par = set.enumerate_parallel(opts, threads);
+            assert_eq!(par.stats, inc.stats, "{threads}-thread stats diverged");
+            assert_eq!(par.images.len(), inc.images.len());
+            for ((ma, ia), (mb, ib)) in inc.images.iter().zip(par.images.iter()) {
+                assert_eq!(ma, mb, "{threads}-thread masks diverged");
+                assert_eq!(ia.fingerprint(), ib.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_matches_eager_on_controller_journals() {
+        for design in [Design::Fca, Design::Sca, Design::CoLocated] {
+            let (mut c, mut s) = ctl(design);
+            for i in 0..12u64 {
+                c.writeback(
+                    LineAddr(i % 5),
+                    [i as u8; 64],
+                    i % 3 == 0,
+                    Time::from_ns(i * 13),
+                    &mut s,
+                );
+                if i % 4 == 1 {
+                    c.counter_writeback(LineAddr(i % 5), Time::from_ns(i * 13 + 5), &mut s);
+                }
+            }
+            for t in probe_times(1_500) {
+                let set = c.crash_set(t);
+                assert_enumerations_agree(&set, EnumOpts::default());
+                assert_enumerations_agree(
+                    &set,
+                    EnumOpts {
+                        max_images: 16,
+                        seed: 11,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A synthetic journal driven straight from a seed: random ops over
+    /// a small address space, random in-flight windows, random pairing —
+    /// shapes no single controller design emits, exercising the overlay's
+    /// cross-domain same-cell interleavings.
+    fn synthetic_journal(seed: u64) -> Vec<JournalRecord> {
+        use crate::integrity::DigestLine;
+        use nvmm_crypto::counter::CounterLine;
+        use nvmm_crypto::mac::{Mac, MacLine};
+        use nvmm_crypto::Counter;
+        let mut state = seed.wrapping_mul(2).wrapping_add(1);
+        let mut rng = move || splitmix64(&mut state);
+        let n = 4 + (rng() % 20) as usize;
+        let mut journal = Vec::with_capacity(n);
+        let mut pair = 0u64;
+        for i in 0..n as u64 {
+            let submitted_ns = i * 10 + rng() % 5;
+            let submitted = Time::from_ns(submitted_ns);
+            let flight = rng() % 400;
+            let domain = match rng() % 4 {
+                0 => Domain::Pairing,
+                1 => Domain::DataQueue,
+                2 => Domain::CounterQueue,
+                _ => Domain::MetadataQueue,
+            };
+            let mk_op = |r: u64, v: u64| -> JournalOp {
+                match r % 6 {
+                    0 => JournalOp::Plain {
+                        line: LineAddr(v % 4),
+                        data: [v as u8; 64],
+                    },
+                    1 => JournalOp::Encrypted {
+                        line: LineAddr(v % 4),
+                        ciphertext: [v as u8 ^ 0x55; 64],
+                        counter: Counter(v + 1),
+                    },
+                    2 => JournalOp::CoLocated {
+                        line: LineAddr(v % 4),
+                        ciphertext: [v as u8 ^ 0xaa; 64],
+                        counter: Counter(v + 1),
+                    },
+                    3 => {
+                        let mut cl = CounterLine::new();
+                        cl.set((v % 8) as usize, Counter(v + 1));
+                        JournalOp::CounterLine {
+                            cline: CounterLineAddr(v % 2),
+                            counters: cl,
+                        }
+                    }
+                    4 => {
+                        let mut ml = MacLine::new();
+                        ml.set((v % 8) as usize, Mac(v + 1));
+                        JournalOp::MacLine {
+                            mline: MacLineAddr(v % 2),
+                            macs: ml,
+                        }
+                    }
+                    _ => {
+                        let mut d = DigestLine::new();
+                        d.set((v % 8) as usize, v + 1);
+                        JournalOp::TreeNode {
+                            node: TreeNodeAddr {
+                                level: 1 + (v % 2) as u32,
+                                index: v % 2,
+                            },
+                            digests: d,
+                        }
+                    }
+                }
+            };
+            // Occasionally emit a CA-style pair: two records sharing a
+            // pair id, landing atomically.
+            if domain == Domain::Pairing && rng() % 2 == 0 {
+                pair += 1;
+                let guaranteed = Time::from_ns(submitted_ns + 50 + flight);
+                for _ in 0..2 {
+                    journal.push(JournalRecord {
+                        submitted_at: submitted,
+                        guaranteed_at: guaranteed,
+                        pair: Some(pair),
+                        domain,
+                        op: mk_op(rng(), rng()),
+                    });
+                }
+            } else {
+                journal.push(JournalRecord {
+                    submitted_at: submitted,
+                    guaranteed_at: Time::from_ns(submitted_ns + 20 + flight),
+                    pair: None,
+                    domain,
+                    op: mk_op(rng(), rng()),
+                });
+            }
+        }
+        journal
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+        #[test]
+        fn overlay_matches_eager_on_random_journals(seed in 0u64..1_000_000) {
+            let journal = synthetic_journal(seed);
+            let horizon_ps = journal
+                .iter()
+                .map(|r| r.guaranteed_at.0)
+                .max()
+                .unwrap_or(0)
+                + 10_000;
+            let mut state = seed;
+            for _ in 0..6 {
+                let t = Time(splitmix64(&mut state) % horizon_ps);
+                let set = CrashSet::from_journal(&journal, t);
+                assert_enumerations_agree(&set, EnumOpts::default());
+                assert_enumerations_agree(&set, EnumOpts { max_images: 8, seed });
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_reports_dedupe_accounting() {
+        let (mut c, mut s) = ctl(Design::Sca);
+        for i in 0..6u64 {
+            c.writeback(
+                LineAddr(1),
+                [i as u8; 64],
+                false,
+                Time::from_ns(i * 3),
+                &mut s,
+            );
+        }
+        for t in probe_times(800) {
+            let e = c.crash_set(t).enumerate(EnumOpts::default());
+            assert_eq!(
+                e.stats.images_deduped,
+                e.stats.masks_explored - e.images.len() as u64
+            );
+            assert_eq!(e.stats.images_unique, e.images.len());
+        }
     }
 
     #[test]

@@ -41,11 +41,11 @@ use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
 use crate::cache::SetAssocCache;
 use crate::config::{IntegrityPolicy, SimConfig};
 use crate::nvmm::{LineRead, NvmmImage};
+use fxhash::FxHashMap;
 use nvmm_crypto::counter::LINE_BYTES;
 use nvmm_crypto::engine::EncryptionEngine;
 use nvmm_crypto::mac::{MacEngine, MacLine};
 use nvmm_crypto::Counter;
-use std::collections::HashMap;
 
 /// Children per tree node: one 64-byte node packs eight 8-byte digests,
 /// mirroring the counter region's eight-counters-per-line packing.
@@ -200,9 +200,9 @@ pub struct IntegrityState {
     levels: u32,
     mac_engine: MacEngine,
     /// Architecturally latest MAC lines (cache plus everything below).
-    mac_state: HashMap<MacLineAddr, MacLine>,
+    mac_state: FxHashMap<MacLineAddr, MacLine>,
     /// Architecturally latest tree nodes.
-    tree_state: HashMap<TreeNodeAddr, DigestLine>,
+    tree_state: FxHashMap<TreeNodeAddr, DigestLine>,
     /// Presence/dirtiness of metadata lines on chip.
     pub(crate) cache: SetAssocCache<MetaKey, ()>,
     /// Next instant the serialized root-update engine is free (strict).
@@ -233,8 +233,8 @@ impl IntegrityState {
             policy: config.integrity,
             levels: config.tree_levels,
             mac_engine: MacEngine::new(config.key),
-            mac_state: HashMap::new(),
-            tree_state: HashMap::new(),
+            mac_state: FxHashMap::default(),
+            tree_state: FxHashMap::default(),
             cache: SetAssocCache::new(config.metadata_cache.sets(), config.metadata_cache.ways),
             root_free: crate::time::Time::ZERO,
         })
@@ -334,7 +334,7 @@ impl IntegrityState {
 /// interior nodes are simply recomputed). Returns the root node and the
 /// number of nodes rebuilt.
 pub fn rebuild_tree(img: &NvmmImage, levels: u32) -> (DigestLine, usize) {
-    let mut level: HashMap<u64, DigestLine> = HashMap::new();
+    let mut level: FxHashMap<u64, DigestLine> = FxHashMap::default();
     for (cline, counters) in img.counter_lines() {
         let parent = parent_of(0, cline.0);
         level
@@ -344,7 +344,7 @@ pub fn rebuild_tree(img: &NvmmImage, levels: u32) -> (DigestLine, usize) {
     }
     let mut rebuilt = level.len();
     for _ in 2..=levels.max(1) {
-        let mut next: HashMap<u64, DigestLine> = HashMap::new();
+        let mut next: FxHashMap<u64, DigestLine> = FxHashMap::default();
         for (index, node) in &level {
             next.entry(index >> 3)
                 .or_default()
@@ -377,10 +377,25 @@ pub fn verify_image(img: &NvmmImage, spec: IntegritySpec, key: [u8; 16]) -> Resu
     if !spec.policy.enabled() {
         return Ok(());
     }
-    let engine = EncryptionEngine::new(key);
-    let mac_engine = MacEngine::new(key);
+    verify_image_with(img, spec, &EncryptionEngine::new(key), &MacEngine::new(key))
+}
+
+/// [`verify_image`] with caller-supplied engines. The crash model
+/// checker verifies hundreds of candidate images against one key;
+/// passing one warmed [`EncryptionEngine`] (whose OTP memo persists
+/// across images) instead of re-deriving AES key schedules per image is
+/// one of its hot-path wins.
+pub fn verify_image_with(
+    img: &NvmmImage,
+    spec: IntegritySpec,
+    engine: &EncryptionEngine,
+    mac_engine: &MacEngine,
+) -> Result<(), String> {
+    if !spec.policy.enabled() {
+        return Ok(());
+    }
     for line in img.data_line_addrs() {
-        let read = img.read_line(line, &engine);
+        let read = img.read_line(line, engine);
         let LineRead::Clean(plaintext) = read else {
             continue;
         };

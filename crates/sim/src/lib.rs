@@ -62,6 +62,7 @@ pub mod crashmc;
 pub mod device;
 pub mod integrity;
 pub mod nvmm;
+pub mod parallel;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
@@ -72,8 +73,9 @@ pub mod wq;
 pub use addr::{ByteAddr, CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
 pub use config::{Design, IntegrityPolicy, SimConfig};
 pub use crashmc::{CrashSet, EnumOpts, EnumStats, Enumeration, LandMask};
-pub use integrity::{rebuild_tree, verify_image, DigestLine, IntegritySpec};
+pub use integrity::{rebuild_tree, verify_image, verify_image_with, DigestLine, IntegritySpec};
 pub use nvmm::{LineRead, NvmmImage};
+pub use parallel::{mc_threads, run_parallel};
 pub use stats::Stats;
 pub use system::{run_to_completion, CrashSpec, RunOutcome, System};
 pub use telemetry::{EpochSample, Timeline};

@@ -11,11 +11,11 @@
 
 use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
 use crate::integrity::DigestLine;
+use fxhash::FxHashMap;
 use nvmm_crypto::counter::CounterLine;
 use nvmm_crypto::engine::EncryptionEngine;
 use nvmm_crypto::mac::{Mac, MacLine};
 use nvmm_crypto::{Counter, LineData};
-use std::collections::HashMap;
 
 /// Outcome of decrypting one line from the post-crash image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,22 +57,75 @@ struct StoredLine {
     encrypted_with: Counter,
 }
 
+/// FNV-1a-128 over a sequence of byte slices — the per-entry hash the
+/// incremental fingerprint folds over.
+fn fnv128(parts: &[&[u8]]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for part in parts {
+        for &b in *part {
+            h = (h ^ b as u128).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+fn hash_data_entry(line: LineAddr, s: &StoredLine) -> u128 {
+    fnv128(&[
+        b"d",
+        &line.0.to_le_bytes(),
+        &s.bytes,
+        &s.encrypted_with.to_bytes(),
+    ])
+}
+
+fn hash_counter_entry(addr: CounterLineAddr, cl: &CounterLine) -> u128 {
+    fnv128(&[b"c", &addr.0.to_le_bytes(), &cl.to_bytes()])
+}
+
+fn hash_co_entry(line: LineAddr, ctr: Counter) -> u128 {
+    fnv128(&[b"o", &line.0.to_le_bytes(), &ctr.to_bytes()])
+}
+
+fn hash_mac_entry(addr: MacLineAddr, ml: &MacLine) -> u128 {
+    fnv128(&[b"m", &addr.0.to_le_bytes(), &ml.to_bytes()])
+}
+
+fn hash_tree_entry(addr: TreeNodeAddr, node: &DigestLine) -> u128 {
+    fnv128(&[
+        b"t",
+        &u64::from(addr.level).to_le_bytes(),
+        &addr.index.to_le_bytes(),
+        &node.to_bytes(),
+    ])
+}
+
 /// The NVMM image: data region, counter region, (for co-located
 /// designs) per-line co-located counters, and (for integrity-enabled
 /// configurations) the MAC region and the persisted integrity-tree
 /// nodes.
+///
+/// A running [`NvmmImage::fingerprint`] is maintained incrementally: a
+/// commutative `wrapping_add` fold of each resident entry's FNV-1a-128
+/// hash, adjusted on every write and removal. This makes fingerprinting
+/// O(1) and makes the cost of dedupe in the crash model checker
+/// proportional to the entries *changed* between candidate images, not
+/// the image size.
 #[derive(Debug, Clone, Default)]
 pub struct NvmmImage {
-    data: HashMap<LineAddr, StoredLine>,
-    counters: HashMap<CounterLineAddr, CounterLine>,
+    data: FxHashMap<LineAddr, StoredLine>,
+    counters: FxHashMap<CounterLineAddr, CounterLine>,
     /// Counters stored inside the widened 72-byte line (co-located
     /// designs). Persisted atomically with the data by construction.
-    co_located: HashMap<LineAddr, Counter>,
+    co_located: FxHashMap<LineAddr, Counter>,
     /// Per-line MAC region (integrity-enabled configurations).
-    macs: HashMap<MacLineAddr, MacLine>,
+    macs: FxHashMap<MacLineAddr, MacLine>,
     /// Persisted integrity-tree nodes (internal levels; the counter
     /// region itself is the leaf level).
-    tree: HashMap<TreeNodeAddr, DigestLine>,
+    tree: FxHashMap<TreeNodeAddr, DigestLine>,
+    /// Incremental fingerprint: commutative fold of per-entry hashes.
+    fp: u128,
 }
 
 impl NvmmImage {
@@ -81,9 +134,17 @@ impl NvmmImage {
         Self::default()
     }
 
+    fn set_data(&mut self, line: LineAddr, stored: StoredLine) {
+        let new = hash_data_entry(line, &stored);
+        if let Some(old) = self.data.insert(line, stored) {
+            self.fp = self.fp.wrapping_sub(hash_data_entry(line, &old));
+        }
+        self.fp = self.fp.wrapping_add(new);
+    }
+
     /// Persists a data line written by an unencrypted design.
     pub fn write_plain(&mut self, line: LineAddr, bytes: LineData) {
-        self.data.insert(
+        self.set_data(
             line,
             StoredLine {
                 bytes,
@@ -95,7 +156,7 @@ impl NvmmImage {
     /// Persists an encrypted data line (separate-counter designs). The
     /// counter region is *not* touched — that is a separate write.
     pub fn write_encrypted(&mut self, line: LineAddr, ciphertext: LineData, counter: Counter) {
-        self.data.insert(
+        self.set_data(
             line,
             StoredLine {
                 bytes: ciphertext,
@@ -107,19 +168,70 @@ impl NvmmImage {
     /// Persists an encrypted 72-byte line (co-located designs): data and
     /// counter land atomically.
     pub fn write_co_located(&mut self, line: LineAddr, ciphertext: LineData, counter: Counter) {
-        self.data.insert(
+        self.set_data(
             line,
             StoredLine {
                 bytes: ciphertext,
                 encrypted_with: counter,
             },
         );
-        self.co_located.insert(line, counter);
+        self.write_co_located_counter(line, counter);
+    }
+
+    /// Persists only the counter half of a co-located line — the cell
+    /// granularity the enumeration overlay applies/undoes at.
+    pub(crate) fn write_co_located_counter(&mut self, line: LineAddr, counter: Counter) {
+        let new = hash_co_entry(line, counter);
+        if let Some(old) = self.co_located.insert(line, counter) {
+            self.fp = self.fp.wrapping_sub(hash_co_entry(line, old));
+        }
+        self.fp = self.fp.wrapping_add(new);
+    }
+
+    /// Removes a resident data line, restoring the unwritten state. Used
+    /// by the enumeration overlay when undoing an in-flight write that
+    /// has no earlier writer beneath it.
+    pub(crate) fn remove_data(&mut self, line: LineAddr) {
+        if let Some(old) = self.data.remove(&line) {
+            self.fp = self.fp.wrapping_sub(hash_data_entry(line, &old));
+        }
+    }
+
+    /// Removes a co-located counter (overlay undo).
+    pub(crate) fn remove_co_located_counter(&mut self, line: LineAddr) {
+        if let Some(old) = self.co_located.remove(&line) {
+            self.fp = self.fp.wrapping_sub(hash_co_entry(line, old));
+        }
+    }
+
+    /// Removes a counter-region line (overlay undo).
+    pub(crate) fn remove_counter_line(&mut self, line: CounterLineAddr) {
+        if let Some(old) = self.counters.remove(&line) {
+            self.fp = self.fp.wrapping_sub(hash_counter_entry(line, &old));
+        }
+    }
+
+    /// Removes a MAC-region line (overlay undo).
+    pub(crate) fn remove_mac_line(&mut self, line: MacLineAddr) {
+        if let Some(old) = self.macs.remove(&line) {
+            self.fp = self.fp.wrapping_sub(hash_mac_entry(line, &old));
+        }
+    }
+
+    /// Removes a persisted integrity-tree node (overlay undo).
+    pub(crate) fn remove_tree_node(&mut self, node: TreeNodeAddr) {
+        if let Some(old) = self.tree.remove(&node) {
+            self.fp = self.fp.wrapping_sub(hash_tree_entry(node, &old));
+        }
     }
 
     /// Persists a full counter line into the counter region.
     pub fn write_counter_line(&mut self, line: CounterLineAddr, counters: CounterLine) {
-        self.counters.insert(line, counters);
+        let new = hash_counter_entry(line, &counters);
+        if let Some(old) = self.counters.insert(line, counters) {
+            self.fp = self.fp.wrapping_sub(hash_counter_entry(line, &old));
+        }
+        self.fp = self.fp.wrapping_add(new);
     }
 
     /// The counter region's current counter line (all-zero if never
@@ -140,7 +252,11 @@ impl NvmmImage {
 
     /// Persists a full MAC line into the MAC region.
     pub fn write_mac_line(&mut self, line: MacLineAddr, macs: MacLine) {
-        self.macs.insert(line, macs);
+        let new = hash_mac_entry(line, &macs);
+        if let Some(old) = self.macs.insert(line, macs) {
+            self.fp = self.fp.wrapping_sub(hash_mac_entry(line, &old));
+        }
+        self.fp = self.fp.wrapping_add(new);
     }
 
     /// The MAC region's current MAC line (all-unwritten if never
@@ -158,7 +274,11 @@ impl NvmmImage {
 
     /// Persists an integrity-tree node.
     pub fn write_tree_node(&mut self, node: TreeNodeAddr, digests: DigestLine) {
-        self.tree.insert(node, digests);
+        let new = hash_tree_entry(node, &digests);
+        if let Some(old) = self.tree.insert(node, digests) {
+            self.fp = self.fp.wrapping_sub(hash_tree_entry(node, &old));
+        }
+        self.fp = self.fp.wrapping_add(new);
     }
 
     /// The persisted integrity-tree node at `node`, if any.
@@ -258,58 +378,40 @@ impl NvmmImage {
         self.data.len()
     }
 
-    /// A 128-bit FNV-1a digest of the image's line-level content: every
+    /// A 128-bit digest of the image's line-level content: every
     /// resident data line (bytes + ground-truth counter), counter line,
-    /// co-located counter, MAC line, and integrity-tree node, in
-    /// address order. Two images with the
-    /// same fingerprint persist the same architectural state; the crash
-    /// model checker uses this to collapse mask assignments that
-    /// materialize identical images.
+    /// co-located counter, MAC line, and integrity-tree node. Two images
+    /// with the same fingerprint persist the same architectural state;
+    /// the crash model checker uses this to collapse mask assignments
+    /// that materialize identical images.
+    ///
+    /// The digest is an order-independent `wrapping_add` fold of
+    /// per-entry FNV-1a-128 hashes, maintained incrementally on every
+    /// write/removal — this call is O(1).
     pub fn fingerprint(&self) -> u128 {
-        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h = (h ^ b as u128).wrapping_mul(PRIME);
-            }
-        };
-        let mut data: Vec<_> = self.data.iter().collect();
-        data.sort_by_key(|(addr, _)| **addr);
-        for (addr, stored) in data {
-            eat(b"d");
-            eat(&addr.0.to_le_bytes());
-            eat(&stored.bytes);
-            eat(&stored.encrypted_with.to_bytes());
+        self.fp
+    }
+
+    /// Recomputes [`NvmmImage::fingerprint`] from scratch by walking
+    /// every resident entry. Always equals `fingerprint()`; kept as the
+    /// eager reference the differential tests and the `fig_mc_perf`
+    /// self-check compare the incremental fold against.
+    pub fn fingerprint_recompute(&self) -> u128 {
+        let mut h: u128 = 0;
+        for (addr, stored) in &self.data {
+            h = h.wrapping_add(hash_data_entry(*addr, stored));
         }
-        let mut counters: Vec<_> = self.counters.iter().collect();
-        counters.sort_by_key(|(addr, _)| **addr);
-        for (addr, cl) in counters {
-            eat(b"c");
-            eat(&addr.0.to_le_bytes());
-            eat(&cl.to_bytes());
+        for (addr, cl) in &self.counters {
+            h = h.wrapping_add(hash_counter_entry(*addr, cl));
         }
-        let mut co: Vec<_> = self.co_located.iter().collect();
-        co.sort_by_key(|(addr, _)| **addr);
-        for (addr, ctr) in co {
-            eat(b"o");
-            eat(&addr.0.to_le_bytes());
-            eat(&ctr.to_bytes());
+        for (addr, ctr) in &self.co_located {
+            h = h.wrapping_add(hash_co_entry(*addr, *ctr));
         }
-        let mut macs: Vec<_> = self.macs.iter().collect();
-        macs.sort_by_key(|(addr, _)| **addr);
-        for (addr, ml) in macs {
-            eat(b"m");
-            eat(&addr.0.to_le_bytes());
-            eat(&ml.to_bytes());
+        for (addr, ml) in &self.macs {
+            h = h.wrapping_add(hash_mac_entry(*addr, ml));
         }
-        let mut tree: Vec<_> = self.tree.iter().collect();
-        tree.sort_by_key(|(addr, _)| (addr.level, addr.index));
-        for (addr, node) in tree {
-            eat(b"t");
-            eat(&u64::from(addr.level).to_le_bytes());
-            eat(&addr.index.to_le_bytes());
-            eat(&node.to_bytes());
+        for (addr, node) in &self.tree {
+            h = h.wrapping_add(hash_tree_entry(*addr, node));
         }
         h
     }
@@ -449,6 +551,46 @@ mod tests {
         img.write_tree_node(node, d);
         assert_eq!(img.tree_node(node), Some(d));
         assert_eq!(img.tree_nodes().count(), 1);
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_recompute() {
+        let mut e = engine();
+        let mut img = NvmmImage::new();
+        assert_eq!(img.fingerprint(), img.fingerprint_recompute());
+        // Writes across every region, including overwrites.
+        let w1 = e.encrypt(2, &[1; 64]);
+        let w2 = e.encrypt(2, &[2; 64]);
+        img.write_encrypted(LineAddr(2), w1.ciphertext, w1.counter);
+        img.write_encrypted(LineAddr(2), w2.ciphertext, w2.counter);
+        img.write_plain(LineAddr(7), [3; 64]);
+        let w3 = e.encrypt(4, &[4; 64]);
+        img.write_co_located(LineAddr(4), w3.ciphertext, w3.counter);
+        let mut cl = CounterLine::new();
+        cl.set(1, Counter(9));
+        img.write_counter_line(CounterLineAddr(0), cl);
+        cl.set(2, Counter(10));
+        img.write_counter_line(CounterLineAddr(0), cl);
+        let mut ml = MacLine::new();
+        ml.set(0, Mac(5));
+        img.write_mac_line(MacLineAddr(3), ml);
+        let mut d = DigestLine::new();
+        d.set(0, 11);
+        img.write_tree_node(TreeNodeAddr { level: 1, index: 0 }, d);
+        assert_eq!(img.fingerprint(), img.fingerprint_recompute());
+        // Removals restore the pre-write fold exactly.
+        let before = img.fingerprint();
+        img.write_encrypted(LineAddr(50), w1.ciphertext, w1.counter);
+        img.remove_data(LineAddr(50));
+        assert_eq!(img.fingerprint(), before);
+        img.remove_co_located_counter(LineAddr(4));
+        img.remove_counter_line(CounterLineAddr(0));
+        img.remove_mac_line(MacLineAddr(3));
+        img.remove_tree_node(TreeNodeAddr { level: 1, index: 0 });
+        assert_eq!(img.fingerprint(), img.fingerprint_recompute());
+        // Removing an absent entry is a no-op.
+        img.remove_data(LineAddr(999));
+        assert_eq!(img.fingerprint(), img.fingerprint_recompute());
     }
 
     #[test]

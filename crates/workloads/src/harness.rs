@@ -26,12 +26,16 @@ use crate::{array_swap, btree, hash_table, queue, rbtree};
 use nvmm_core::pmem::Pmem;
 use nvmm_core::recovery::RecoveredMemory;
 use nvmm_core::undo::UndoLog;
+use nvmm_crypto::mac::MacEngine;
+use nvmm_crypto::EncryptionEngine;
 use nvmm_sim::addr::ByteAddr;
 use nvmm_sim::config::{Design, SimConfig};
 use nvmm_sim::integrity::IntegritySpec;
+use nvmm_sim::parallel::{mc_threads, run_parallel};
 use nvmm_sim::system::{CrashSpec, RunOutcome, System};
 use nvmm_sim::time::Time;
 use nvmm_sim::trace::Trace;
+use std::time::Instant;
 
 /// A functionally executed workload instance for one core.
 pub struct Executed {
@@ -229,18 +233,47 @@ pub fn check_image(
     integrity: IntegritySpec,
     recovery_window: u64,
 ) -> Result<CrashCheckOutcome, ConsistencyError> {
+    check_image_with(
+        spec,
+        ex,
+        image,
+        &EncryptionEngine::new(key),
+        &MacEngine::new(key),
+        design,
+        integrity,
+        recovery_window,
+    )
+}
+
+/// [`check_image`] with caller-supplied engines. The model checker
+/// verifies every enumerated image of a crash set against the same key;
+/// sharing one warmed [`EncryptionEngine`] (whose OTP pad memo persists
+/// across candidate images) avoids re-deriving the AES key schedule and
+/// re-computing identical pads per image.
+#[allow(clippy::too_many_arguments)]
+pub fn check_image_with(
+    spec: &WorkloadSpec,
+    ex: &Executed,
+    image: &nvmm_sim::NvmmImage,
+    engine: &EncryptionEngine,
+    mac_engine: &MacEngine,
+    design: Design,
+    integrity: IntegritySpec,
+    recovery_window: u64,
+) -> Result<CrashCheckOutcome, ConsistencyError> {
     // Integrity oracle first: before recovery touches anything, every
     // cleanly-decrypting line must authenticate against its persisted
     // MAC, and (under strict) every persisted tree node against its
     // persisted children.
-    if let Err(err) = nvmm_sim::verify_image(image, integrity, key) {
+    if let Err(err) = nvmm_sim::verify_image_with(image, integrity, engine, mac_engine) {
         ensure!(
             false,
             "integrity oracle rejected the image under {design}: {err}"
         );
     }
     let trace_events = ex.pm.trace().len() as u64;
-    let mut mem = RecoveredMemory::new(image.clone(), key).with_recovery_window(recovery_window);
+    let mut mem = RecoveredMemory::with_engine(image.clone(), engine.clone())
+        .with_recovery_window(recovery_window);
     let report = spec.mechanism.recover(&mut mem, &ex.log);
     ensure!(
         report.reads_clean,
@@ -433,7 +466,7 @@ pub struct MinimalViolation {
 
 /// Outcome of model-checking every enumerated crash image at one crash
 /// instant.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ModelCheckReport {
     /// Enumeration accounting (groups, pruning, masks, dedupe).
     pub stats: nvmm_sim::EnumStats,
@@ -446,7 +479,26 @@ pub struct ModelCheckReport {
     pub baseline_violation: bool,
     /// Greedily minimized failing landing-set, when any image violated.
     pub minimal: Option<MinimalViolation>,
+    /// Wall-clock nanoseconds spent on this model check (simulation,
+    /// enumeration, and recovery verification). Telemetry only: it is
+    /// deliberately ignored by `PartialEq`, so determinism assertions
+    /// comparing two reports still hold.
+    pub mc_wall_ns: u64,
 }
+
+impl PartialEq for ModelCheckReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `mc_wall_ns` is wall-clock telemetry; every semantic field
+        // participates.
+        self.stats == other.stats
+            && self.images_checked == other.images_checked
+            && self.violations == other.violations
+            && self.baseline_violation == other.baseline_violation
+            && self.minimal == other.minimal
+    }
+}
+
+impl Eq for ModelCheckReport {}
 
 impl ModelCheckReport {
     /// `true` when every enumerated image recovered cleanly.
@@ -469,21 +521,41 @@ pub fn model_check(
     model_check_cfg(spec, SimConfig::single_core(design), crash, opts)
 }
 
-/// [`model_check`] with a caller-supplied configuration.
+/// [`model_check`] with a caller-supplied configuration. The image
+/// enumeration and recovery checks within the crash set run on
+/// [`mc_threads`] workers; the report is bit-identical to a
+/// single-threaded run for any worker count.
 pub fn model_check_cfg(
     spec: &WorkloadSpec,
     config: SimConfig,
     crash: CrashSpec,
     opts: &ModelCheckOpts,
 ) -> ModelCheckReport {
+    model_check_cfg_threads(spec, config, crash, opts, mc_threads())
+}
+
+/// [`model_check_cfg`] with an explicit worker count for the crash
+/// set's enumeration + verification loop. The parallel-over-instants
+/// driver pins this to 1 so the instants themselves carry the
+/// parallelism.
+fn model_check_cfg_threads(
+    spec: &WorkloadSpec,
+    config: SimConfig,
+    crash: CrashSpec,
+    opts: &ModelCheckOpts,
+    threads: usize,
+) -> ModelCheckReport {
+    let started = Instant::now();
     let design = config.design;
     let integrity = IntegritySpec::from_config(&config);
     let key = config.key;
     let ex = execute(spec, 0, spec.ops);
     let trace = prepared_trace(&ex, opts);
     let out = System::new(config, vec![trace]).run(crash);
-    match out.crash_set {
-        Some(set) => check_crash_set(spec, &ex, &set, key, design, integrity, opts),
+    let mut report = match out.crash_set {
+        Some(set) => {
+            check_crash_set_threads(spec, &ex, &set, key, design, integrity, opts, threads)
+        }
         None => {
             // Completed run: exactly one legal image.
             let verdict = check_image(
@@ -503,6 +575,7 @@ pub fn model_check_cfg(
                     domains: 0,
                     masks_explored: 1,
                     images_unique: 1,
+                    images_deduped: 0,
                     exhaustive: true,
                 },
                 images_checked: 1,
@@ -512,9 +585,39 @@ pub fn model_check_cfg(
                     landed: Vec::new(),
                     error,
                 }),
+                mc_wall_ns: 0,
             }
         }
-    }
+    };
+    report.mc_wall_ns = started.elapsed().as_nanos() as u64;
+    report
+}
+
+/// Model-checks `spec` at every crash instant in `instants`, fanning
+/// the instants out over [`mc_threads`] scoped workers. Each instant's
+/// job simulates its crash and checks its crash set sequentially
+/// (inner enumeration worker count pinned to 1), so the reports come
+/// back in instant order and are bit-identical to checking the
+/// instants one by one — whatever `NVMM_MC_THREADS` says.
+pub fn model_check_instants(
+    spec: &WorkloadSpec,
+    design: Design,
+    instants: &[Time],
+    opts: &ModelCheckOpts,
+) -> Vec<ModelCheckReport> {
+    model_check_instants_cfg(spec, SimConfig::single_core(design), instants, opts)
+}
+
+/// [`model_check_instants`] with a caller-supplied configuration.
+pub fn model_check_instants_cfg(
+    spec: &WorkloadSpec,
+    config: SimConfig,
+    instants: &[Time],
+    opts: &ModelCheckOpts,
+) -> Vec<ModelCheckReport> {
+    run_parallel(mc_threads(), instants, |&t| {
+        model_check_cfg_threads(spec, config.clone(), CrashSpec::AtTime(t), opts, 1)
+    })
 }
 
 /// The checking half of [`model_check_cfg`]: verifies an
@@ -532,21 +635,57 @@ pub fn check_crash_set(
     integrity: IntegritySpec,
     opts: &ModelCheckOpts,
 ) -> ModelCheckReport {
-    let en = set.enumerate(nvmm_sim::EnumOpts {
-        max_images: opts.max_images,
-        seed: opts.seed,
+    check_crash_set_threads(spec, ex, set, key, design, integrity, opts, mc_threads())
+}
+
+/// [`check_crash_set`] with an explicit worker count for enumeration
+/// and image verification.
+#[allow(clippy::too_many_arguments)]
+fn check_crash_set_threads(
+    spec: &WorkloadSpec,
+    ex: &Executed,
+    set: &nvmm_sim::CrashSet,
+    key: [u8; 16],
+    design: Design,
+    integrity: IntegritySpec,
+    opts: &ModelCheckOpts,
+    threads: usize,
+) -> ModelCheckReport {
+    let started = Instant::now();
+    let en = set.enumerate_parallel(
+        nvmm_sim::EnumOpts {
+            max_images: opts.max_images,
+            seed: opts.seed,
+        },
+        threads,
+    );
+    // One warmed engine pair per crash set: every enumerated image is
+    // decrypted under the same key, so clones of this engine share the
+    // OTP pad memo across images.
+    let engine = EncryptionEngine::new(key);
+    let mac_engine = MacEngine::new(key);
+    let verdicts = run_parallel(threads, &en.images, |(_, img)| {
+        check_image_with(
+            spec,
+            ex,
+            img,
+            &engine,
+            &mac_engine,
+            design,
+            integrity,
+            opts.recovery_window,
+        )
     });
     let mut violations = 0usize;
     let mut baseline_violation = false;
     let mut first_fail: Option<(nvmm_sim::LandMask, ConsistencyError)> = None;
-    for (i, (mask, img)) in en.images.iter().enumerate() {
-        if let Err(error) = check_image(spec, ex, img, key, design, integrity, opts.recovery_window)
-        {
+    for (i, verdict) in verdicts.into_iter().enumerate() {
+        if let Err(error) = verdict {
             violations += 1;
             // `images[0]` is always the all-miss baseline.
             baseline_violation |= i == 0;
             if first_fail.is_none() {
-                first_fail = Some((mask.clone(), error));
+                first_fail = Some((en.images[i].0.clone(), error));
             }
         }
     }
@@ -555,7 +694,8 @@ pub fn check_crash_set(
             spec,
             ex,
             set,
-            key,
+            &engine,
+            &mac_engine,
             design,
             integrity,
             opts.recovery_window,
@@ -569,6 +709,7 @@ pub fn check_crash_set(
         violations,
         baseline_violation,
         minimal,
+        mc_wall_ns: started.elapsed().as_nanos() as u64,
     }
 }
 
@@ -580,21 +721,25 @@ fn minimize_violation(
     spec: &WorkloadSpec,
     ex: &Executed,
     set: &nvmm_sim::CrashSet,
-    key: [u8; 16],
+    engine: &EncryptionEngine,
+    mac_engine: &MacEngine,
     design: Design,
     integrity: IntegritySpec,
     recovery_window: u64,
     mut mask: nvmm_sim::LandMask,
     mut error: ConsistencyError,
 ) -> MinimalViolation {
+    let mut candidates = Vec::new();
     loop {
         let mut improved = false;
-        for cand in set.shrink_candidates(&mask) {
-            if let Err(e) = check_image(
+        set.shrink_candidates_into(&mask, &mut candidates);
+        for cand in candidates.drain(..) {
+            if let Err(e) = check_image_with(
                 spec,
                 ex,
                 &set.image(&cand),
-                key,
+                engine,
+                mac_engine,
                 design,
                 integrity,
                 recovery_window,

@@ -55,10 +55,10 @@ pub mod spec;
 mod util;
 
 pub use harness::{
-    check_crash_set, check_image, check_recovered_image, crash_check, crash_check_cfg,
-    crash_instants, crash_instants_cfg, crash_sweep, execute, model_check, model_check_cfg,
-    run_timed, traces_for_cores, CrashCheckOutcome, Executed, MinimalViolation, ModelCheckOpts,
-    ModelCheckReport,
+    check_crash_set, check_image, check_image_with, check_recovered_image, crash_check,
+    crash_check_cfg, crash_instants, crash_instants_cfg, crash_sweep, execute, model_check,
+    model_check_cfg, model_check_instants, model_check_instants_cfg, run_timed, traces_for_cores,
+    CrashCheckOutcome, Executed, MinimalViolation, ModelCheckOpts, ModelCheckReport,
 };
 pub use spec::{WorkloadKind, WorkloadSpec};
 pub use util::ConsistencyError;

@@ -225,3 +225,116 @@ fn completed_run_has_single_clean_image() {
     assert!(rep.stats.exhaustive);
     assert_eq!(rep.stats.groups, 0);
 }
+
+/// Differential acceptance for the incremental rewrite: across all five
+/// workloads, at every harvested in-flight instant, the incremental
+/// copy-on-write enumeration (sequential and multi-threaded) must
+/// produce the same stats, landing masks, fingerprints, and per-image
+/// recovery verdicts as the retained eager rebuild-per-mask path —
+/// with the warm shared engines agreeing with per-image fresh engines.
+#[test]
+fn incremental_enumeration_matches_eager_on_all_workloads() {
+    use nvmm::crypto::mac::MacEngine;
+    use nvmm::crypto::EncryptionEngine;
+    use nvmm::sim::integrity::IntegritySpec;
+    use nvmm::sim::system::System;
+    use nvmm::sim::EnumOpts;
+    use nvmm::workloads::{check_image, check_image_with};
+
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec::smoke(kind).with_ops(4);
+        let cfg = SimConfig::single_core(Design::Sca).with_integrity(IntegrityPolicy::Strict);
+        let integrity = IntegritySpec::from_config(&cfg);
+        let key = cfg.key;
+        let ex = execute(&spec, 0, spec.ops);
+        let trace = ex.pm.trace().clone();
+        let o = opts(32);
+        let instants = crash_instants_cfg(&spec, cfg.clone(), &o, 4);
+        assert!(!instants.is_empty(), "{kind}: no in-flight instants");
+        let engine = EncryptionEngine::new(key);
+        let mac_engine = MacEngine::new(key);
+        for &t in &instants {
+            let Some(set) = System::new(cfg.clone(), vec![trace.clone()])
+                .run(CrashSpec::AtTime(t))
+                .crash_set
+            else {
+                continue;
+            };
+            let eopts = EnumOpts {
+                max_images: o.max_images,
+                seed: o.seed,
+            };
+            let eager = set.enumerate_eager(eopts);
+            for threads in [1, 4] {
+                let inc = set.enumerate_parallel(eopts, threads);
+                assert_eq!(eager.stats, inc.stats, "{kind} at {t} ({threads} threads)");
+                assert_eq!(
+                    eager.images.len(),
+                    inc.images.len(),
+                    "{kind} at {t} ({threads} threads)"
+                );
+                for (i, ((em, ei), (im, ii))) in
+                    eager.images.iter().zip(inc.images.iter()).enumerate()
+                {
+                    assert_eq!(em.landed(), im.landed(), "{kind} at {t} image {i}: mask");
+                    assert_eq!(
+                        ei.fingerprint(),
+                        ii.fingerprint(),
+                        "{kind} at {t} image {i}: fingerprint"
+                    );
+                    assert_eq!(
+                        ii.fingerprint(),
+                        ii.fingerprint_recompute(),
+                        "{kind} at {t} image {i}: incremental fingerprint drifted"
+                    );
+                }
+            }
+            // Recovery verdicts: warm shared engines vs fresh per-image
+            // engines must agree on every enumerated image.
+            for (i, (_, img)) in eager.images.iter().enumerate() {
+                let fresh = check_image(&spec, &ex, img, key, Design::Sca, integrity, 0);
+                let warm = check_image_with(
+                    &spec,
+                    &ex,
+                    img,
+                    &engine,
+                    &mac_engine,
+                    Design::Sca,
+                    integrity,
+                    0,
+                );
+                assert_eq!(fresh, warm, "{kind} at {t} image {i}: verdicts diverge");
+            }
+        }
+    }
+}
+
+/// The parallel-over-instants driver returns, in instant order, exactly
+/// the reports the sequential per-instant loop produces — including the
+/// minimized witness on a violating configuration.
+#[test]
+fn model_check_instants_matches_sequential_loop() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::Queue).with_ops(4);
+    let o = opts(16);
+    let instants = crash_instants(&spec, Design::Sca, &o, 4);
+    assert!(!instants.is_empty());
+    let batch = nvmm::workloads::model_check_instants(&spec, Design::Sca, &instants, &o);
+    assert_eq!(batch.len(), instants.len());
+    for (rep, &t) in batch.iter().zip(&instants) {
+        let seq = model_check(&spec, Design::Sca, CrashSpec::AtTime(t), &o);
+        assert_eq!(*rep, seq, "at {t}: batch and sequential reports diverge");
+    }
+
+    // Violating path: witnesses must agree too.
+    let o = ModelCheckOpts {
+        strip_counter_writebacks: true,
+        ..opts(16)
+    };
+    let instants = crash_instants(&spec, Design::Sca, &o, 3);
+    let batch = nvmm::workloads::model_check_instants(&spec, Design::Sca, &instants, &o);
+    for (rep, &t) in batch.iter().zip(&instants) {
+        let seq = model_check(&spec, Design::Sca, CrashSpec::AtTime(t), &o);
+        assert_eq!(rep.minimal, seq.minimal, "at {t}: witnesses diverge");
+        assert_eq!(*rep, seq);
+    }
+}
