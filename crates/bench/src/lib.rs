@@ -18,6 +18,7 @@
 //! | `crash_matrix` | adversarial crash-image model check: five workloads × designs (including SCA+strict / SCA+lazy integrity) over every ADR-legal image (self-checking; no paper figure) |
 //! | `fig_integrity` | integrity-policy cost: runtime and metadata write amplification of mac-only / lazy / strict on top of SCA (self-checking; no paper figure) |
 //! | `fig_mc_perf` | model-checker throughput: eager rebuild-per-mask enumeration vs the incremental copy-on-write walk with parallel verification (self-checking; no paper figure) |
+//! | `fig_service` | open-loop service throughput and p50/p95/p99/p999 arrival-to-commit tails: steady/burst/diurnal arrival curves over 1–4 controller shards, plus a generator-backed streamed-ingest demo with batched journaling (self-checking; no paper figure) |
 //!
 //! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
 //! prints a human-readable table and writes machine-readable JSON to
@@ -40,6 +41,10 @@
 //! * `NVMM_EPOCH_NS` — when set, enables per-epoch telemetry with this
 //!   epoch length on every sweep cell; the timelines land in the JSON
 //!   artifacts' `cells` entries.
+//!
+//! `fig_service` additionally honors `NVMM_SHARDS`, `NVMM_STREAM_OPS`,
+//! and `NVMM_SERVICE_BATCH` (see its binary docs); those only affect
+//! its `*_timing.json` companion, never the main artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

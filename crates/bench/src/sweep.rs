@@ -41,7 +41,7 @@ use nvmm_sim::parallel::run_parallel;
 use nvmm_sim::system::{CrashSpec, RunOutcome, System};
 use nvmm_sim::time::Time;
 use nvmm_sim::trace::Trace;
-use nvmm_workloads::{traces_for_cores, WorkloadSpec};
+use nvmm_workloads::{shape_open_loop, traces_for_cores, ArrivalCurve, WorkloadSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -60,6 +60,9 @@ pub struct SweepCell {
     /// Crash injection for this cell (`CrashSpec::None` = run to
     /// completion).
     pub crash: CrashSpec,
+    /// Open-loop arrival shaping applied to the generated traces
+    /// (`None` = closed-loop replay, the paper's methodology).
+    pub shape: Option<ArrivalCurve>,
 }
 
 impl SweepCell {
@@ -71,6 +74,7 @@ impl SweepCell {
             spec: *spec,
             cfg,
             crash: CrashSpec::None,
+            shape: None,
         }
     }
 
@@ -92,18 +96,38 @@ impl SweepCell {
         self
     }
 
-    /// Trace-cache key: one functional execution per unique value.
-    fn trace_key(&self) -> (String, usize) {
-        (self.spec.to_json().to_compact(), self.cfg.cores)
+    /// Returns the cell with open-loop arrival shaping.
+    pub fn with_shape(mut self, curve: ArrivalCurve) -> Self {
+        self.shape = Some(curve);
+        self
+    }
+
+    /// Stable key fragment for the arrival shape.
+    fn shape_key(&self) -> String {
+        match &self.shape {
+            Some(curve) => curve.to_json().to_compact(),
+            None => "closed".to_string(),
+        }
+    }
+
+    /// Trace-cache key: one functional execution (plus shaping) per
+    /// unique value.
+    fn trace_key(&self) -> (String, usize, String) {
+        (
+            self.spec.to_json().to_compact(),
+            self.cfg.cores,
+            self.shape_key(),
+        )
     }
 
     /// Sim-dedupe key: one simulation per unique value.
     fn sim_key(&self) -> String {
         format!(
-            "{}|{}|{:?}",
+            "{}|{}|{:?}|{}",
             self.spec.to_json().to_compact(),
             self.cfg.to_json().to_compact(),
-            self.crash
+            self.crash,
+            self.shape_key()
         )
     }
 }
@@ -154,17 +178,22 @@ impl SweepRunner {
             }
         }
 
-        // Phase 1: functional execution of each unique (spec, cores).
-        let mut trace_index: HashMap<(String, usize), usize> = HashMap::new();
-        let mut trace_jobs: Vec<(WorkloadSpec, usize)> = Vec::new();
+        // Phase 1: functional execution of each unique
+        // (spec, cores, shape).
+        let mut trace_index: HashMap<(String, usize, String), usize> = HashMap::new();
+        let mut trace_jobs: Vec<(WorkloadSpec, usize, Option<ArrivalCurve>)> = Vec::new();
         for cell in &cells {
             trace_index.entry(cell.trace_key()).or_insert_with(|| {
-                trace_jobs.push((cell.spec, cell.cfg.cores));
+                trace_jobs.push((cell.spec, cell.cfg.cores, cell.shape));
                 trace_jobs.len() - 1
             });
         }
         let traces: Vec<Arc<Vec<Trace>>> = run_parallel(self.threads, &trace_jobs, |job| {
-            Arc::new(traces_for_cores(&job.0, job.1))
+            let traces = traces_for_cores(&job.0, job.1);
+            Arc::new(match &job.2 {
+                Some(curve) => shape_open_loop(traces, curve),
+                None => traces,
+            })
         });
 
         // Phase 2: one simulation per unique (spec, config, crash).

@@ -170,6 +170,87 @@ impl NvmmTarget {
     }
 }
 
+/// Deterministic address-interleaving map for channel-sharded
+/// controllers.
+///
+/// Lines are distributed round-robin at **counter-line granularity**:
+/// the eight consecutive data lines that share one counter line (and
+/// one MAC line) always land on the same shard, so a counter-atomic
+/// pair, its counter-cache residency, and its per-line MAC are all
+/// owned by a single controller — no write ever spans shards.
+///
+/// ```text
+/// shard_of(L) = (L / 8) mod N        (counter-line round-robin)
+/// ```
+///
+/// The map is a bijection: [`ShardMap::locate`] splits a global line
+/// address into `(shard, local)` and [`ShardMap::globalize`] inverts
+/// it exactly. Sharded controllers keep *global* addresses internally
+/// (state never needs remapping); the local view exists so capacity
+/// planning and the bijection property are testable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Lines per interleave group: one counter line's worth of data
+    /// lines (the counter/MAC packing factor).
+    pub const GROUP_LINES: u64 = 8;
+
+    /// A map over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard required");
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning data line `line`.
+    pub fn shard_of(self, line: LineAddr) -> usize {
+        ((line.0 / Self::GROUP_LINES) % self.shards as u64) as usize
+    }
+
+    /// The shard owning counter line `cline` (and the congruent MAC
+    /// line): identical to the shard of every data line it covers.
+    pub fn shard_of_counter_line(self, cline: CounterLineAddr) -> usize {
+        (cline.0 % self.shards as u64) as usize
+    }
+
+    /// Splits a global line address into `(shard, shard-local line)`.
+    ///
+    /// Within a shard, local addresses are dense: group `g` of the
+    /// shard is global group `g * shards + shard`.
+    pub fn locate(self, line: LineAddr) -> (usize, LineAddr) {
+        let n = self.shards as u64;
+        let group = line.0 / Self::GROUP_LINES;
+        let offset = line.0 % Self::GROUP_LINES;
+        let shard = group % n;
+        let local = (group / n) * Self::GROUP_LINES + offset;
+        (shard as usize, LineAddr(local))
+    }
+
+    /// Inverse of [`ShardMap::locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn globalize(self, shard: usize, local: LineAddr) -> LineAddr {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let n = self.shards as u64;
+        let group = local.0 / Self::GROUP_LINES;
+        let offset = local.0 % Self::GROUP_LINES;
+        LineAddr((group * n + shard as u64) * Self::GROUP_LINES + offset)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +328,46 @@ mod tests {
             }
         }
         assert!(differ > 32, "counter region should not alias data banks");
+    }
+
+    #[test]
+    fn shard_map_round_trips() {
+        for shards in 1..=5 {
+            let map = ShardMap::new(shards);
+            for raw in 0..512u64 {
+                let line = LineAddr(raw);
+                let (s, local) = map.locate(line);
+                assert_eq!(s, map.shard_of(line));
+                assert_eq!(map.globalize(s, local), line);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_keeps_counter_groups_together() {
+        let map = ShardMap::new(4);
+        for raw in 0..256u64 {
+            let line = LineAddr(raw);
+            assert_eq!(
+                map.shard_of(line),
+                map.shard_of_counter_line(line.counter_line()),
+                "data line and its counter line must share a shard"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let map = ShardMap::new(1);
+        for raw in 0..64u64 {
+            assert_eq!(map.shard_of(LineAddr(raw)), 0);
+            assert_eq!(map.locate(LineAddr(raw)), (0, LineAddr(raw)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected() {
+        let _ = ShardMap::new(0);
     }
 }

@@ -465,6 +465,13 @@ pub struct SimConfig {
     /// of 10 covers 8^10 counter lines — 512 GiB of data space — which
     /// accommodates every per-core region the workloads use.
     pub tree_levels: u32,
+    /// Number of channel-sharded memory controllers. Lines interleave
+    /// across shards at counter-line granularity
+    /// ([`crate::addr::ShardMap`]); each shard owns its own write
+    /// queues, counter-cache slice, metadata queue, and device channel.
+    /// `1` (the default) is the paper's single-controller pipeline and
+    /// is bit-identical to the pre-sharding simulator.
+    pub shards: usize,
     /// Positive-control bug switch for the crash model checker: when
     /// true, the strict policy persists tree-path nodes as plain
     /// metadata writes at submission time — the *parent* can become
@@ -518,6 +525,7 @@ impl SimConfig {
             },
             metadata_write_queue_entries: 16,
             tree_levels: 10,
+            shards: 1,
             tree_bug_parent_first: false,
         }
     }
@@ -549,6 +557,18 @@ impl SimConfig {
     /// control; see [`SimConfig::tree_bug_parent_first`]).
     pub fn with_tree_bug(mut self) -> Self {
         self.tree_bug_parent_first = true;
+        self
+    }
+
+    /// Selects the number of channel-sharded controllers
+    /// (see [`SimConfig::shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard required");
+        self.shards = shards;
         self
     }
 }
@@ -603,6 +623,7 @@ impl ToJson for SimConfig {
                 self.metadata_write_queue_entries.to_json(),
             ),
             ("tree_levels".to_string(), self.tree_levels.to_json()),
+            ("shards".to_string(), self.shards.to_json()),
             (
                 "tree_bug_parent_first".to_string(),
                 self.tree_bug_parent_first.to_json(),
@@ -637,6 +658,12 @@ impl FromJson for SimConfig {
             metadata_cache: field(json, "metadata_cache")?,
             metadata_write_queue_entries: field(json, "metadata_write_queue_entries")?,
             tree_levels: field(json, "tree_levels")?,
+            // Absent in configs serialized before controller sharding.
+            shards: match json.get("shards") {
+                Some(s) => usize::from_json(s)
+                    .map_err(|e| FromJsonError(format!("in field `shards`: {}", e.0)))?,
+                None => 1,
+            },
             tree_bug_parent_first: field(json, "tree_bug_parent_first")?,
         })
     }
@@ -740,6 +767,30 @@ mod tests {
         assert!(!IntegrityPolicy::Lazy.strict());
         assert!(IntegrityPolicy::Strict.has_tree());
         assert!(IntegrityPolicy::Strict.strict());
+    }
+
+    #[test]
+    fn shards_default_roundtrip_and_back_compat() {
+        let c = SimConfig::single_core(Design::Sca);
+        assert_eq!(c.shards, 1);
+        let c4 = SimConfig::table2(Design::Sca, 2).with_shards(4);
+        let text = c4.to_json().to_pretty();
+        let back = SimConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c4);
+        // Configs serialized before sharding existed have no `shards`
+        // key and must parse as a single controller.
+        let mut without = c.to_json();
+        if let Json::Obj(fields) = &mut without {
+            fields.retain(|(k, _)| k != "shards");
+        }
+        let back = SimConfig::from_json(&without).unwrap();
+        assert_eq!(back.shards, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected_by_builder() {
+        let _ = SimConfig::single_core(Design::Sca).with_shards(0);
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub(crate) struct JournalRecord {
     /// `guaranteed_at`; in-flight landings are prefix-closed within a
     /// domain (see [`crate::crashmc`]).
     pub(crate) domain: crate::crashmc::Domain,
+    /// The channel shard whose controller owns the write. Each shard
+    /// has its own queues and pairing coordinator, so the model
+    /// checker's serialization domains are (shard, domain) pairs; a
+    /// single-controller system journals everything as shard 0.
+    pub(crate) shard: usize,
     pub(crate) op: JournalOp,
 }
 
@@ -185,11 +190,21 @@ pub struct MemoryController {
     /// counter-atomic pair — the parent-ahead-of-child ordering bug the
     /// model checker must catch.
     tree_bug_parent_first: bool,
+    /// Channel-shard id stamped on every journal record (0 for the
+    /// single-controller pipeline).
+    shard_id: usize,
 }
 
 impl MemoryController {
     /// Builds the controller described by `config`.
     pub fn new(config: &SimConfig) -> Self {
+        Self::new_shard(config, 0)
+    }
+
+    /// Builds one shard of a channel-sharded controller complex:
+    /// identical to [`MemoryController::new`] except that journal
+    /// records carry `shard_id`.
+    pub(crate) fn new_shard(config: &SimConfig, shard_id: usize) -> Self {
         let counter_cache = config
             .design
             .has_counter_cache()
@@ -217,6 +232,7 @@ impl MemoryController {
             counter_lag: FxHashMap::default(),
             integrity: IntegrityState::from_config(config),
             tree_bug_parent_first: config.tree_bug_parent_first,
+            shard_id,
         }
     }
 
@@ -357,6 +373,7 @@ impl MemoryController {
             guaranteed_at: guaranteed,
             pair,
             domain: crate::crashmc::Domain::CounterQueue,
+            shard: self.shard_id,
             op: JournalOp::CounterLine {
                 cline,
                 counters: self.current_counter_line(cline),
@@ -367,6 +384,7 @@ impl MemoryController {
             guaranteed_at: guaranteed,
             pair,
             domain: crate::crashmc::Domain::CounterQueue,
+            shard: self.shard_id,
             op: JournalOp::MacLine { mline, macs },
         });
         if let Some(cache) = self.counter_cache.as_mut() {
@@ -413,6 +431,7 @@ impl MemoryController {
                     guaranteed_at: r.accepted,
                     pair: None,
                     domain: crate::crashmc::Domain::MetadataQueue,
+                    shard: self.shard_id,
                     op: JournalOp::TreeNode { node, digests },
                 });
             }
@@ -437,6 +456,7 @@ impl MemoryController {
             guaranteed_at: receipt.accepted,
             pair: None,
             domain: crate::crashmc::Domain::CounterQueue,
+            shard: self.shard_id,
             op: JournalOp::CounterLine {
                 cline,
                 counters: self.current_counter_line(cline),
@@ -520,6 +540,7 @@ impl MemoryController {
                     guaranteed_at: r.accepted,
                     pair: None,
                     domain: crate::crashmc::Domain::DataQueue,
+                    shard: self.shard_id,
                     op: JournalOp::Plain { line, data },
                 });
                 r.accepted
@@ -549,6 +570,7 @@ impl MemoryController {
                     guaranteed_at: r.accepted,
                     pair: None,
                     domain: crate::crashmc::Domain::DataQueue,
+                    shard: self.shard_id,
                     op: JournalOp::CoLocated {
                         line,
                         ciphertext: enc.ciphertext,
@@ -716,6 +738,7 @@ impl MemoryController {
                 guaranteed_at: guaranteed,
                 pair,
                 domain: crate::crashmc::Domain::Pairing,
+                shard: self.shard_id,
                 op: JournalOp::Encrypted {
                     line,
                     ciphertext: enc.ciphertext,
@@ -727,6 +750,7 @@ impl MemoryController {
                 guaranteed_at: guaranteed,
                 pair,
                 domain: crate::crashmc::Domain::Pairing,
+                shard: self.shard_id,
                 op: JournalOp::CounterLine {
                     cline,
                     counters: self.current_counter_line(cline),
@@ -738,6 +762,7 @@ impl MemoryController {
                     guaranteed_at: guaranteed,
                     pair,
                     domain: crate::crashmc::Domain::Pairing,
+                    shard: self.shard_id,
                     op,
                 });
             }
@@ -750,6 +775,7 @@ impl MemoryController {
                     guaranteed_at: g,
                     pair: None,
                     domain: crate::crashmc::Domain::MetadataQueue,
+                    shard: self.shard_id,
                     op,
                 });
             }
@@ -779,6 +805,7 @@ impl MemoryController {
                 guaranteed_at: r.accepted,
                 pair: None,
                 domain: crate::crashmc::Domain::DataQueue,
+                shard: self.shard_id,
                 op: JournalOp::Encrypted {
                     line,
                     ciphertext: enc.ciphertext,
@@ -905,6 +932,24 @@ impl MemoryController {
     /// Number of journaled NVMM writes (for tests).
     pub fn journal_len(&self) -> usize {
         self.journal.len()
+    }
+
+    /// The raw journal, in submission order (for the shard merge layer).
+    pub(crate) fn journal(&self) -> &[JournalRecord] {
+        &self.journal
+    }
+
+    /// Per-target NVMM write counts (for the shard layer's exact wear
+    /// merge — tree nodes may be written from several shards).
+    pub(crate) fn wear(&self) -> &FxHashMap<NvmmTarget, u64> {
+        &self.wear
+    }
+
+    /// Removes the first `n` journal records. The shard layer calls this
+    /// during batched-journal compaction after folding the records into
+    /// its base image; the controller itself never compacts.
+    pub(crate) fn drain_journal_prefix(&mut self, n: usize) {
+        self.journal.drain(..n);
     }
 }
 

@@ -60,7 +60,7 @@
 //!
 //! Candidate images at one crash instant differ only in which in-flight
 //! choice groups land, yet the original enumerator replayed the *whole*
-//! journal into a fresh [`NvmmImage`] per mask. [`ImageOverlay`] instead
+//! journal into a fresh [`NvmmImage`] per mask. `ImageOverlay` instead
 //! builds the guaranteed base image once and walks the cut schedule by
 //! applying/undoing only the ops of the groups whose cut changed. Each
 //! image cell (a data line, a co-located counter, a counter line, a MAC
@@ -236,8 +236,11 @@ pub struct CrashSet {
     /// Choice groups eliminated by shadow pruning.
     pruned_groups: usize,
     /// Live group ids per serialization domain, in guarantee order; a
-    /// legal mask lands a prefix of each list. Indexed like [`DOMAINS`];
-    /// lists may be empty.
+    /// legal mask lands a prefix of each list. One entry per
+    /// (shard, [`DOMAINS`] member) in shard-major order — each sharded
+    /// controller owns four independent serialization domains, and with
+    /// one shard this is exactly the four [`DOMAINS`] lists. Lists may
+    /// be empty.
     domain_order: Vec<Vec<usize>>,
 }
 
@@ -277,23 +280,28 @@ impl CrashSet {
     pub(crate) fn from_journal(journal: &[JournalRecord], crash_time: Time) -> Self {
         let mut pair_groups: FxHashMap<u64, usize> = FxHashMap::default();
         let mut entries: Vec<Entry> = Vec::new();
-        // Per provisional group: (domain, guarantee point, first entry).
-        let mut info: Vec<(Domain, Time, usize)> = Vec::new();
+        // Per provisional group: (shard, domain, guarantee point, first
+        // entry). Each shard's controller has its own pairing
+        // coordinator and queues, so (shard, domain) — not domain alone
+        // — names one serialized mechanism.
+        let mut info: Vec<(usize, Domain, Time, usize)> = Vec::new();
+        let mut max_shard = 0usize;
         for rec in journal {
             if rec.submitted_at > crash_time {
                 continue;
             }
+            max_shard = max_shard.max(rec.shard);
             let idx = entries.len();
             let fate = if rec.guaranteed_at <= crash_time {
                 Fate::Guaranteed
             } else {
                 let g = match rec.pair {
                     Some(p) => *pair_groups.entry(p).or_insert_with(|| {
-                        info.push((rec.domain, rec.guaranteed_at, idx));
+                        info.push((rec.shard, rec.domain, rec.guaranteed_at, idx));
                         info.len() - 1
                     }),
                     None => {
-                        info.push((rec.domain, rec.guaranteed_at, idx));
+                        info.push((rec.shard, rec.domain, rec.guaranteed_at, idx));
                         info.len() - 1
                     }
                 };
@@ -345,17 +353,19 @@ impl CrashSet {
                 };
             }
         }
-        // Guarantee order per domain over the surviving groups. Ties
-        // (identical accept instants) fall back to submission order,
-        // which is the queues' FIFO order.
-        let domain_order = DOMAINS
-            .iter()
-            .map(|&d| {
+        // Guarantee order per (shard, domain) over the surviving
+        // groups, shard-major. Ties (identical accept instants) fall
+        // back to submission order, which is the queues' FIFO order.
+        // With one shard this is exactly the four DOMAINS lists of the
+        // pre-sharding checker.
+        let domain_order = (0..=max_shard)
+            .flat_map(|s| DOMAINS.iter().map(move |&d| (s, d)))
+            .map(|(s, d)| {
                 let mut in_domain: Vec<(Time, usize, usize)> = info
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &(gd, _, _))| gd == d)
-                    .filter_map(|(g, &(_, at, first))| renumber[g].map(|n| (at, first, n)))
+                    .filter(|&(_, &(gs, gd, _, _))| gs == s && gd == d)
+                    .filter_map(|(g, &(_, _, at, first))| renumber[g].map(|n| (at, first, n)))
                     .collect();
                 in_domain.sort_unstable_by_key(|&(at, first, _)| (at, first));
                 in_domain.into_iter().map(|(_, _, n)| n).collect()
@@ -570,7 +580,7 @@ impl CrashSet {
     /// up to `threads` worker threads.
     ///
     /// The cut schedule is split into contiguous chunks, each walked by
-    /// its own [`ImageOverlay`] and deduplicated locally; chunks merge
+    /// its own `ImageOverlay` and deduplicated locally; chunks merge
     /// in schedule order, so retained masks, images, and stats are
     /// bit-identical to the single-threaded walk for any thread count.
     pub fn enumerate_parallel(&self, opts: EnumOpts, threads: usize) -> Enumeration {
@@ -1202,6 +1212,9 @@ mod tests {
                 2 => Domain::CounterQueue,
                 _ => Domain::MetadataQueue,
             };
+            // Spread records over two shards (pair members share one)
+            // so the differential suite covers sharded journals too.
+            let shard = (rng() % 2) as usize;
             let mk_op = |r: u64, v: u64| -> JournalOp {
                 match r % 6 {
                     0 => JournalOp::Plain {
@@ -1258,6 +1271,7 @@ mod tests {
                         guaranteed_at: guaranteed,
                         pair: Some(pair),
                         domain,
+                        shard,
                         op: mk_op(rng(), rng()),
                     });
                 }
@@ -1267,6 +1281,7 @@ mod tests {
                     guaranteed_at: Time::from_ns(submitted_ns + 20 + flight),
                     pair: None,
                     domain,
+                    shard,
                     op: mk_op(rng(), rng()),
                 });
             }

@@ -63,6 +63,7 @@ pub mod device;
 pub mod integrity;
 pub mod nvmm;
 pub mod parallel;
+pub mod shard;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
@@ -70,13 +71,14 @@ pub mod time;
 pub mod trace;
 pub mod wq;
 
-pub use addr::{ByteAddr, CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
+pub use addr::{ByteAddr, CounterLineAddr, LineAddr, MacLineAddr, ShardMap, TreeNodeAddr};
 pub use config::{Design, IntegrityPolicy, SimConfig};
 pub use crashmc::{CrashSet, EnumOpts, EnumStats, Enumeration, LandMask};
 pub use integrity::{rebuild_tree, verify_image, verify_image_with, DigestLine, IntegritySpec};
 pub use nvmm::{LineRead, NvmmImage};
 pub use parallel::{mc_threads, run_parallel};
-pub use stats::Stats;
+pub use shard::ShardedController;
+pub use stats::{LatencyHist, Stats};
 pub use system::{run_to_completion, CrashSpec, RunOutcome, System};
 pub use telemetry::{EpochSample, Timeline};
 pub use time::Time;

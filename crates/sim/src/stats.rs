@@ -135,6 +135,141 @@ impl Stats {
     }
 }
 
+/// A log-linear latency histogram for open-loop tail-latency reporting.
+///
+/// Values (nanoseconds) below 32 get exact buckets; above that, each
+/// power-of-two range is split into 32 sub-buckets, bounding relative
+/// quantile error at ~3% while keeping the structure fixed-size and
+/// deterministic. `fig_service` derives p50/p95/p99/p999 from it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    /// Sparse `(bucket index, count)` pairs, index-ordered.
+    buckets: Vec<(u32, u64)>,
+    /// Total recorded samples.
+    count: u64,
+    /// Largest recorded value (exact, for the p100 endpoint).
+    max: u64,
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> u32 {
+        if v < 32 {
+            v as u32
+        } else {
+            let msb = 63 - v.leading_zeros(); // >= 5
+            (msb - 4) * 32 + ((v >> (msb - 5)) & 31) as u32
+        }
+    }
+
+    /// Representative (lower-bound) value of a bucket, inverse of
+    /// [`LatencyHist::bucket_of`].
+    fn bucket_floor(b: u32) -> u64 {
+        if b < 32 {
+            b as u64
+        } else {
+            let msb = b / 32 + 4;
+            let sub = (b % 32) as u64;
+            (1u64 << msb) | (sub << (msb - 5))
+        }
+    }
+
+    /// Records one latency sample (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        match self.buckets.binary_search_by_key(&b, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (b, 1)),
+        }
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The latency (ns) at quantile `q` in `[0, 1]`: the smallest
+    /// bucket floor such that at least `ceil(q * count)` samples fall
+    /// at or below it. Returns 0 for an empty histogram; `q >= 1`
+    /// returns the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(b, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(b);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (for multi-core runs).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for &(b, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&b, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (b, n)),
+            }
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl ToJson for LatencyHist {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "buckets".to_string(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(b, n)| Json::Arr(vec![(b as u64).to_json(), n.to_json()]))
+                        .collect(),
+                ),
+            ),
+            ("count".to_string(), self.count.to_json()),
+            ("max".to_string(), self.max.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LatencyHist {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        let pairs: Vec<Vec<u64>> = field(json, "buckets")?;
+        let mut buckets = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            if p.len() != 2 {
+                return Err(FromJsonError("bucket pair must have 2 elements".into()));
+            }
+            buckets.push((p[0] as u32, p[1]));
+        }
+        Ok(Self {
+            buckets,
+            count: field(json, "count")?,
+            max: field(json, "max")?,
+        })
+    }
+}
+
 /// Field list shared by the `ToJson`/`FromJson` impls so the two cannot
 /// drift apart: `(json key, getter, setter)` triples for every `u64`
 /// counter, with the `Time`/`Vec` fields handled explicitly.
@@ -252,6 +387,68 @@ mod tests {
     #[test]
     fn new_sizes_core_vector() {
         assert_eq!(Stats::new(4).core_runtimes.len(), 4);
+    }
+
+    #[test]
+    fn latency_hist_buckets_are_monotone_and_invertible() {
+        let mut last = 0;
+        for v in (0..4096u64).chain((1 << 20)..(1 << 20) + 64) {
+            let b = LatencyHist::bucket_of(v);
+            assert!(b >= last, "bucket index must be monotone in value");
+            last = b;
+            let floor = LatencyHist::bucket_floor(b);
+            assert!(floor <= v, "floor must lower-bound the bucket");
+            // Relative error bound for the log-linear layout.
+            assert!(
+                v - floor <= (v / 32).max(1),
+                "floor of {v} too coarse: {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_hist_quantiles() {
+        let mut h = LatencyHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.50);
+        assert!((470..=500).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((960..=990).contains(&p99), "p99 = {p99}");
+        assert_eq!(LatencyHist::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn latency_hist_merge_matches_combined_recording() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut both = LatencyHist::new();
+        for v in 0..500u64 {
+            let x = v * 37 % 8192;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            both.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn latency_hist_json_roundtrip() {
+        let mut h = LatencyHist::new();
+        for v in [0u64, 1, 31, 32, 1000, 123_456_789] {
+            h.record(v);
+        }
+        let back =
+            LatencyHist::from_json(&Json::parse(&h.to_json().to_compact()).unwrap()).unwrap();
+        assert_eq!(back, h);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The multi-core replay engine.
 //!
-//! Each core replays its program-order [`Trace`] through a private L1 and
-//! L2 slice; LLC misses and write-backs reach the single shared
-//! [`MemoryController`]. The scheduler always advances the core with the
-//! smallest local clock, so controller resources are reserved in
+//! Each core replays its program-order [`Trace`] (or a streamed
+//! [`TraceStream`], for service-scale runs that never materialize their
+//! events) through a private L1 and L2 slice; LLC misses and
+//! write-backs reach the shared [`ShardedController`] complex, which
+//! routes each line to its owning channel shard (one controller at the
+//! default `shards = 1`). The scheduler always advances the core with
+//! the smallest local clock, so controller resources are reserved in
 //! nondecreasing event-start order and the simulation is deterministic.
 //!
 //! Crash injection ([`CrashSpec`]) stops replay at an event count or a
@@ -14,13 +17,13 @@
 use crate::addr::LineAddr;
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
-use crate::controller::MemoryController;
 use crate::crashmc::CrashSet;
 use crate::nvmm::NvmmImage;
-use crate::stats::Stats;
+use crate::shard::ShardedController;
+use crate::stats::{LatencyHist, Stats};
 use crate::telemetry::{EpochSampler, Timeline};
 use crate::time::Time;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceEvent, TraceStream};
 use nvmm_crypto::LineData;
 
 /// When (if ever) to inject a power failure.
@@ -63,6 +66,10 @@ pub struct RunOutcome {
     /// Per-epoch telemetry, present iff
     /// [`SimConfig::telemetry_epoch`] was set.
     pub timeline: Option<Timeline>,
+    /// Arrival-to-commit latency histogram (nanoseconds), present iff
+    /// at least one core executed a [`TraceEvent::WaitUntil`] arrival
+    /// gate and then committed a transaction (open-loop replay).
+    pub latency: Option<LatencyHist>,
 }
 
 /// A cached data line: payload plus the counter-atomic annotation of the
@@ -74,41 +81,49 @@ struct CachedLine {
 }
 
 struct Core {
-    trace: Trace,
-    next_event: usize,
+    source: TraceStream,
     now: Time,
     l1: SetAssocCache<LineAddr, CachedLine>,
     l2: SetAssocCache<LineAddr, CachedLine>,
     /// Latest time at which all previously issued persists are
     /// ADR-guaranteed; `persist_barrier` waits for it.
     persists_guaranteed: Time,
+    /// Set once the core executes a `WaitUntil` arrival gate; from then
+    /// on every `TxCommit` reports arrival-to-commit latency.
+    open_loop: bool,
 }
 
 impl Core {
-    fn new(cfg: &SimConfig, trace: Trace) -> Self {
+    fn new(cfg: &SimConfig, source: TraceStream) -> Self {
         Self {
-            trace,
-            next_event: 0,
+            source,
             now: Time::ZERO,
             l1: SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways),
             l2: SetAssocCache::new(cfg.l2.sets(), cfg.l2.ways),
             persists_guaranteed: Time::ZERO,
+            open_loop: false,
         }
     }
 
     fn done(&self) -> bool {
-        self.next_event >= self.trace.len()
+        self.source.is_done()
     }
 }
 
-/// The simulated system: cores, caches, controller, device.
+/// The simulated system: cores, caches, sharded controller complex,
+/// devices.
 pub struct System {
     cfg: SimConfig,
     cores: Vec<Core>,
-    controller: MemoryController,
+    controller: ShardedController,
     stats: Stats,
     events_processed: u64,
     sampler: Option<EpochSampler>,
+    latency: LatencyHist,
+    /// Fold completed journal records into the base image every this
+    /// many events (completion-only runs; see
+    /// [`System::with_journal_batch`]).
+    journal_batch: Option<u64>,
 }
 
 impl System {
@@ -118,15 +133,27 @@ impl System {
     ///
     /// Panics if `traces.len() != config.cores`.
     pub fn new(config: SimConfig, traces: Vec<Trace>) -> Self {
+        let sources = traces.into_iter().map(TraceStream::from_trace).collect();
+        Self::with_sources(config, sources)
+    }
+
+    /// Builds a system pulling events from one [`TraceStream`] per core
+    /// — the service-scale ingest path: generator-backed streams replay
+    /// 10^7+ operations without ever materializing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != config.cores`.
+    pub fn with_sources(config: SimConfig, sources: Vec<TraceStream>) -> Self {
         assert_eq!(
-            traces.len(),
+            sources.len(),
             config.cores,
-            "need exactly one trace per core ({} cores, {} traces)",
+            "need exactly one trace source per core ({} cores, {} sources)",
             config.cores,
-            traces.len()
+            sources.len()
         );
-        let cores = traces.into_iter().map(|t| Core::new(&config, t)).collect();
-        let controller = MemoryController::new(&config);
+        let cores = sources.into_iter().map(|t| Core::new(&config, t)).collect();
+        let controller = ShardedController::new(&config);
         let stats = Stats::new(config.cores);
         let sampler = config.telemetry_epoch.map(EpochSampler::new);
         Self {
@@ -136,11 +163,52 @@ impl System {
             stats,
             events_processed: 0,
             sampler,
+            latency: LatencyHist::new(),
+            journal_batch: None,
         }
     }
 
+    /// Enables batched-journal compaction: every `events` processed
+    /// events, journal records submitted strictly before the slowest
+    /// live core's clock are folded into a base image and dropped,
+    /// bounding journal memory on streamed service-scale runs.
+    ///
+    /// Only valid for completion runs — [`System::run`] panics if a
+    /// crash is also requested, because compaction erases the in-flight
+    /// windows crash analysis needs.
+    pub fn with_journal_batch(mut self, events: u64) -> Self {
+        assert!(events > 0, "journal batch must be positive");
+        self.journal_batch = Some(events);
+        self
+    }
+
     /// Replays all traces, optionally crashing per `crash`.
-    pub fn run(mut self, crash: CrashSpec) -> RunOutcome {
+    ///
+    /// # Panics
+    ///
+    /// Panics if journal batching ([`System::with_journal_batch`]) is
+    /// combined with a crash spec other than [`CrashSpec::None`].
+    pub fn run(self, crash: CrashSpec) -> RunOutcome {
+        self.run_inner(crash).0
+    }
+
+    /// Like [`System::run`], but additionally reports the single-shard
+    /// parity probe: `Some(true)` when the merged-journal image and
+    /// persist windows are bit-identical to the inner controller's
+    /// pre-sharding direct paths (`None` when the probe does not apply:
+    /// several shards, or compaction). `fig_service` asserts this on
+    /// its shards=1 cells.
+    pub fn run_with_parity_check(self, crash: CrashSpec) -> (RunOutcome, Option<bool>) {
+        let (outcome, controller) = self.run_inner(crash);
+        let parity = controller.merged_matches_single();
+        (outcome, parity)
+    }
+
+    fn run_inner(mut self, crash: CrashSpec) -> (RunOutcome, ShardedController) {
+        assert!(
+            self.journal_batch.is_none() || crash == CrashSpec::None,
+            "journal batching is completion-only: crash analysis needs the full journal"
+        );
         let mut crash_time = None;
         // Each iteration picks the core with the smallest clock that
         // still has work.
@@ -169,6 +237,15 @@ impl System {
                     break;
                 }
             }
+            if let Some(batch) = self.journal_batch {
+                if self.events_processed.is_multiple_of(batch) {
+                    if let Some(watermark) =
+                        self.cores.iter().filter(|c| !c.done()).map(|c| c.now).min()
+                    {
+                        self.controller.compact_through(watermark);
+                    }
+                }
+            }
         }
 
         for (i, core) in self.cores.iter().enumerate() {
@@ -185,7 +262,8 @@ impl System {
             .sampler
             .take()
             .map(|s| s.finish(self.stats.runtime, &self.stats, &self.controller));
-        RunOutcome {
+        let latency = (self.latency.count() > 0).then_some(self.latency);
+        let outcome = RunOutcome {
             stats: self.stats,
             image,
             crash_time,
@@ -193,7 +271,9 @@ impl System {
             persist_windows,
             events_processed: self.events_processed,
             timeline,
-        }
+            latency,
+        };
+        (outcome, self.controller)
     }
 
     /// Fetches `line` into the core's hierarchy, returning (completion
@@ -258,8 +338,10 @@ impl System {
     }
 
     fn step_core(&mut self, ci: usize) {
-        let ev = self.cores[ci].trace.events()[self.cores[ci].next_event].clone();
-        self.cores[ci].next_event += 1;
+        let ev = self.cores[ci]
+            .source
+            .pull()
+            .expect("scheduler only steps cores with work");
         match ev {
             TraceEvent::Compute { duration } => {
                 self.cores[ci].now += duration;
@@ -355,8 +437,21 @@ impl System {
                     core.now = core.persists_guaranteed;
                 }
             }
-            TraceEvent::TxCommit { .. } => {
+            TraceEvent::TxCommit { id } => {
                 self.stats.transactions_committed += 1;
+                if self.cores[ci].open_loop {
+                    // Open-loop trace: the id is the arrival instant's
+                    // raw tick count; report arrival-to-commit latency
+                    // in nanoseconds.
+                    let arrival = Time(id);
+                    let waited = self.cores[ci].now.0.saturating_sub(arrival.0);
+                    self.latency.record(Time(waited).as_ns_f64().round() as u64);
+                }
+            }
+            TraceEvent::WaitUntil { at } => {
+                let core = &mut self.cores[ci];
+                core.now = core.now.max(at);
+                core.open_loop = true;
             }
         }
     }

@@ -8,7 +8,8 @@
 //! simulated time into fixed-width epochs and records, per epoch:
 //!
 //! * the instantaneous data/counter write-queue depth at the epoch
-//!   boundary ([`crate::controller::MemoryController::write_queue_depths`]),
+//!   boundary, summed over channel shards
+//!   ([`crate::shard::ShardedController::write_queue_depths`]),
 //! * deltas of the write-path counters (NVMM writes, coalesces, pairing
 //!   stalls, counter-cache probes, bytes written).
 //!
@@ -22,7 +23,7 @@
 //! it cannot perturb timing, and the default (`telemetry_epoch: None`)
 //! skips even the observation.
 
-use crate::controller::MemoryController;
+use crate::shard::ShardedController;
 use crate::stats::Stats;
 use crate::time::Time;
 use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
@@ -265,7 +266,7 @@ impl EpochSampler {
         }
     }
 
-    fn close_epoch(&mut self, end: Time, stats: &Stats, controller: &MemoryController) {
+    fn close_epoch(&mut self, end: Time, stats: &Stats, controller: &ShardedController) {
         let (dq, cq) = controller.write_queue_depths(end);
         let cur = Baseline::of(stats);
         let mut sample = EpochSample {
@@ -288,7 +289,7 @@ impl EpochSampler {
 
     /// Advances the sampler to `now`, closing every epoch whose boundary
     /// has been reached.
-    pub fn observe(&mut self, now: Time, stats: &Stats, controller: &MemoryController) {
+    pub fn observe(&mut self, now: Time, stats: &Stats, controller: &ShardedController) {
         while now >= self.epoch_start + self.epoch {
             let end = self.epoch_start + self.epoch;
             self.close_epoch(end, stats, controller);
@@ -298,7 +299,7 @@ impl EpochSampler {
     /// Closes the final (possibly partial) epoch at `now` and returns
     /// the finished timeline. Totals over the timeline reconcile exactly
     /// with the final cumulative `stats`.
-    pub fn finish(mut self, now: Time, stats: &Stats, controller: &MemoryController) -> Timeline {
+    pub fn finish(mut self, now: Time, stats: &Stats, controller: &ShardedController) -> Timeline {
         self.observe(now, stats, controller);
         // The trailing epoch may be partial, or zero-width when `now`
         // sits exactly on a boundary — the latter only survives elision
@@ -537,7 +538,7 @@ mod tests {
         // trailing zero-width epoch carries no deltas (it survives
         // elision only to report residual queue depth).
         let cfg = SimConfig::single_core(Design::Sca);
-        let mut c = MemoryController::new(&cfg);
+        let mut c = ShardedController::new(&cfg);
         let mut s = Stats::new(1);
         let mut sampler = EpochSampler::new(Time::from_ns(100));
         c.writeback(LineAddr(1), [1; 64], false, Time::from_ns(10), &mut s);

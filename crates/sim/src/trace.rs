@@ -54,10 +54,23 @@ pub enum TraceEvent {
         duration: Time,
     },
     /// Marks the successful commit of one workload transaction; used for
-    /// throughput accounting and crash bookkeeping.
+    /// throughput accounting and crash bookkeeping. In open-loop
+    /// (arrival-shaped) traces the id doubles as the transaction's
+    /// arrival instant as a raw [`Time`] tick count, so the replay
+    /// engine can report arrival-to-commit latency (see
+    /// [`WaitUntil`](TraceEvent::WaitUntil)).
     TxCommit {
         /// Workload-assigned transaction id.
         id: u64,
+    },
+    /// Open-loop arrival gate: the core idles until the absolute
+    /// simulated instant `at` (no-op if already past it). Arrival-curve
+    /// shaping inserts one before each transaction; a core that has
+    /// executed a `WaitUntil` reports arrival-to-commit latency at each
+    /// subsequent `TxCommit`.
+    WaitUntil {
+        /// Absolute arrival instant.
+        at: Time,
     },
 }
 
@@ -95,6 +108,9 @@ impl ToJson for TraceEvent {
             ),
             TraceEvent::TxCommit { id } => {
                 tagged("TxCommit", vec![("id".to_string(), id.to_json())])
+            }
+            TraceEvent::WaitUntil { at } => {
+                tagged("WaitUntil", vec![("at".to_string(), at.to_json())])
             }
         }
     }
@@ -136,6 +152,9 @@ impl FromJson for TraceEvent {
             }),
             "TxCommit" => Ok(TraceEvent::TxCommit {
                 id: field(body, "id")?,
+            }),
+            "WaitUntil" => Ok(TraceEvent::WaitUntil {
+                at: field(body, "at")?,
             }),
             other => Err(FromJsonError(format!("unknown trace event `{other}`"))),
         }
@@ -219,6 +238,100 @@ impl FromJson for Trace {
     }
 }
 
+/// A pull-based event source for one core: either a fully materialized
+/// [`Trace`] or a generator invoked on demand, so service-scale traces
+/// (10^7+ operations) replay in O(1) memory.
+///
+/// The stream keeps a one-event lookahead so [`TraceStream::peek`] and
+/// [`TraceStream::is_done`] work through `&self`-style scheduling: the
+/// replay engine must know whether a core has work before choosing
+/// which core to advance.
+pub struct TraceStream {
+    /// Next event, pre-pulled; `None` once the source is exhausted.
+    next: Option<TraceEvent>,
+    source: StreamSource,
+}
+
+enum StreamSource {
+    Materialized { trace: Trace, cursor: usize },
+    Generator(Box<dyn FnMut() -> Option<TraceEvent> + Send>),
+}
+
+impl std::fmt::Debug for TraceStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.source {
+            StreamSource::Materialized { trace, cursor } => {
+                format!("materialized {}/{}", cursor, trace.len())
+            }
+            StreamSource::Generator(_) => "generator".to_string(),
+        };
+        f.debug_struct("TraceStream")
+            .field("source", &kind)
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl TraceStream {
+    /// Streams a materialized trace (the closed-loop path).
+    pub fn from_trace(trace: Trace) -> Self {
+        let mut s = Self {
+            next: None,
+            source: StreamSource::Materialized { trace, cursor: 0 },
+        };
+        s.advance();
+        s
+    }
+
+    /// Streams events pulled from `gen` until it returns `None`. The
+    /// generator is invoked lazily — one event of lookahead — so the
+    /// full event sequence never materializes.
+    pub fn from_generator(gen: impl FnMut() -> Option<TraceEvent> + Send + 'static) -> Self {
+        let mut s = Self {
+            next: None,
+            source: StreamSource::Generator(Box::new(gen)),
+        };
+        s.advance();
+        s
+    }
+
+    fn advance(&mut self) {
+        self.next = match &mut self.source {
+            StreamSource::Materialized { trace, cursor } => {
+                let ev = trace.events().get(*cursor).cloned();
+                *cursor += 1;
+                ev
+            }
+            StreamSource::Generator(gen) => gen(),
+        };
+    }
+
+    /// The next event, without consuming it.
+    pub fn peek(&self) -> Option<&TraceEvent> {
+        self.next.as_ref()
+    }
+
+    /// Consumes and returns the next event.
+    pub fn pull(&mut self) -> Option<TraceEvent> {
+        let ev = self.next.take();
+        if ev.is_some() {
+            self.advance();
+        }
+        ev
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.next.is_none()
+    }
+}
+
+impl From<Trace> for TraceStream {
+    fn from(trace: Trace) -> Self {
+        Self::from_trace(trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,8 +374,51 @@ mod tests {
             duration: Time::from_ns(10),
         });
         t.push(TraceEvent::TxCommit { id: 5 });
+        t.push(TraceEvent::WaitUntil {
+            at: Time::from_ns(77),
+        });
         let text = t.to_json().to_compact();
         let back = Trace::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn stream_replays_materialized_trace_in_order() {
+        let t: Trace = (0..6).map(write).collect();
+        let mut s = TraceStream::from_trace(t.clone());
+        let mut seen = Vec::new();
+        while let Some(ev) = s.pull() {
+            seen.push(ev);
+        }
+        assert_eq!(seen, t.events());
+        assert!(s.is_done());
+        assert_eq!(s.pull(), None);
+    }
+
+    #[test]
+    fn stream_pulls_generator_lazily() {
+        let mut produced = 0u64;
+        let mut s = TraceStream::from_generator(move || {
+            if produced < 5 {
+                produced += 1;
+                Some(write(produced))
+            } else {
+                None
+            }
+        });
+        assert!(!s.is_done());
+        assert_eq!(s.peek(), Some(&write(1)));
+        let mut n = 0;
+        while s.pull().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn empty_generator_is_done_immediately() {
+        let s = TraceStream::from_generator(|| None);
+        assert!(s.is_done());
     }
 }

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod array_swap;
+pub mod arrival;
 pub mod btree;
 pub mod harness;
 pub mod hash_table;
@@ -54,6 +55,7 @@ pub mod rbtree;
 pub mod spec;
 mod util;
 
+pub use arrival::{shape_open_loop, ArrivalCurve, ArrivalModel};
 pub use harness::{
     check_crash_set, check_image, check_image_with, check_recovered_image, crash_check,
     crash_check_cfg, crash_instants, crash_instants_cfg, crash_sweep, execute, model_check,
