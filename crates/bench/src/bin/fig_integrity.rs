@@ -1,5 +1,5 @@
 //! Integrity-verification cost: execution time and metadata write
-//! amplification of the three integrity persistence policies on top of
+//! amplification of the six integrity persistence policies on top of
 //! SCA, across the five workloads.
 //!
 //! No single paper figure corresponds to this experiment — the source
@@ -15,20 +15,40 @@
 //! * `strict` — every write persists MAC + leaf-to-root tree path
 //!   atomically with its (data, counter) pair, serialized through the
 //!   root-update engine.
+//! * `pipelined` — strict's persistence guarantee with in-cache
+//!   dependency tracking instead of root serialization (Freij et al.):
+//!   consecutive root writes overlap, so the root engine never stalls a
+//!   pair.
+//! * `phoenix` — the tree never persists at all; only MACs and periodic
+//!   epoch summaries reach NVMM, and recovery reconstructs the tree
+//!   from the surviving counter lines.
+//! * `colocated` — SecPM-style packed metadata: each pair journals one
+//!   (counter, MAC) line instead of a counter line plus a MAC line,
+//!   halving metadata writes; no tree.
 //!
 //! Expected shape (self-checked): `mac-only <= lazy < strict` in
-//! geomean execution time, with strict's metadata write amplification
-//! far above the others (a full tree path per data write).
+//! geomean execution time; `pipelined` matches strict's guarantee with
+//! zero root-update stalls where strict stalls on every consecutive
+//! pair; `colocated` undercuts `lazy`'s metadata write amplification.
+//!
+//! The saved artifact is a pure function of the workload/policy table —
+//! `NVMM_THREADS` only parallelizes the sweep and `NVMM_SHARDS` only
+//! sizes the stdout sharding cross-check — so CI `cmp`s it byte-for-byte
+//! across both knobs.
 
 use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{eval_spec, geo_mean, print_table, Experiment};
 use nvmm_sim::config::{Design, IntegrityPolicy, SimConfig};
-use nvmm_workloads::WorkloadKind;
+use nvmm_sim::system::{CrashSpec, System};
+use nvmm_workloads::{traces_for_cores, WorkloadKind, WorkloadSpec};
 
-const POLICIES: [IntegrityPolicy; 3] = [
+const POLICIES: [IntegrityPolicy; 6] = [
     IntegrityPolicy::MacOnly,
     IntegrityPolicy::Lazy,
     IntegrityPolicy::Strict,
+    IntegrityPolicy::Pipelined,
+    IntegrityPolicy::Phoenix,
+    IntegrityPolicy::Colocated,
 ];
 
 fn main() {
@@ -57,6 +77,9 @@ fn main() {
     let mut runtime_rows = Vec::new();
     let mut amp_rows = Vec::new();
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+    let mut per_policy_amp: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+    let mut root_stalls = [0u64; POLICIES.len()];
+    let mut root_overlaps = [0u64; POLICIES.len()];
     for kind in WorkloadKind::ALL {
         let base = outs.get(kind.label(), "baseline").stats.runtime.0 as f64;
         let mut runtimes = Vec::new();
@@ -71,6 +94,9 @@ fn main() {
                 stats.metadata_write_amplification(),
             );
             per_policy[i].push(v);
+            per_policy_amp[i].push(stats.metadata_write_amplification());
+            root_stalls[i] += stats.root_update_stalls;
+            root_overlaps[i] += stats.root_update_overlaps;
             runtimes.push(v);
             amps.push(stats.metadata_write_amplification());
         }
@@ -92,9 +118,10 @@ fn main() {
         &amp_rows,
     );
 
-    // Self-check: the cost ordering the policies promise. mac-only can
-    // tie lazy (tree evictions may be absent on small runs) but strict's
-    // per-write leaf-to-root persistence must cost strictly more.
+    // Self-check 1: the cost ordering the original policies promise.
+    // mac-only can tie lazy (tree evictions may be absent on small
+    // runs) but strict's per-write leaf-to-root persistence must cost
+    // strictly more.
     let (mac_only, lazy, strict) = (means[0], means[1], means[2]);
     assert!(
         mac_only <= lazy + 1e-9,
@@ -104,9 +131,70 @@ fn main() {
         lazy < strict,
         "lazy ({lazy:.4}) must undercut strict ({strict:.4})"
     );
-    println!(
-        "\nself-check passed: mac-only ({mac_only:.3}) <= lazy ({lazy:.3}) < strict ({strict:.3})"
+
+    // Self-check 2: pipelined keeps strict's persistence guarantee but
+    // replaces its root-engine stalls with overlapped (clamped) root
+    // writes — strict must stall, pipelined never.
+    let (pipelined, strict_stalls, pipe_stalls) = (means[3], root_stalls[2], root_stalls[3]);
+    assert!(
+        strict_stalls > 0,
+        "strict's root engine must stall somewhere across the evaluation"
     );
+    assert_eq!(
+        pipe_stalls, 0,
+        "pipelined must never stall on the root update"
+    );
+    assert!(
+        pipelined <= strict + 1e-9,
+        "pipelined ({pipelined:.4}) must not exceed strict ({strict:.4})"
+    );
+
+    // Self-check 3: the SecPM packing halves metadata records per pair,
+    // so colocated's metadata write amplification undercuts lazy's
+    // (same no-eviction-pressure caveat as above: compare means).
+    let lazy_amp = per_policy_amp[1].iter().sum::<f64>() / per_policy_amp[1].len() as f64;
+    let coloc_amp = per_policy_amp[5].iter().sum::<f64>() / per_policy_amp[5].len() as f64;
+    assert!(
+        coloc_amp < lazy_amp,
+        "colocated amp ({coloc_amp:.4}) must undercut lazy amp ({lazy_amp:.4})"
+    );
+
+    println!(
+        "\nself-check passed: mac-only ({mac_only:.3}) <= lazy ({lazy:.3}) < strict ({strict:.3}); \
+         pipelined ({pipelined:.3}) overlaps {} roots with 0 stalls (strict stalls {}); \
+         colocated amp {coloc_amp:.3} < lazy amp {lazy_amp:.3}",
+        root_overlaps[3], strict_stalls
+    );
+
+    // Sharding cross-check (stdout only — never in the artifact, which
+    // must stay byte-identical across NVMM_SHARDS): colocated work and
+    // its final image are invariant under channel sharding.
+    let shards = std::env::var("NVMM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(8);
+    let run = |n: usize| {
+        let cfg = SimConfig::table2(Design::Sca, 1)
+            .with_integrity(IntegrityPolicy::Colocated)
+            .with_shards(n);
+        let traces = traces_for_cores(&spec, 1);
+        System::new(cfg, traces).run(CrashSpec::None)
+    };
+    let one = run(1);
+    let many = run(shards);
+    assert_eq!(
+        one.image.fingerprint(),
+        many.image.fingerprint(),
+        "sharding changed the colocated completion image"
+    );
+    assert_eq!(
+        one.stats.nvmm_packed_meta_writes + one.stats.coalesced_packed_meta_writes,
+        many.stats.nvmm_packed_meta_writes + many.stats.coalesced_packed_meta_writes,
+        "sharding changed the packed-metadata work performed"
+    );
+    println!("sharding cross-check passed at {shards} shard(s)");
 
     let path = exp.save().expect("write results");
     println!("saved {}", path.display());

@@ -46,7 +46,9 @@ pub mod counter;
 pub mod engine;
 pub mod mac;
 pub mod otp;
+pub mod pack;
 
 pub use counter::{Counter, CounterLine, GlobalCounter, COUNTERS_PER_LINE, LINE_BYTES};
 pub use engine::{EncryptedWrite, EncryptionEngine, LineData};
 pub use mac::{Mac, MacEngine, MacLine, MACS_PER_LINE, MAC_BYTES};
+pub use pack::{PackedMetaLine, PACKED_LINE_BYTES, PACKED_SLOT_BYTES};

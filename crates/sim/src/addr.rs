@@ -137,6 +137,10 @@ pub enum NvmmTarget {
     Mac(MacLineAddr),
     /// A 64-byte integrity-tree node of eight packed child digests.
     TreeNode(TreeNodeAddr),
+    /// A SecPM-style packed metadata line carrying a counter line and
+    /// its congruent MAC line in one write (the `colocated` integrity
+    /// policy). Addressed by the counter line it packs.
+    PackedMeta(CounterLineAddr),
 }
 
 impl NvmmTarget {
@@ -165,6 +169,11 @@ impl NvmmTarget {
                 (t.index ^ u64::from(t.level).wrapping_mul(0x7f4a_7c15) ^ 0xc4ce_b9fe)
                     .wrapping_mul(0x2545_f491_4f6c_dd1d)
             }
+            // Packed metadata replaces the counter line *and* the MAC
+            // line; give it the counter region's bank placement so the
+            // colocated policy's device contention mirrors a split
+            // layout's counter traffic.
+            NvmmTarget::PackedMeta(c) => (c.0 ^ 0x5bd1_e995).wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
         };
         ((mixed >> 32) % nbanks as u64) as usize
     }

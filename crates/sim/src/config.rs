@@ -174,15 +174,35 @@ pub enum IntegrityPolicy {
     /// Consecutive writes serialize on the root update — the paper's
     /// write-pressure story, amplified.
     Strict,
+    /// Strict's persistence guarantee without its root serialization:
+    /// in-cache dependency tracking coalesces leaf-to-root updates and
+    /// lets consecutive root writes overlap, clamping each pair's
+    /// guarantee instant to the previous root guarantee instead of
+    /// stalling behind it (Freij et al., arXiv:2003.04693).
+    Pipelined,
+    /// Counters (and tree nodes) are allowed to be lost at a crash:
+    /// only MACs and periodic epoch summaries persist, and recovery
+    /// reconstructs the tree from the surviving counter lines, checking
+    /// each persisted epoch claim against the image (Phoenix,
+    /// arXiv:1911.01922).
+    Phoenix,
+    /// SecPM-style co-location (arXiv:1901.00620): each counter line's
+    /// counters and its congruent MAC line travel in one packed
+    /// metadata write, halving metadata write amplification. No tree.
+    Colocated,
 }
 
 impl IntegrityPolicy {
-    /// All policies, in increasing persistence-cost order.
-    pub const ALL: [IntegrityPolicy; 4] = [
+    /// All policies. The original triad is in increasing
+    /// persistence-cost order; the three relaxations follow.
+    pub const ALL: [IntegrityPolicy; 7] = [
         IntegrityPolicy::None,
         IntegrityPolicy::MacOnly,
         IntegrityPolicy::Lazy,
         IntegrityPolicy::Strict,
+        IntegrityPolicy::Pipelined,
+        IntegrityPolicy::Phoenix,
+        IntegrityPolicy::Colocated,
     ];
 
     /// Whether the integrity subsystem is active at all.
@@ -191,9 +211,16 @@ impl IntegrityPolicy {
     }
 
     /// Whether the policy maintains the counter/integrity tree (MACs
-    /// are maintained by every enabled policy).
+    /// are maintained by every enabled policy). Phoenix maintains the
+    /// tree *in cache only* — evictions persist nothing.
     pub fn has_tree(self) -> bool {
-        matches!(self, IntegrityPolicy::Lazy | IntegrityPolicy::Strict)
+        matches!(
+            self,
+            IntegrityPolicy::Lazy
+                | IntegrityPolicy::Strict
+                | IntegrityPolicy::Pipelined
+                | IntegrityPolicy::Phoenix
+        )
     }
 
     /// Whether every write persists its tree path leaf-to-root,
@@ -203,6 +230,31 @@ impl IntegrityPolicy {
         matches!(self, IntegrityPolicy::Strict)
     }
 
+    /// Whether every write carries its dirty tree path inside its
+    /// counter-atomic pair (strict and pipelined — they differ only in
+    /// how root updates are ordered).
+    pub fn persists_path_in_pair(self) -> bool {
+        matches!(self, IntegrityPolicy::Strict | IntegrityPolicy::Pipelined)
+    }
+
+    /// Whether consecutive root updates serialize on a single engine
+    /// (strict only; pipelined overlaps them).
+    pub fn serializes_root(self) -> bool {
+        matches!(self, IntegrityPolicy::Strict)
+    }
+
+    /// Whether counter and MAC lines travel in one packed metadata
+    /// write (SecPM co-location).
+    pub fn packed_meta(self) -> bool {
+        matches!(self, IntegrityPolicy::Colocated)
+    }
+
+    /// Whether the policy is Phoenix-style: tree nodes never persist,
+    /// recovery reconstructs them and audits persisted epoch summaries.
+    pub fn phoenix(self) -> bool {
+        matches!(self, IntegrityPolicy::Phoenix)
+    }
+
     /// Short label used in reports and figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -210,6 +262,9 @@ impl IntegrityPolicy {
             IntegrityPolicy::MacOnly => "mac-only",
             IntegrityPolicy::Lazy => "lazy",
             IntegrityPolicy::Strict => "strict",
+            IntegrityPolicy::Pipelined => "pipelined",
+            IntegrityPolicy::Phoenix => "phoenix",
+            IntegrityPolicy::Colocated => "colocated",
         }
     }
 }
@@ -228,6 +283,9 @@ impl ToJson for IntegrityPolicy {
             IntegrityPolicy::MacOnly => "MacOnly",
             IntegrityPolicy::Lazy => "Lazy",
             IntegrityPolicy::Strict => "Strict",
+            IntegrityPolicy::Pipelined => "Pipelined",
+            IntegrityPolicy::Phoenix => "Phoenix",
+            IntegrityPolicy::Colocated => "Colocated",
         };
         Json::Str(name.to_string())
     }
@@ -240,6 +298,9 @@ impl FromJson for IntegrityPolicy {
             Some("MacOnly") => Ok(IntegrityPolicy::MacOnly),
             Some("Lazy") => Ok(IntegrityPolicy::Lazy),
             Some("Strict") => Ok(IntegrityPolicy::Strict),
+            Some("Pipelined") => Ok(IntegrityPolicy::Pipelined),
+            Some("Phoenix") => Ok(IntegrityPolicy::Phoenix),
+            Some("Colocated") => Ok(IntegrityPolicy::Colocated),
             _ => Err(FromJsonError(format!("unknown integrity policy {json}"))),
         }
     }
@@ -479,6 +540,24 @@ pub struct SimConfig {
     /// without any barrier. The model checker must flag the resulting
     /// parent-without-child images.
     pub tree_bug_parent_first: bool,
+    /// Positive-control bug switch for the pipelined policy: the root
+    /// node's dependency edge is dropped from the coalesced update —
+    /// the root persists as a plain metadata write at submission time
+    /// instead of riding in (and clamping) the counter-atomic pair. A
+    /// crash can then leave a root ahead of the leaf path it claims to
+    /// cover; the model checker must flag those images.
+    pub tree_bug_drop_dependency: bool,
+    /// Positive-control bug switch for the phoenix policy: the epoch
+    /// summary persists as a plain metadata write at submission time
+    /// instead of inside its counter-atomic pair, so a crash can leave
+    /// a summary claiming counter sums the surviving counter lines
+    /// never reached — a stale-epoch reconstruction the recovery oracle
+    /// must reject.
+    pub phoenix_bug_stale_epoch: bool,
+    /// Under the phoenix policy, every `phoenix_epoch_every`-th
+    /// counter-atomic pair on a shard carries an epoch summary of its
+    /// counter line (1 = every pair). Ignored by other policies.
+    pub phoenix_epoch_every: u64,
 }
 
 impl SimConfig {
@@ -527,6 +606,9 @@ impl SimConfig {
             tree_levels: 10,
             shards: 1,
             tree_bug_parent_first: false,
+            tree_bug_drop_dependency: false,
+            phoenix_bug_stale_epoch: false,
+            phoenix_epoch_every: 4,
         }
     }
 
@@ -557,6 +639,21 @@ impl SimConfig {
     /// control; see [`SimConfig::tree_bug_parent_first`]).
     pub fn with_tree_bug(mut self) -> Self {
         self.tree_bug_parent_first = true;
+        self
+    }
+
+    /// Enables the injected dropped-dependency pipeline bug
+    /// (model-checker positive control; see
+    /// [`SimConfig::tree_bug_drop_dependency`]).
+    pub fn with_pipeline_bug(mut self) -> Self {
+        self.tree_bug_drop_dependency = true;
+        self
+    }
+
+    /// Enables the injected stale-epoch phoenix bug (model-checker
+    /// positive control; see [`SimConfig::phoenix_bug_stale_epoch`]).
+    pub fn with_phoenix_bug(mut self) -> Self {
+        self.phoenix_bug_stale_epoch = true;
         self
     }
 
@@ -628,6 +725,18 @@ impl ToJson for SimConfig {
                 "tree_bug_parent_first".to_string(),
                 self.tree_bug_parent_first.to_json(),
             ),
+            (
+                "tree_bug_drop_dependency".to_string(),
+                self.tree_bug_drop_dependency.to_json(),
+            ),
+            (
+                "phoenix_bug_stale_epoch".to_string(),
+                self.phoenix_bug_stale_epoch.to_json(),
+            ),
+            (
+                "phoenix_epoch_every".to_string(),
+                self.phoenix_epoch_every.to_json(),
+            ),
         ])
     }
 }
@@ -665,6 +774,26 @@ impl FromJson for SimConfig {
                 None => 1,
             },
             tree_bug_parent_first: field(json, "tree_bug_parent_first")?,
+            // The three fields below are absent in configs serialized
+            // before the pipelined/phoenix/colocated policies.
+            tree_bug_drop_dependency: match json.get("tree_bug_drop_dependency") {
+                Some(v) => bool::from_json(v).map_err(|e| {
+                    FromJsonError(format!("in field `tree_bug_drop_dependency`: {}", e.0))
+                })?,
+                None => false,
+            },
+            phoenix_bug_stale_epoch: match json.get("phoenix_bug_stale_epoch") {
+                Some(v) => bool::from_json(v).map_err(|e| {
+                    FromJsonError(format!("in field `phoenix_bug_stale_epoch`: {}", e.0))
+                })?,
+                None => false,
+            },
+            phoenix_epoch_every: match json.get("phoenix_epoch_every") {
+                Some(v) => u64::from_json(v).map_err(|e| {
+                    FromJsonError(format!("in field `phoenix_epoch_every`: {}", e.0))
+                })?,
+                None => 4,
+            },
         })
     }
 }
@@ -767,6 +896,25 @@ mod tests {
         assert!(!IntegrityPolicy::Lazy.strict());
         assert!(IntegrityPolicy::Strict.has_tree());
         assert!(IntegrityPolicy::Strict.strict());
+        // Pipelined shares strict's in-pair path persistence but not
+        // its root serialization.
+        assert!(IntegrityPolicy::Pipelined.has_tree());
+        assert!(!IntegrityPolicy::Pipelined.strict());
+        assert!(IntegrityPolicy::Pipelined.persists_path_in_pair());
+        assert!(IntegrityPolicy::Strict.persists_path_in_pair());
+        assert!(!IntegrityPolicy::Pipelined.serializes_root());
+        assert!(IntegrityPolicy::Strict.serializes_root());
+        // Phoenix keeps a tree in cache but is neither strict-family
+        // nor packed.
+        assert!(IntegrityPolicy::Phoenix.has_tree());
+        assert!(IntegrityPolicy::Phoenix.phoenix());
+        assert!(!IntegrityPolicy::Phoenix.persists_path_in_pair());
+        assert!(!IntegrityPolicy::Phoenix.packed_meta());
+        // Colocated has no tree at all — just packed counter+MAC lines.
+        assert!(IntegrityPolicy::Colocated.enabled());
+        assert!(!IntegrityPolicy::Colocated.has_tree());
+        assert!(IntegrityPolicy::Colocated.packed_meta());
+        assert!(!IntegrityPolicy::Lazy.packed_meta());
     }
 
     #[test]
@@ -798,7 +946,35 @@ mod tests {
         let c = SimConfig::single_core(Design::Sca);
         assert_eq!(c.integrity, IntegrityPolicy::None);
         assert!(!c.tree_bug_parent_first);
+        assert!(!c.tree_bug_drop_dependency);
+        assert!(!c.phoenix_bug_stale_epoch);
+        assert_eq!(c.phoenix_epoch_every, 4);
         assert_eq!(c.metadata_cache.capacity_bytes, 256 * 1024);
         assert_eq!(c.tree_levels, 10);
+    }
+
+    #[test]
+    fn policy_bug_fields_default_and_back_compat() {
+        let c = SimConfig::single_core(Design::Sca)
+            .with_integrity(IntegrityPolicy::Pipelined)
+            .with_pipeline_bug()
+            .with_phoenix_bug();
+        let text = c.to_json().to_pretty();
+        let back = SimConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+        // Configs serialized before the new policies existed have none
+        // of the three new keys and must parse with their defaults.
+        let mut without = SimConfig::single_core(Design::Sca).to_json();
+        if let Json::Obj(fields) = &mut without {
+            fields.retain(|(k, _)| {
+                k != "tree_bug_drop_dependency"
+                    && k != "phoenix_bug_stale_epoch"
+                    && k != "phoenix_epoch_every"
+            });
+        }
+        let back = SimConfig::from_json(&without).unwrap();
+        assert!(!back.tree_bug_drop_dependency);
+        assert!(!back.phoenix_bug_stale_epoch);
+        assert_eq!(back.phoenix_epoch_every, 4);
     }
 }

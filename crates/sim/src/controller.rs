@@ -101,6 +101,15 @@ pub(crate) enum JournalOp {
         node: TreeNodeAddr,
         digests: DigestLine,
     },
+    /// SecPM-style packed metadata write: the counter line and its MAC
+    /// line land as one line-sized write (the colocated policy's
+    /// halving of metadata traffic). The two halves are inherently
+    /// atomic — one device write — so one journal record carries both.
+    PackedMeta {
+        cline: CounterLineAddr,
+        counters: CounterLine,
+        macs: MacLine,
+    },
 }
 
 impl JournalOp {
@@ -121,6 +130,14 @@ impl JournalOp {
             JournalOp::CounterLine { cline, counters } => img.write_counter_line(*cline, *counters),
             JournalOp::MacLine { mline, macs } => img.write_mac_line(*mline, *macs),
             JournalOp::TreeNode { node, digests } => img.write_tree_node(*node, *digests),
+            JournalOp::PackedMeta {
+                cline,
+                counters,
+                macs,
+            } => {
+                img.write_counter_line(*cline, *counters);
+                img.write_mac_line(MacLineAddr(cline.0), *macs);
+            }
         }
     }
 
@@ -133,6 +150,7 @@ impl JournalOp {
             JournalOp::CounterLine { cline, .. } => NvmmTarget::Counter(*cline),
             JournalOp::MacLine { mline, .. } => NvmmTarget::Mac(*mline),
             JournalOp::TreeNode { node, .. } => NvmmTarget::TreeNode(*node),
+            JournalOp::PackedMeta { cline, .. } => NvmmTarget::PackedMeta(*cline),
         }
     }
 
@@ -190,6 +208,14 @@ pub struct MemoryController {
     /// counter-atomic pair — the parent-ahead-of-child ordering bug the
     /// model checker must catch.
     tree_bug_parent_first: bool,
+    /// Fault injection (pipelined): journal the root node outside the
+    /// pair with an instant guarantee — a dropped dependency in the
+    /// in-cache tracker lets the root outrun the path it digests.
+    tree_bug_drop_dependency: bool,
+    /// Fault injection (phoenix): journal the epoch summary outside its
+    /// pair with an instant guarantee, so a crash can persist a summary
+    /// claiming counter state that never landed.
+    phoenix_bug_stale_epoch: bool,
     /// Channel-shard id stamped on every journal record (0 for the
     /// single-controller pipeline).
     shard_id: usize,
@@ -232,6 +258,8 @@ impl MemoryController {
             counter_lag: FxHashMap::default(),
             integrity: IntegrityState::from_config(config),
             tree_bug_parent_first: config.tree_bug_parent_first,
+            tree_bug_drop_dependency: config.tree_bug_drop_dependency,
+            phoenix_bug_stale_epoch: config.phoenix_bug_stale_epoch,
             shard_id,
         }
     }
@@ -351,6 +379,43 @@ impl MemoryController {
         stats: &mut Stats,
     ) -> Time {
         let mline = MacLineAddr(cline.0);
+        if self
+            .integrity
+            .as_ref()
+            .is_some_and(|i| i.policy().packed_meta())
+        {
+            // Colocated: the two halves are one packed line — a single
+            // write, atomic by construction, no pair id needed.
+            let r = self
+                .queues
+                .submit_plain(&mut self.device, NvmmTarget::PackedMeta(cline), t);
+            if r.coalesced {
+                stats.coalesced_packed_meta_writes += 1;
+            } else {
+                stats.nvmm_packed_meta_writes += 1;
+                stats.bytes_written += self.counter_line_cost(cline) + 64;
+                *self.wear.entry(NvmmTarget::PackedMeta(cline)).or_default() += 1;
+            }
+            let integ = self.integrity.as_mut().expect("checked above");
+            integ.clean(MetaKey::Mac(mline));
+            let macs = integ.mac_snapshot(mline);
+            self.journal.push(JournalRecord {
+                submitted_at: t,
+                guaranteed_at: r.accepted,
+                pair: None,
+                domain: crate::crashmc::Domain::CounterQueue,
+                shard: self.shard_id,
+                op: JournalOp::PackedMeta {
+                    cline,
+                    counters: self.current_counter_line(cline),
+                    macs,
+                },
+            });
+            if let Some(cache) = self.counter_cache.as_mut() {
+                cache.clean(&cline);
+            }
+            return r.accepted;
+        }
         let rc = self
             .queues
             .submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
@@ -620,16 +685,30 @@ impl MemoryController {
 
         let enforce_ca = counter_atomic && self.design.enforces_counter_atomicity()
             || self.design.all_writes_counter_atomic()
-            // Strict integrity makes every write counter-atomic: the
-            // leaf-to-root tree update only stays consistent if the
-            // counter it digests lands with it.
-            || self.integrity.as_ref().is_some_and(|i| i.policy().strict());
+            // Path-in-pair integrity (strict, pipelined) makes every
+            // write counter-atomic: the leaf-to-root tree update only
+            // stays consistent if the counter it digests lands with it.
+            || self
+                .integrity
+                .as_ref()
+                .is_some_and(|i| i.policy().persists_path_in_pair());
+        // Colocated: the pair's counter half is the packed
+        // (counter, MAC) line — one metadata write instead of two.
+        let packed = self
+            .integrity
+            .as_ref()
+            .is_some_and(|i| i.policy().packed_meta());
 
         if enforce_ca {
+            let counter_target = if packed {
+                NvmmTarget::PackedMeta(cline)
+            } else {
+                NvmmTarget::Counter(cline)
+            };
             let r = self.queues.submit_counter_atomic(
                 &mut self.device,
                 NvmmTarget::Data(line),
-                NvmmTarget::Counter(cline),
+                counter_target,
                 t_enq,
             );
             if r.pairing_wait > Time::ZERO {
@@ -640,7 +719,15 @@ impl MemoryController {
             stats.bytes_written += 64;
             *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
             if r.counter_coalesced {
-                stats.coalesced_counter_writes += 1;
+                if packed {
+                    stats.coalesced_packed_meta_writes += 1;
+                } else {
+                    stats.coalesced_counter_writes += 1;
+                }
+            } else if packed {
+                stats.nvmm_packed_meta_writes += 1;
+                stats.bytes_written += self.counter_line_cost(cline) + 64;
+                *self.wear.entry(counter_target).or_default() += 1;
             } else {
                 stats.nvmm_counter_writes += 1;
                 stats.bytes_written += self.counter_line_cost(cline);
@@ -667,15 +754,21 @@ impl MemoryController {
                         .as_mut()
                         .expect("checked")
                         .record_mac(line, enc.counter, &data);
-                let rm = self.submit_meta_write(NvmmTarget::Mac(mline), t_enq, stats);
-                guaranteed = guaranteed.max(rm.accepted);
+                if !packed {
+                    let rm = self.submit_meta_write(NvmmTarget::Mac(mline), t_enq, stats);
+                    guaranteed = guaranteed.max(rm.accepted);
+                }
                 let counters_bytes = self.current_counter_line(cline).to_bytes();
                 {
                     let integ = self.integrity.as_mut().expect("checked");
-                    pair_ops.push(JournalOp::MacLine {
-                        mline,
-                        macs: integ.mac_snapshot(mline),
-                    });
+                    if !packed {
+                        pair_ops.push(JournalOp::MacLine {
+                            mline,
+                            macs: integ.mac_snapshot(mline),
+                        });
+                    }
+                    // Packed or separate, the MAC line's cached copy just
+                    // persisted with the pair: resident and clean.
                     let (victim, hit) = integ.touch(MetaKey::Mac(mline), false);
                     if hit {
                         stats.tree_cache_hits += 1;
@@ -685,15 +778,18 @@ impl MemoryController {
                     evicted.extend(victim);
                 }
                 if policy.has_tree() {
-                    let strict = policy.strict();
+                    let in_pair = policy.persists_path_in_pair();
+                    // Strict/pipelined persist the path with the pair, so
+                    // the cached nodes stay clean; lazy leaves them dirty
+                    // for eviction-time persistence; phoenix keeps them
+                    // clean too — its tree is reconstructible state that
+                    // never reaches NVMM.
+                    let node_dirty = !in_pair && !policy.phoenix();
                     let path = {
                         let integ = self.integrity.as_mut().expect("checked");
                         let path = integ.update_tree_path(cline, &counters_bytes);
                         for (node, _) in &path {
-                            // Strict persists the path with the pair, so
-                            // the cached nodes stay clean; lazy leaves
-                            // them dirty for eviction-time persistence.
-                            let (victim, hit) = integ.touch(MetaKey::Node(*node), !strict);
+                            let (victim, hit) = integ.touch(MetaKey::Node(*node), node_dirty);
                             if hit {
                                 stats.tree_cache_hits += 1;
                             } else {
@@ -703,30 +799,70 @@ impl MemoryController {
                         }
                         path
                     };
-                    if strict {
-                        for (node, digests) in &path {
+                    if in_pair {
+                        let path_len = path.len();
+                        for (i, (node, digests)) in path.iter().enumerate() {
                             let rn =
                                 self.submit_meta_write(NvmmTarget::TreeNode(*node), t_enq, stats);
                             let op = JournalOp::TreeNode {
                                 node: *node,
                                 digests: *digests,
                             };
-                            if self.tree_bug_parent_first {
+                            let bugged = self.tree_bug_parent_first
+                                || (self.tree_bug_drop_dependency && i + 1 == path_len);
+                            if bugged {
                                 bug_ops.push((rn.accepted, op));
                             } else {
                                 guaranteed = guaranteed.max(rn.accepted);
                                 pair_ops.push(op);
                             }
                         }
-                        if !self.tree_bug_parent_first {
+                        if policy.serializes_root() {
+                            if !self.tree_bug_parent_first {
+                                let integ = self.integrity.as_mut().expect("checked");
+                                if integ.root_free > guaranteed {
+                                    stats.root_update_stalls += 1;
+                                    stats.root_update_stall += integ.root_free - guaranteed;
+                                    guaranteed = integ.root_free;
+                                }
+                                guaranteed += self.crypto_latency;
+                                integ.root_free = guaranteed;
+                            }
+                        } else if !self.tree_bug_drop_dependency {
+                            // Pipelined: in-cache dependency tracking
+                            // (Freij et al.) only clamps this pair's
+                            // guarantee to never run ahead of the previous
+                            // pair's — root writes overlap instead of
+                            // serializing through the root engine, so no
+                            // crypto latency is added and no stall taken.
                             let integ = self.integrity.as_mut().expect("checked");
                             if integ.root_free > guaranteed {
-                                stats.root_update_stalls += 1;
-                                stats.root_update_stall += integ.root_free - guaranteed;
+                                stats.root_update_overlaps += 1;
                                 guaranteed = integ.root_free;
                             }
-                            guaranteed += self.crypto_latency;
                             integ.root_free = guaranteed;
+                        }
+                    }
+                    if policy.phoenix() {
+                        let seq = self
+                            .integrity
+                            .as_mut()
+                            .expect("checked")
+                            .phoenix_epoch(cline);
+                        if let Some(seq) = seq {
+                            let counters = self.current_counter_line(cline);
+                            let (node, digests) =
+                                crate::integrity::phoenix_summary(cline, &counters, seq);
+                            let rs =
+                                self.submit_meta_write(NvmmTarget::TreeNode(node), t_enq, stats);
+                            stats.phoenix_epoch_writes += 1;
+                            let op = JournalOp::TreeNode { node, digests };
+                            if self.phoenix_bug_stale_epoch {
+                                bug_ops.push((rs.accepted, op));
+                            } else {
+                                guaranteed = guaranteed.max(rs.accepted);
+                                pair_ops.push(op);
+                            }
                         }
                     }
                 }
@@ -745,16 +881,37 @@ impl MemoryController {
                     counter: enc.counter,
                 },
             });
+            let counter_op = if self
+                .integrity
+                .as_ref()
+                .is_some_and(|i| i.policy().packed_meta())
+            {
+                // Colocated (SecPM): the counter and MAC ride one packed
+                // metadata line, so the pair journals a single record
+                // covering both cells.
+                let macs = self
+                    .integrity
+                    .as_ref()
+                    .expect("checked")
+                    .mac_snapshot(MacLineAddr(cline.0));
+                JournalOp::PackedMeta {
+                    cline,
+                    counters: self.current_counter_line(cline),
+                    macs,
+                }
+            } else {
+                JournalOp::CounterLine {
+                    cline,
+                    counters: self.current_counter_line(cline),
+                }
+            };
             self.journal.push(JournalRecord {
                 submitted_at: t_enq,
                 guaranteed_at: guaranteed,
                 pair,
                 domain: crate::crashmc::Domain::Pairing,
                 shard: self.shard_id,
-                op: JournalOp::CounterLine {
-                    cline,
-                    counters: self.current_counter_line(cline),
-                },
+                op: counter_op,
             });
             for op in pair_ops {
                 self.journal.push(JournalRecord {
@@ -830,8 +987,12 @@ impl MemoryController {
                     }
                     evicted.extend(victim);
                     if policy.has_tree() {
+                        // Phoenix never persists the tree, so its nodes
+                        // stay clean in cache; other policies leave them
+                        // dirty for eviction-time persistence.
+                        let node_dirty = !policy.phoenix();
                         for (node, _) in integ.update_tree_path(cline, &counters_bytes) {
-                            let (victim, hit) = integ.touch(MetaKey::Node(node), true);
+                            let (victim, hit) = integ.touch(MetaKey::Node(node), node_dirty);
                             if hit {
                                 stats.tree_cache_hits += 1;
                             } else {
@@ -1295,5 +1456,162 @@ mod tests {
             img.read_line(LineAddr(8), c.engine()),
             LineRead::Clean([2; 64])
         );
+    }
+
+    #[test]
+    fn pipelined_verifies_at_every_crash_instant_with_zero_stalls() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, key, spec) = integ_ctl(IntegrityPolicy::Pipelined);
+        // Back-to-back pairs: strict would serialize their root updates;
+        // pipelined overlaps them and must still stay crash-clean.
+        c.writeback(LineAddr(12), [5; 64], false, Time::ZERO, &mut s);
+        c.writeback(LineAddr(13), [6; 64], false, Time::from_ps(1), &mut s);
+        for ns in 0..1200 {
+            let img = c.build_image(Some(Time::from_ns(ns)));
+            crate::integrity::verify_image(&img, spec, key)
+                .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
+        }
+        assert_eq!(s.root_update_stalls, 0, "pipelined never stalls the root");
+        // Same journal shape as strict: the guarantee is identical,
+        // only the serialization is gone.
+        let cfg = SimConfig::single_core(Design::Sca);
+        assert_eq!(c.journal_len(), 2 * (3 + cfg.tree_levels as usize));
+    }
+
+    #[test]
+    fn pipelined_root_clamp_keeps_guarantees_monotonic() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, _, _) = integ_ctl(IntegrityPolicy::Pipelined);
+        let mut last = Time::ZERO;
+        for i in 0..6u64 {
+            let g = c.writeback(LineAddr(i), [i as u8; 64], false, Time::from_ps(i), &mut s);
+            assert!(
+                g >= last,
+                "pair guarantees must chain monotonically under the clamp"
+            );
+            last = g;
+        }
+    }
+
+    #[test]
+    fn colocated_pair_journals_one_packed_record() {
+        use crate::config::IntegrityPolicy;
+        let (mut c, mut s, key, spec) = integ_ctl(IntegrityPolicy::Colocated);
+        let data = [7u8; 64];
+        let g = c.writeback(LineAddr(9), data, true, Time::ZERO, &mut s);
+        // data + packed (counter, MAC) — two records where the split
+        // layout journals three; that is the SecPM halving.
+        assert_eq!(c.journal_len(), 2);
+        assert_eq!(s.nvmm_packed_meta_writes, 1);
+        assert_eq!(s.nvmm_counter_writes, 0, "no separate counter write");
+        assert_eq!(s.nvmm_metadata_writes, 0, "no separate MAC write");
+        for ns in 0..800 {
+            let img = c.build_image(Some(Time::from_ns(ns)));
+            crate::integrity::verify_image(&img, spec, key)
+                .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
+        }
+        let img = c.build_image(Some(g));
+        assert_eq!(
+            img.read_line(LineAddr(9), c.engine()),
+            LineRead::Clean(data)
+        );
+        assert!(
+            !img.persisted_mac(LineAddr(9)).is_unwritten(),
+            "the packed record must land the MAC with the counter"
+        );
+    }
+
+    #[test]
+    fn colocated_halves_metadata_amplification_vs_mac_only() {
+        use crate::config::IntegrityPolicy;
+        let (mut c1, mut s1, _, _) = integ_ctl(IntegrityPolicy::MacOnly);
+        let (mut c2, mut s2, _, _) = integ_ctl(IntegrityPolicy::Colocated);
+        for i in 0..16u64 {
+            let t = Time::from_ns(i * 40);
+            c1.writeback(LineAddr(i * 8), [i as u8; 64], true, t, &mut s1);
+            c2.writeback(LineAddr(i * 8), [i as u8; 64], true, t, &mut s2);
+        }
+        let split = s1.metadata_write_amplification();
+        let packed = s2.metadata_write_amplification();
+        assert!(
+            (packed - split / 2.0).abs() < 1e-9,
+            "distinct counter lines: packed amp {packed} must be exactly half of {split}"
+        );
+    }
+
+    #[test]
+    fn phoenix_persists_only_epoch_summaries() {
+        use crate::config::IntegrityPolicy;
+        let cfg = SimConfig::single_core(Design::Sca).with_integrity(IntegrityPolicy::Phoenix);
+        let spec = crate::integrity::IntegritySpec::from_config(&cfg);
+        let key = cfg.key;
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        for i in 0..8u64 {
+            c.writeback(
+                LineAddr(i),
+                [i as u8; 64],
+                true,
+                Time::from_ns(i * 50),
+                &mut s,
+            );
+        }
+        for ns in 0..2000 {
+            let img = c.build_image(Some(Time::from_ns(ns)));
+            crate::integrity::verify_image(&img, spec, key)
+                .unwrap_or_else(|e| panic!("crash at {ns}ns: {e}"));
+        }
+        let img = c.build_image(None);
+        assert!(
+            img.tree_nodes()
+                .all(|(n, _)| n.level == crate::integrity::PHOENIX_SUMMARY_LEVEL),
+            "phoenix must never persist a real tree node"
+        );
+        // cfg.phoenix_epoch_every = 4 and all 8 writes hit counter line
+        // 0, so the 4th and 8th pairs carried summaries.
+        assert_eq!(s.phoenix_epoch_writes, 2);
+        assert!(img.tree_nodes().count() >= 1);
+    }
+
+    #[test]
+    fn injected_dropped_dependency_lets_the_root_race_its_children() {
+        use crate::config::IntegrityPolicy;
+        let cfg = SimConfig::single_core(Design::Sca)
+            .with_integrity(IntegrityPolicy::Pipelined)
+            .with_pipeline_bug();
+        let spec = crate::integrity::IntegritySpec::from_config(&cfg);
+        let key = cfg.key;
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        let g = c.writeback(LineAddr(12), [5; 64], false, Time::ZERO, &mut s);
+        // Just before the pair's guarantee the dropped-dependency root
+        // is on NVMM but the children it digests are not.
+        let img = c.build_image(Some(g.saturating_sub(Time::from_ps(1))));
+        let err = crate::integrity::verify_image(&img, spec, key)
+            .expect_err("the dropped root dependency must be flagged");
+        assert!(
+            err.contains("never persisted") || err.contains("ahead of child"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn injected_stale_epoch_summary_is_flagged() {
+        use crate::config::IntegrityPolicy;
+        let mut cfg = SimConfig::single_core(Design::Sca)
+            .with_integrity(IntegrityPolicy::Phoenix)
+            .with_phoenix_bug();
+        cfg.phoenix_epoch_every = 1;
+        let spec = crate::integrity::IntegritySpec::from_config(&cfg);
+        let key = cfg.key;
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        let g = c.writeback(LineAddr(12), [5; 64], true, Time::ZERO, &mut s);
+        // Just before the pair's guarantee the eagerly-journaled epoch
+        // summary claims a counter line that never landed.
+        let img = c.build_image(Some(g.saturating_sub(Time::from_ps(1))));
+        let err = crate::integrity::verify_image(&img, spec, key)
+            .expect_err("the stale epoch summary must be flagged");
+        assert!(err.contains("stale epoch"), "{err}");
     }
 }

@@ -278,7 +278,10 @@ impl CrashSet {
     /// Builds the crash state for a crash at `crash_time` from the
     /// controller's journal.
     pub(crate) fn from_journal(journal: &[JournalRecord], crash_time: Time) -> Self {
-        let mut pair_groups: FxHashMap<u64, usize> = FxHashMap::default();
+        // Pair ids are allocated per shard (each controller counts from
+        // zero), so the same id on two shards names two unrelated pairs;
+        // keying by (shard, pair) keeps their choice groups distinct.
+        let mut pair_groups: FxHashMap<(usize, u64), usize> = FxHashMap::default();
         let mut entries: Vec<Entry> = Vec::new();
         // Per provisional group: (shard, domain, guarantee point, first
         // entry). Each shard's controller has its own pairing
@@ -296,7 +299,7 @@ impl CrashSet {
                 Fate::Guaranteed
             } else {
                 let g = match rec.pair {
-                    Some(p) => *pair_groups.entry(p).or_insert_with(|| {
+                    Some(p) => *pair_groups.entry((rec.shard, p)).or_insert_with(|| {
                         info.push((rec.shard, rec.domain, rec.guaranteed_at, idx));
                         info.len() - 1
                     }),
@@ -673,8 +676,10 @@ fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
 
 /// The cell granularity the overlay applies and undoes writes at: one
 /// key per independently-overwritable image entry. A [`JournalOp`]
-/// touches one cell, except a co-located write, which touches its data
-/// cell and its co-located-counter cell.
+/// touches one cell, except a co-located write (data cell plus
+/// co-located-counter cell) and a packed-metadata write (counter-line
+/// cell plus MAC-line cell — the packed line is one write on the
+/// device but materializes both split-region entries in the image).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum CellKey {
     Data(LineAddr),
@@ -694,6 +699,10 @@ fn op_cells(op: &JournalOp) -> (CellKey, Option<CellKey>) {
         JournalOp::CounterLine { cline, .. } => (CellKey::Ctr(*cline), None),
         JournalOp::MacLine { mline, .. } => (CellKey::Mac(*mline), None),
         JournalOp::TreeNode { node, .. } => (CellKey::Tree(*node), None),
+        JournalOp::PackedMeta { cline, .. } => (
+            CellKey::Ctr(*cline),
+            Some(CellKey::Mac(MacLineAddr(cline.0))),
+        ),
     }
 }
 
@@ -722,6 +731,15 @@ fn write_cell(img: &mut NvmmImage, key: CellKey, op: &JournalOp) {
         }
         (CellKey::Ctr(_), JournalOp::CounterLine { cline, counters }) => {
             img.write_counter_line(*cline, *counters)
+        }
+        (
+            CellKey::Ctr(_),
+            JournalOp::PackedMeta {
+                cline, counters, ..
+            },
+        ) => img.write_counter_line(*cline, *counters),
+        (CellKey::Mac(_), JournalOp::PackedMeta { cline, macs, .. }) => {
+            img.write_mac_line(MacLineAddr(cline.0), *macs)
         }
         (CellKey::Mac(_), JournalOp::MacLine { mline, macs }) => img.write_mac_line(*mline, *macs),
         (CellKey::Tree(_), JournalOp::TreeNode { node, digests }) => {
@@ -1216,7 +1234,7 @@ mod tests {
             // so the differential suite covers sharded journals too.
             let shard = (rng() % 2) as usize;
             let mk_op = |r: u64, v: u64| -> JournalOp {
-                match r % 6 {
+                match r % 7 {
                     0 => JournalOp::Plain {
                         line: LineAddr(v % 4),
                         data: [v as u8; 64],
@@ -1247,7 +1265,7 @@ mod tests {
                             macs: ml,
                         }
                     }
-                    _ => {
+                    5 => {
                         let mut d = DigestLine::new();
                         d.set((v % 8) as usize, v + 1);
                         JournalOp::TreeNode {
@@ -1256,6 +1274,17 @@ mod tests {
                                 index: v % 2,
                             },
                             digests: d,
+                        }
+                    }
+                    _ => {
+                        let mut cl = CounterLine::new();
+                        cl.set((v % 8) as usize, Counter(v + 1));
+                        let mut ml = MacLine::new();
+                        ml.set((v % 8) as usize, Mac(v + 2));
+                        JournalOp::PackedMeta {
+                            cline: CounterLineAddr(v % 2),
+                            counters: cl,
+                            macs: ml,
                         }
                     }
                 }
@@ -1333,6 +1362,51 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_pairs_with_equal_ids_stay_distinct_groups() {
+        // Each shard's controller allocates pair ids from zero, so a
+        // merged journal reuses the same id for unrelated pairs on
+        // different shards. Grouping by (shard, pair) keeps them
+        // distinct; a pair-id-only key would fuse them into one choice
+        // group and under-enumerate the legal images.
+        use nvmm_crypto::Counter;
+        let mk = |shard: usize, line: u64| JournalRecord {
+            submitted_at: Time::from_ns(1),
+            guaranteed_at: Time::from_ns(500),
+            pair: Some(1),
+            domain: Domain::Pairing,
+            shard,
+            op: JournalOp::Encrypted {
+                line: LineAddr(line),
+                ciphertext: [line as u8; 64],
+                counter: Counter(1),
+            },
+        };
+        let journal = vec![mk(0, 0), mk(0, 1), mk(1, 8), mk(1, 9)];
+        let set = CrashSet::from_journal(&journal, Time::from_ns(10));
+        assert_eq!(
+            set.group_count(),
+            2,
+            "pair id 1 on two shards names two unrelated pairs"
+        );
+        assert_eq!(
+            set.legal_images(),
+            4,
+            "the shards' pairing coordinators race independently"
+        );
+        let e = set.enumerate(EnumOpts::default());
+        assert!(e.stats.exhaustive);
+        assert_eq!(e.images.len(), 4);
+        // Shard 1's pair landing without shard 0's is a legal image —
+        // unreachable if the ids had merged into one group.
+        assert!(
+            e.images.iter().any(|(_, img)| {
+                img.raw_data(LineAddr(8)).is_some() && img.raw_data(LineAddr(0)).is_none()
+            }),
+            "missing the shard-1-only landing"
+        );
+    }
+
+    #[test]
     fn landmask_bit_ops() {
         let mut m = LandMask::zeros(70);
         assert!(!m.is_empty());
@@ -1345,50 +1419,5 @@ mod tests {
         m.set(69, false);
         assert_eq!(m.count_landed(), 1);
         assert_eq!(LandMask::ones(70).count_landed(), 70);
-    }
-}
-
-#[cfg(test)]
-mod review_scratch {
-    use super::*;
-    use crate::config::{Design, SimConfig};
-
-    #[test]
-    fn cross_shard_pair_id_collision_probe() {
-        // Build a 2-shard system, drive counter-atomic writes to lines on
-        // both shards, and inspect the merged journal for two in-flight
-        // records with the same pair id but different shard.
-        use crate::addr::LineAddr;
-        use crate::shard::ShardedController;
-        use crate::stats::Stats;
-        use crate::time::Time;
-        let cfg = SimConfig::single_core(Design::Sca).with_shards(2);
-        let mut ctl = ShardedController::new(&cfg);
-        let mut stats = Stats::new(1);
-        let mut t = Time::from_ns(5);
-        for i in 0..40u64 {
-            // Alternate shards: groups 0 and 1 (lines 0 and 8).
-            let line = LineAddr((i % 2) * 8 + (i % 8));
-            ctl.writeback(line, [i as u8; 64], true, t, &mut stats);
-            t += Time::from_ns(7);
-        }
-        let journal = ctl.merged_journal();
-        let mut collide = false;
-        for a in &journal {
-            for b in &journal {
-                if a.shard != b.shard && a.pair.is_some() && a.pair == b.pair {
-                    collide = true;
-                }
-            }
-        }
-        assert!(collide, "expected cross-shard pair-id reuse in merged journal");
-        // Now show from_journal merges them: pick a crash time with
-        // in-flight pairs on both shards and count groups that contain
-        // entries from two shards via domain_order bookkeeping.
-        let mid = Time::from_ns(5 + 20 * 7);
-        let cs = CrashSet::from_journal(&journal, mid);
-        // If collision merged cross-shard pairs, the per-(shard,domain)
-        // lists cannot cover all live groups twice; just print counts.
-        eprintln!("domain_order = {:?}", cs.domain_order);
     }
 }

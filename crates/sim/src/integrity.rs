@@ -20,17 +20,37 @@
 //!   lines and tree nodes on chip; the persistence policy decides when
 //!   dirty metadata reaches NVMM.
 //!
-//! Three policies ([`IntegrityPolicy`]):
+//! Six policies ([`IntegrityPolicy`]):
 //!
 //! * `strict` — every write persists its MAC line and full leaf-to-root
 //!   tree path atomically with the (data, counter) pair; root updates
 //!   serialize through a single engine. Post-crash, every persisted
 //!   tree node verifies against its persisted children.
+//! * `pipelined` — the same in-pair path persistence as `strict`, but
+//!   with Freij-style in-cache dependency tracking in place of the
+//!   serialized root engine: a pair's guarantee point is only *clamped*
+//!   to never run ahead of the previous pair's (the dependency the
+//!   coalesced root update carries), so root updates overlap instead of
+//!   stalling. The crash invariant checked is identical to `strict`.
 //! * `lazy` — MAC lines persist with their counter lines (counter-
 //!   atomic writes, `counter_cache_writeback`, evictions); tree nodes
 //!   stay dirty on chip and reach NVMM only on eviction. Recovery
-//!   rebuilds the tree from the persisted leaves (Phoenix-style), so
-//!   stale interior nodes are tolerated by construction.
+//!   rebuilds the tree from the persisted leaves, so stale interior
+//!   nodes are tolerated by construction.
+//! * `phoenix` — tree nodes are *never* persisted (Phoenix, arXiv:
+//!   1911.01922: the tree is reconstructible state). Every
+//!   `phoenix_epoch_every`-th counter-atomic pair to a counter line
+//!   instead persists an **epoch summary** inside the pair — a
+//!   [`TreeNodeAddr`] at the reserved [`PHOENIX_SUMMARY_LEVEL`] whose
+//!   [`DigestLine`] records `(counter line, wrapping counter sum,
+//!   sequence)`. Recovery audits every persisted summary against the
+//!   image's counter lines (a summary claiming counter state newer
+//!   than what persisted is a *stale epoch*) and then reconstructs the
+//!   full interior node set with [`reconstruct_tree`].
+//! * `colocated` — SecPM-style (arXiv:1901.00620): a data line's
+//!   counter and MAC pack into one metadata line
+//!   ([`nvmm_crypto::pack`]), halving metadata writes; no tree. The
+//!   oracle is the per-line MAC check over the packed halves.
 //! * `mac-only` — no tree at all; the bound on replay is per-line.
 //!
 //! [`verify_image`] is the post-crash oracle the model checker runs on
@@ -42,7 +62,7 @@ use crate::cache::SetAssocCache;
 use crate::config::{IntegrityPolicy, SimConfig};
 use crate::nvmm::{LineRead, NvmmImage};
 use fxhash::FxHashMap;
-use nvmm_crypto::counter::LINE_BYTES;
+use nvmm_crypto::counter::{CounterLine, LINE_BYTES};
 use nvmm_crypto::engine::EncryptionEngine;
 use nvmm_crypto::mac::{MacEngine, MacLine};
 use nvmm_crypto::Counter;
@@ -147,6 +167,57 @@ pub fn tree_path(cline: CounterLineAddr, levels: u32) -> Vec<TreeNodeAddr> {
         .collect()
 }
 
+/// The reserved tree level phoenix epoch summaries persist at. Real
+/// tree nodes occupy levels `1..=tree_levels`; the sentinel keeps
+/// summaries disjoint from any interior node address.
+pub const PHOENIX_SUMMARY_LEVEL: u32 = u32::MAX;
+
+/// The architectural quantity a phoenix epoch summary claims: the
+/// wrapping sum of a counter line's eight counters. Each
+/// counter-atomic pair bumps exactly one counter, so (short of a
+/// 2^64-bump wraparound) the sum grows monotonically pair over pair —
+/// a persisted image whose sum is *below* a persisted summary's claim
+/// exposes a stale epoch.
+pub fn counter_line_sum(counters: &CounterLine) -> u64 {
+    (0..TREE_ARITY).fold(0u64, |acc, slot| acc.wrapping_add(counters.get(slot).0))
+}
+
+/// Encodes a phoenix epoch summary for `cline`: the node address at
+/// [`PHOENIX_SUMMARY_LEVEL`] and the digest line carrying
+/// `(cline, counter sum, seq)`.
+pub fn phoenix_summary(
+    cline: CounterLineAddr,
+    counters: &CounterLine,
+    seq: u64,
+) -> (TreeNodeAddr, DigestLine) {
+    let node = TreeNodeAddr {
+        level: PHOENIX_SUMMARY_LEVEL,
+        index: cline.0,
+    };
+    let mut d = DigestLine::new();
+    d.set(0, cline.0);
+    d.set(1, counter_line_sum(counters));
+    d.set(2, seq);
+    (node, d)
+}
+
+/// Decodes a persisted phoenix epoch summary back into
+/// `(counter line, claimed sum, seq)`; `None` if `node` is not at the
+/// summary level.
+pub fn decode_phoenix_summary(
+    node: TreeNodeAddr,
+    digests: &DigestLine,
+) -> Option<(CounterLineAddr, u64, u64)> {
+    if node.level != PHOENIX_SUMMARY_LEVEL {
+        return None;
+    }
+    Some((
+        CounterLineAddr(digests.get(0)),
+        digests.get(1),
+        digests.get(2),
+    ))
+}
+
 /// What the verification oracle checks for a given run configuration.
 /// Built from [`SimConfig`] by the workload harness and threaded to
 /// every post-crash image check.
@@ -205,8 +276,16 @@ pub struct IntegrityState {
     tree_state: FxHashMap<TreeNodeAddr, DigestLine>,
     /// Presence/dirtiness of metadata lines on chip.
     pub(crate) cache: SetAssocCache<MetaKey, ()>,
-    /// Next instant the serialized root-update engine is free (strict).
+    /// Next instant the serialized root-update engine is free (strict),
+    /// or the previous pair's guarantee point the dependency tracker
+    /// clamps against (pipelined).
     pub(crate) root_free: crate::time::Time,
+    /// Counter-atomic pairs between epoch summaries (phoenix).
+    phoenix_epoch_every: u64,
+    /// Per-counter-line CA pair counts (phoenix). Keyed by counter line
+    /// — each line is owned by exactly one shard in any sharding, so
+    /// summary emission is deterministic across shard counts.
+    phoenix_pairs: FxHashMap<CounterLineAddr, u64>,
 }
 
 impl IntegrityState {
@@ -237,6 +316,8 @@ impl IntegrityState {
             tree_state: FxHashMap::default(),
             cache: SetAssocCache::new(config.metadata_cache.sets(), config.metadata_cache.ways),
             root_free: crate::time::Time::ZERO,
+            phoenix_epoch_every: config.phoenix_epoch_every.max(1),
+            phoenix_pairs: FxHashMap::default(),
         })
     }
 
@@ -327,6 +408,19 @@ impl IntegrityState {
     pub fn clean(&mut self, key: MetaKey) {
         self.cache.clean(&key);
     }
+
+    /// Counts one counter-atomic pair against `cline`'s phoenix epoch;
+    /// returns `Some(seq)` when this pair must carry an epoch summary
+    /// (every `phoenix_epoch_every`-th pair, `seq` starting at 1).
+    pub fn phoenix_epoch(&mut self, cline: CounterLineAddr) -> Option<u64> {
+        let count = self.phoenix_pairs.entry(cline).or_insert(0);
+        *count += 1;
+        if (*count).is_multiple_of(self.phoenix_epoch_every) {
+            Some(*count / self.phoenix_epoch_every)
+        } else {
+            None
+        }
+    }
 }
 
 /// Rebuilds the integrity tree bottom-up from an image's persisted
@@ -356,6 +450,42 @@ pub fn rebuild_tree(img: &NvmmImage, levels: u32) -> (DigestLine, usize) {
     (level.get(&0).copied().unwrap_or_default(), rebuilt)
 }
 
+/// Phoenix recovery: materializes the *entire* interior node set from
+/// an image's persisted counter lines, sorted by `(level, index)`.
+/// Depends only on the counter region, so running it on its own output
+/// image is a fixpoint: re-deriving the tree from the same leaves
+/// reproduces it node for node (the property the recovery proptests
+/// pin down). The root, when present, equals [`rebuild_tree`]'s.
+pub fn reconstruct_tree(img: &NvmmImage, levels: u32) -> Vec<(TreeNodeAddr, DigestLine)> {
+    let mut out = Vec::new();
+    let mut cur: FxHashMap<u64, DigestLine> = FxHashMap::default();
+    for (cline, counters) in img.counter_lines() {
+        cur.entry(cline.0 >> 3)
+            .or_default()
+            .set(slot_in_parent(cline.0), digest64(&counters.to_bytes()));
+    }
+    for l in 1..=levels {
+        let mut nodes: Vec<(u64, DigestLine)> = cur.iter().map(|(&i, &d)| (i, d)).collect();
+        nodes.sort_unstable_by_key(|&(i, _)| i);
+        out.extend(
+            nodes
+                .iter()
+                .map(|&(index, d)| (TreeNodeAddr { level: l, index }, d)),
+        );
+        if l == levels {
+            break;
+        }
+        let mut next: FxHashMap<u64, DigestLine> = FxHashMap::default();
+        for (index, node) in &cur {
+            next.entry(index >> 3)
+                .or_default()
+                .set(slot_in_parent(*index), digest64(&node.to_bytes()));
+        }
+        cur = next;
+    }
+    out
+}
+
 /// The post-crash integrity oracle: checks one enumerated NVMM image
 /// against the invariants `spec`'s policy promises to maintain across
 /// any crash. Returns a description of the first violation found.
@@ -365,11 +495,16 @@ pub fn rebuild_tree(img: &NvmmImage, levels: u32) -> (DigestLine, usize) {
 ///   matching a recomputation over (address, counter, plaintext).
 ///   Garbled lines are skipped — whether *they* are acceptable is the
 ///   crash-consistency oracle's question, not the integrity engine's.
-/// * **Tree** (strict): every persisted node's non-reserved child
-///   digests must match a present, persisted child (the counter line
-///   itself at level 1). Child-before-parent is the one legal
+/// * **Tree** (strict, pipelined): every persisted node's non-reserved
+///   child digests must match a present, persisted child (the counter
+///   line itself at level 1). Child-before-parent is the one legal
 ///   persistence order; a parent embedding a child state that never
 ///   reached NVMM is exactly the ordering bug the checker must catch.
+/// * **Epoch summaries** (phoenix): every persisted summary's claimed
+///   counter-line sum must be at or below what the image's counter
+///   region persisted — a higher claim means the summary outran its
+///   pair (a stale epoch). The full interior set is then
+///   [`reconstruct_tree`]'d so recovery cost stays honest.
 /// * **Tree** (lazy): interior nodes are rebuilt from the leaves
 ///   ([`rebuild_tree`]), so persisted interiors are ignored; the
 ///   rebuild is still exercised here so recovery cost stays honest.
@@ -411,7 +546,7 @@ pub fn verify_image_with(
             ));
         }
     }
-    if spec.policy.strict() {
+    if spec.policy.persists_path_in_pair() {
         for (node, digests) in img.tree_nodes() {
             for (slot, digest) in digests.iter().filter(|&(_, d)| d != 0) {
                 let child_index = node.index * TREE_ARITY as u64 + slot as u64;
@@ -447,6 +582,29 @@ pub fn verify_image_with(
                 }
             }
         }
+    } else if spec.policy.phoenix() {
+        for (node, digests) in img.tree_nodes() {
+            let Some((cline, claim, seq)) = decode_phoenix_summary(node, &digests) else {
+                return Err(format!(
+                    "phoenix image persisted interior tree node {node}, \
+                     but phoenix never writes the tree"
+                ));
+            };
+            if !img.counter_line_present(cline) {
+                return Err(format!(
+                    "stale epoch: summary #{seq} claims counter line {cline} \
+                     at sum {claim:#x}, but the line never persisted"
+                ));
+            }
+            let actual = counter_line_sum(&img.counter_line(cline));
+            if actual < claim {
+                return Err(format!(
+                    "stale epoch: summary #{seq} for {cline} claims sum {claim:#x} \
+                     ahead of the persisted {actual:#x}"
+                ));
+            }
+        }
+        let _ = reconstruct_tree(img, spec.levels);
     } else if spec.policy.has_tree() {
         let _ = rebuild_tree(img, spec.levels);
     }
@@ -588,6 +746,115 @@ mod tests {
             "a full rebuild from leaves must reproduce the strict root"
         );
         assert!(rebuilt >= st.levels() as usize);
+    }
+
+    #[test]
+    fn reconstruct_tree_agrees_with_rebuild_root() {
+        let mut img = NvmmImage::new();
+        for i in [0u64, 3, 9, 70] {
+            let mut cl = CounterLine::new();
+            cl.set((i % 8) as usize, Counter(i + 1));
+            img.write_counter_line(CounterLineAddr(i), cl);
+        }
+        let levels = 4;
+        let nodes = reconstruct_tree(&img, levels);
+        // Sorted by (level, index), one entry per touched interior node.
+        assert!(nodes
+            .windows(2)
+            .all(|w| (w[0].0.level, w[0].0.index) < (w[1].0.level, w[1].0.index)));
+        let (root, rebuilt) = rebuild_tree(&img, levels);
+        assert_eq!(nodes.len(), rebuilt);
+        let last = nodes.last().expect("non-empty");
+        assert_eq!(
+            last.0,
+            TreeNodeAddr {
+                level: levels,
+                index: 0
+            }
+        );
+        assert_eq!(last.1, root, "reconstruction reaches the same root");
+        // Empty image: nothing to reconstruct.
+        assert!(reconstruct_tree(&NvmmImage::new(), levels).is_empty());
+    }
+
+    #[test]
+    fn phoenix_summary_roundtrips_and_stays_off_real_levels() {
+        let mut cl = CounterLine::new();
+        cl.set(1, Counter(5));
+        cl.set(7, Counter(9));
+        let (node, d) = phoenix_summary(CounterLineAddr(42), &cl, 3);
+        assert_eq!(node.level, PHOENIX_SUMMARY_LEVEL);
+        assert_eq!(node.index, 42);
+        let (cline, claim, seq) = decode_phoenix_summary(node, &d).expect("summary level");
+        assert_eq!(cline, CounterLineAddr(42));
+        assert_eq!(claim, 14);
+        assert_eq!(seq, 3);
+        // Real interior nodes never decode as summaries.
+        assert!(decode_phoenix_summary(
+            TreeNodeAddr {
+                level: 1,
+                index: 42
+            },
+            &d
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn counter_line_sum_wraps_instead_of_panicking() {
+        let mut cl = CounterLine::new();
+        cl.set(0, Counter(u64::MAX));
+        cl.set(1, Counter(2));
+        assert_eq!(counter_line_sum(&cl), 1);
+    }
+
+    #[test]
+    fn phoenix_epoch_counts_per_counter_line() {
+        let mut cfg = SimConfig::single_core(crate::config::Design::Sca)
+            .with_integrity(IntegrityPolicy::Phoenix);
+        cfg.phoenix_epoch_every = 2;
+        let mut st = IntegrityState::from_config(&cfg).expect("enabled");
+        let a = CounterLineAddr(0);
+        let b = CounterLineAddr(5);
+        assert_eq!(st.phoenix_epoch(a), None);
+        // Pairs to another line do not advance `a`'s epoch.
+        assert_eq!(st.phoenix_epoch(b), None);
+        assert_eq!(st.phoenix_epoch(a), Some(1));
+        assert_eq!(st.phoenix_epoch(b), Some(1));
+        assert_eq!(st.phoenix_epoch(a), None);
+        assert_eq!(st.phoenix_epoch(a), Some(2));
+    }
+
+    #[test]
+    fn verify_flags_stale_phoenix_epoch() {
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Phoenix,
+            levels: 4,
+        };
+        // Summary present, counter line missing entirely.
+        let mut img = NvmmImage::new();
+        let mut cl = CounterLine::new();
+        cl.set(2, Counter(9));
+        let (node, d) = phoenix_summary(CounterLineAddr(3), &cl, 1);
+        img.write_tree_node(node, d);
+        let err = verify_image(&img, spec, [0; 16]).expect_err("must flag");
+        assert!(err.contains("stale epoch"), "{err}");
+        // Counter line persisted but older than the claim.
+        let mut stale = CounterLine::new();
+        stale.set(2, Counter(4));
+        img.write_counter_line(CounterLineAddr(3), stale);
+        let err = verify_image(&img, spec, [0; 16]).expect_err("must flag");
+        assert!(
+            err.contains("stale epoch") && err.contains("ahead of"),
+            "{err}"
+        );
+        // Counter line at (or past) the claim: the epoch is fresh.
+        img.write_counter_line(CounterLineAddr(3), cl);
+        assert!(verify_image(&img, spec, [0; 16]).is_ok());
+        // Phoenix never writes real interior nodes; finding one is a bug.
+        img.write_tree_node(TreeNodeAddr { level: 1, index: 0 }, DigestLine::new());
+        let err = verify_image(&img, spec, [0; 16]).expect_err("must flag");
+        assert!(err.contains("never writes the tree"), "{err}");
     }
 
     #[test]

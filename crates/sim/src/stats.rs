@@ -87,6 +87,17 @@ pub struct Stats {
     /// Cumulative time strict-policy writes waited for the root-update
     /// engine.
     pub root_update_stall: Time,
+    /// Pipelined-policy root updates that overlapped an earlier root
+    /// update still in flight (where strict would have stalled).
+    pub root_update_overlaps: u64,
+    /// Packed counter+MAC metadata lines written to NVMM (colocated
+    /// policy).
+    pub nvmm_packed_meta_writes: u64,
+    /// Packed-metadata write-queue entries merged into an existing
+    /// same-line entry.
+    pub coalesced_packed_meta_writes: u64,
+    /// Phoenix epoch summaries persisted inside counter-atomic pairs.
+    pub phoenix_epoch_writes: u64,
 }
 
 impl Stats {
@@ -108,18 +119,25 @@ impl Stats {
         }
     }
 
-    /// Total NVMM write accesses (data + counter + integrity metadata).
+    /// Total NVMM write accesses (data + counter + integrity metadata,
+    /// split or packed).
     pub fn nvmm_writes(&self) -> u64 {
-        self.nvmm_data_writes + self.nvmm_counter_writes + self.nvmm_metadata_writes
+        self.nvmm_data_writes
+            + self.nvmm_counter_writes
+            + self.nvmm_metadata_writes
+            + self.nvmm_packed_meta_writes
     }
 
-    /// Metadata write amplification: counter + MAC/tree writes per data
-    /// write (0.0 for a run with no data writes).
+    /// Metadata write amplification: counter + MAC/tree + packed
+    /// metadata writes per data write (0.0 for a run with no data
+    /// writes). A packed counter+MAC line counts once — that is the
+    /// colocated policy's halving.
     pub fn metadata_write_amplification(&self) -> f64 {
         if self.nvmm_data_writes == 0 {
             0.0
         } else {
-            (self.nvmm_counter_writes + self.nvmm_metadata_writes) as f64
+            (self.nvmm_counter_writes + self.nvmm_metadata_writes + self.nvmm_packed_meta_writes)
+                as f64
                 / self.nvmm_data_writes as f64
         }
     }
@@ -302,7 +320,11 @@ macro_rules! stats_u64_fields {
             tree_cache_evictions,
             nvmm_metadata_writes,
             coalesced_metadata_writes,
-            root_update_stalls
+            root_update_stalls,
+            root_update_overlaps,
+            nvmm_packed_meta_writes,
+            coalesced_packed_meta_writes,
+            phoenix_epoch_writes
         );
     };
 }
@@ -487,6 +509,10 @@ mod tests {
             coalesced_metadata_writes: 29,
             root_update_stalls: 30,
             root_update_stall: Time::from_ns(31),
+            root_update_overlaps: 32,
+            nvmm_packed_meta_writes: 33,
+            coalesced_packed_meta_writes: 34,
+            phoenix_epoch_writes: 35,
         };
         let back = Stats::from_json(&Json::parse(&s.to_json().to_compact()).unwrap()).unwrap();
         assert_eq!(back, s);

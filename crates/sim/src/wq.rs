@@ -174,14 +174,14 @@ impl WriteQueues {
         }
         let q = match target {
             NvmmTarget::Data(_) => &mut self.data,
-            NvmmTarget::Counter(_) => &mut self.counter,
+            NvmmTarget::Counter(_) | NvmmTarget::PackedMeta(_) => &mut self.counter,
             NvmmTarget::Mac(_) | NvmmTarget::TreeNode(_) => &mut self.meta,
         };
         let accepted = q.accept(t);
         let sched = device.schedule(target, AccessKind::Write, accepted);
         let q = match target {
             NvmmTarget::Data(_) => &mut self.data,
-            NvmmTarget::Counter(_) => &mut self.counter,
+            NvmmTarget::Counter(_) | NvmmTarget::PackedMeta(_) => &mut self.counter,
             NvmmTarget::Mac(_) | NvmmTarget::TreeNode(_) => &mut self.meta,
         };
         q.push_drain(sched.done);
@@ -218,7 +218,10 @@ impl WriteQueues {
         t: Time,
     ) -> CaReceipt {
         debug_assert!(matches!(data_target, NvmmTarget::Data(_)));
-        debug_assert!(matches!(counter_target, NvmmTarget::Counter(_)));
+        debug_assert!(matches!(
+            counter_target,
+            NvmmTarget::Counter(_) | NvmmTarget::PackedMeta(_)
+        ));
 
         // Dependent on the previous pairing handshake completing.
         let pairing_wait = self.pairing_free.saturating_sub(t);

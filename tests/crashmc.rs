@@ -180,6 +180,120 @@ fn integrity_policies_pass_model_check_on_all_workloads() {
     }
 }
 
+/// Differential policy conformance: every integrity policy — the three
+/// original ones plus pipelined (Freij et al.), phoenix
+/// (reconstruction-from-summaries), and colocated (SecPM packed
+/// metadata) — model-checks clean on all five workloads under both FCA
+/// and SCA. One table, thirty (policy, workload) cells per design; any
+/// regression names its exact cell.
+#[test]
+fn every_integrity_policy_model_checks_clean_on_all_workloads() {
+    let policies = [
+        IntegrityPolicy::MacOnly,
+        IntegrityPolicy::Lazy,
+        IntegrityPolicy::Strict,
+        IntegrityPolicy::Pipelined,
+        IntegrityPolicy::Phoenix,
+        IntegrityPolicy::Colocated,
+    ];
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec::smoke(kind).with_ops(4);
+        for design in [Design::Fca, Design::Sca] {
+            for policy in policies {
+                let mut cfg = SimConfig::single_core(design).with_integrity(policy);
+                // Emit an epoch summary with every pair so the short
+                // smoke runs exercise phoenix's persisted claims too.
+                cfg.phoenix_epoch_every = 1;
+                let o = opts(24);
+                let instants = crash_instants_cfg(&spec, cfg.clone(), &o, 4);
+                assert!(
+                    !instants.is_empty(),
+                    "{kind}/{design}/{policy}: no in-flight instants found"
+                );
+                for &t in &instants {
+                    let rep = model_check_cfg(&spec, cfg.clone(), CrashSpec::AtTime(t), &o);
+                    assert!(
+                        rep.clean(),
+                        "{kind}/{design}/{policy} at {t}: {} of {} images violated; minimal: {:?}",
+                        rep.violations,
+                        rep.images_checked,
+                        rep.minimal
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Differential bug table: each policy's characteristic ordering bug —
+/// strict persisting parents before children, pipelined dropping the
+/// root dependency from its pair, phoenix journaling a stale epoch
+/// summary outside the pair — must surface as violating images whose
+/// minimized witness blames the right oracle, on more than one
+/// workload.
+#[test]
+fn injected_policy_bugs_are_caught_with_blaming_witnesses() {
+    struct Row {
+        name: &'static str,
+        cfg: SimConfig,
+        blame: &'static [&'static str],
+    }
+    let rows = [
+        Row {
+            name: "strict/parent-first",
+            cfg: SimConfig::single_core(Design::Sca)
+                .with_integrity(IntegrityPolicy::Strict)
+                .with_tree_bug(),
+            blame: &["never persisted", "ahead of child"],
+        },
+        Row {
+            name: "pipelined/dropped-dependency",
+            cfg: SimConfig::single_core(Design::Sca)
+                .with_integrity(IntegrityPolicy::Pipelined)
+                .with_pipeline_bug(),
+            blame: &["never persisted", "ahead of child"],
+        },
+        Row {
+            name: "phoenix/stale-epoch",
+            cfg: {
+                let mut c = SimConfig::single_core(Design::Sca)
+                    .with_integrity(IntegrityPolicy::Phoenix)
+                    .with_phoenix_bug();
+                c.phoenix_epoch_every = 1;
+                c
+            },
+            blame: &["stale epoch"],
+        },
+    ];
+    for row in &rows {
+        for kind in [WorkloadKind::ArraySwap, WorkloadKind::Queue] {
+            let spec = WorkloadSpec::smoke(kind).with_ops(4);
+            let o = opts(32);
+            let instants = crash_instants_cfg(&spec, row.cfg.clone(), &o, 8);
+            assert!(!instants.is_empty(), "{}/{kind}: no instants", row.name);
+            let mut violations = 0;
+            let mut blamed = false;
+            for &t in &instants {
+                let rep = model_check_cfg(&spec, row.cfg.clone(), CrashSpec::AtTime(t), &o);
+                violations += rep.violations;
+                if let Some(m) = rep.minimal {
+                    blamed |= row.blame.iter().any(|b| m.error.0.contains(b));
+                }
+            }
+            assert!(
+                violations >= 1,
+                "{}/{kind}: the injected bug produced no violating image",
+                row.name
+            );
+            assert!(
+                blamed,
+                "{}/{kind}: no witness blamed the expected oracle ({:?})",
+                row.name, row.blame
+            );
+        }
+    }
+}
+
 /// Positive control for the integrity oracle: a strict-policy
 /// controller whose tree-path updates persist eagerly instead of riding
 /// the counter-atomic pair (the parent-ahead-of-child ordering bug) must

@@ -199,3 +199,39 @@ fn sharded_checker_still_catches_missing_counter_writebacks() {
         "injected Fig. 3(a) bug went undetected across shard domains"
     );
 }
+
+/// Batched-journal compaction folds records' in-flight windows away,
+/// so combining it with crash analysis would be unsound — the driver
+/// must refuse up front with a descriptive error instead of silently
+/// enumerating from a truncated journal.
+#[test]
+#[should_panic(expected = "journal batching is completion-only")]
+fn journal_batching_refuses_crash_analysis() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::Queue).with_ops(4);
+    let cfg = SimConfig::single_core(Design::Sca).with_shards(2);
+    let traces = traces_for_cores(&spec, cfg.cores);
+    System::new(cfg, traces)
+        .with_journal_batch(8)
+        .run(CrashSpec::AtTime(Time::from_ns(500)));
+}
+
+/// The completion path with the same batching knob stays valid: the
+/// run finishes, and its final image (fingerprinted via the stats the
+/// outcome carries) matches an unbatched reference run — compaction
+/// changes journal memory, never the completion image.
+#[test]
+fn journal_batching_preserves_completion_outcome() {
+    let spec = WorkloadSpec::smoke(WorkloadKind::Queue).with_ops(4);
+    let cfg = SimConfig::single_core(Design::Sca).with_shards(2);
+    let traces = traces_for_cores(&spec, cfg.cores);
+    let batched = System::new(cfg.clone(), traces.clone())
+        .with_journal_batch(4)
+        .run(CrashSpec::None);
+    let reference = System::new(cfg, traces).run(CrashSpec::None);
+    assert_eq!(
+        batched.image.fingerprint(),
+        reference.image.fingerprint(),
+        "compaction must not change the completion image"
+    );
+    assert_eq!(batched.stats.runtime, reference.stats.runtime);
+}

@@ -233,6 +233,145 @@ proptest! {
         }
     }
 
+    /// Phoenix recovery is a fixpoint: reconstructing the integrity
+    /// tree from an image's persisted counter lines, persisting that
+    /// reconstruction back into the image (what recovery would do), and
+    /// reconstructing again yields the identical tree — rerunning
+    /// recovery after a crash *during* recovery converges to the same
+    /// state.
+    #[test]
+    fn phoenix_reconstruction_is_a_fixpoint(
+        lines in proptest::collection::vec(
+            (0u64..64, proptest::array::uniform8(any::<u64>())), 1..24),
+        levels in 1u32..4,
+    ) {
+        use nvmm::crypto::CounterLine;
+        use nvmm::sim::integrity::reconstruct_tree;
+        use nvmm::sim::nvmm::NvmmImage;
+        let mut img = NvmmImage::new();
+        for (cline, ctrs) in &lines {
+            let mut cl = CounterLine::new();
+            for (slot, &v) in ctrs.iter().enumerate() {
+                cl.set(slot, Counter(v));
+            }
+            img.write_counter_line(CounterLineAddr(*cline), cl);
+        }
+        let first = reconstruct_tree(&img, levels);
+        prop_assert!(!first.is_empty(), "non-empty leaf set must yield a tree");
+        for &(node, digests) in &first {
+            img.write_tree_node(node, digests);
+        }
+        let second = reconstruct_tree(&img, levels);
+        prop_assert_eq!(&first, &second, "reconstruction must be a fixpoint");
+        // And it is total over the leaves: every persisted counter line
+        // has a level-1 parent in the reconstruction.
+        for (cline, _) in img.counter_lines() {
+            prop_assert!(
+                first.iter().any(|(n, _)| n.level == 1 && n.index == cline.0 >> 3),
+                "counter line {} has no reconstructed parent",
+                cline.0
+            );
+        }
+    }
+
+    /// The SecPM packed metadata line is an exact bijection between the
+    /// split (counter line, MAC line) layout and the colocated on-NVMM
+    /// encoding, for arbitrary values including the reserved zero slots
+    /// and the counter wraparound endpoints.
+    #[test]
+    fn packed_meta_line_roundtrips_exactly(
+        ctrs in proptest::array::uniform8(any::<u64>()),
+        macs in proptest::array::uniform8(any::<u64>()),
+        wrap_slot in 0usize..8,
+    ) {
+        use nvmm::crypto::mac::{Mac, MacLine};
+        use nvmm::crypto::{CounterLine, PackedMetaLine};
+        let mut cl = CounterLine::new();
+        let mut ml = MacLine::new();
+        for slot in 0..8 {
+            cl.set(slot, Counter(ctrs[slot]));
+            ml.set(slot, Mac(macs[slot]));
+        }
+        // Pin one slot to the wrap boundary: bump(u64::MAX) skips the
+        // reserved zero, and both endpoints must encode exactly.
+        cl.set(wrap_slot, Counter(u64::MAX));
+        let line = PackedMetaLine::from_parts(cl, ml);
+        let back = PackedMetaLine::from_bytes(&line.to_bytes());
+        prop_assert_eq!(back, line);
+        prop_assert_eq!(back.counters, cl);
+        prop_assert_eq!(back.macs, ml);
+        prop_assert_eq!(back.get(wrap_slot).0, Counter(u64::MAX));
+        let bumped = Counter(u64::MAX).bump();
+        prop_assert!(!bumped.is_unwritten(), "wrap must skip the reserved zero");
+    }
+
+    /// Latency-histogram quantiles are monotone in the quantile for
+    /// arbitrary sample streams: p50 ≤ p95 ≤ p99 ≤ p999 ≤ max, with
+    /// the p100 endpoint exact, and every reported quantile is a value
+    /// the histogram could actually have seen (never above the max).
+    #[test]
+    fn latency_hist_quantiles_are_monotone(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        use nvmm::sim::stats::LatencyHist;
+        let mut h = LatencyHist::new();
+        let mut max = 0u64;
+        for &s in &samples {
+            h.record(s);
+            max = max.max(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), max);
+        let qs = [0.5, 0.95, 0.99, 0.999, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", vals);
+        }
+        prop_assert_eq!(vals[4], max, "p100 must be the exact maximum");
+        for &v in &vals {
+            prop_assert!(v <= max, "a quantile above the maximum is impossible");
+        }
+    }
+
+    /// Bucket-boundary correctness of the log-linear histogram: a
+    /// single recorded sample comes back (at any interior quantile) as
+    /// its bucket floor — never above the sample, exact below 32, and
+    /// within one 1/32 sub-bucket of it above. Merging two histograms
+    /// is indistinguishable from recording the concatenated stream.
+    #[test]
+    fn latency_hist_buckets_bound_their_samples(
+        v in any::<u64>(),
+        left in proptest::collection::vec(0u64..100_000, 0..50),
+        right in proptest::collection::vec(0u64..100_000, 0..50),
+    ) {
+        use nvmm::sim::stats::LatencyHist;
+        let mut h = LatencyHist::new();
+        h.record(v);
+        let floor = h.quantile(0.5);
+        prop_assert!(floor <= v, "bucket floor {floor} above its sample {v}");
+        if v < 32 {
+            prop_assert_eq!(floor, v, "small values must be exact");
+        } else {
+            // Log-linear: 32 sub-buckets per octave, so the floor is
+            // within 2^(msb-5) of the sample.
+            let width = 1u64 << (63 - v.leading_zeros() - 5);
+            prop_assert!(v - floor < width, "{v} beyond its sub-bucket width {width}");
+        }
+        prop_assert_eq!(h.quantile(1.0), v);
+
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut both = LatencyHist::new();
+        for &s in &left { a.record(s); both.record(s); }
+        for &s in &right { b.record(s); both.record(s); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), both.count());
+        prop_assert_eq!(a.max(), both.max());
+        for q in [0.5, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(a.quantile(q), both.quantile(q), "merge diverged at q={}", q);
+        }
+    }
+
     /// Replay determinism over arbitrary small workload shapes: two
     /// replays of the same trace agree on every statistic.
     #[test]
