@@ -29,7 +29,11 @@
 //! Expected shape (self-checked): `mac-only <= lazy < strict` in
 //! geomean execution time; `pipelined` matches strict's guarantee with
 //! zero root-update stalls where strict stalls on every consecutive
-//! pair; `colocated` undercuts `lazy`'s metadata write amplification.
+//! pair; `colocated` undercuts `lazy`'s metadata write amplification;
+//! and the run-time/boot-time trade is real — the `<policy> recovery`
+//! series prices each policy's boot ([`recovery_cost`]: tree nodes
+//! recomputed from the persisted image), with `phoenix` paying a
+//! whole-tree reconstruction where `strict`/`pipelined` recover free.
 //!
 //! The saved artifact is a pure function of the workload/policy table —
 //! `NVMM_THREADS` only parallelizes the sweep and `NVMM_SHARDS` only
@@ -39,6 +43,7 @@
 use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{eval_spec, geo_mean, print_table, Experiment};
 use nvmm_sim::config::{Design, IntegrityPolicy, SimConfig};
+use nvmm_sim::integrity::{recovery_cost, IntegritySpec};
 use nvmm_sim::system::{CrashSpec, System};
 use nvmm_workloads::{traces_for_cores, WorkloadKind, WorkloadSpec};
 
@@ -64,7 +69,9 @@ fn main() {
         ));
         for p in POLICIES {
             let cfg = SimConfig::table2(Design::Sca, 1).with_integrity(p);
-            cells.push(SweepCell::new(kind.label(), p.label(), &spec, cfg));
+            // Keep the completion image: the recovery column prices the
+            // boot-time tree rebuild from it.
+            cells.push(SweepCell::new(kind.label(), p.label(), &spec, cfg).with_kept_image());
         }
     }
     let outs = SweepRunner::from_env().run(cells);
@@ -76,16 +83,20 @@ fn main() {
     );
     let mut runtime_rows = Vec::new();
     let mut amp_rows = Vec::new();
+    let mut recovery_rows = Vec::new();
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
     let mut per_policy_amp: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+    let mut per_policy_recovery = [0u64; POLICIES.len()];
     let mut root_stalls = [0u64; POLICIES.len()];
     let mut root_overlaps = [0u64; POLICIES.len()];
     for kind in WorkloadKind::ALL {
         let base = outs.get(kind.label(), "baseline").stats.runtime.0 as f64;
         let mut runtimes = Vec::new();
         let mut amps = Vec::new();
+        let mut recoveries = Vec::new();
         for (i, p) in POLICIES.iter().enumerate() {
-            let stats = &outs.get(kind.label(), p.label()).stats;
+            let out = outs.get(kind.label(), p.label());
+            let stats = &out.stats;
             let v = stats.runtime.0 as f64 / base;
             outs.record(&mut exp, kind.label(), p.label(), v);
             exp.insert(
@@ -93,15 +104,31 @@ fn main() {
                 &format!("{} amp", p.label()),
                 stats.metadata_write_amplification(),
             );
+            // Boot-time recovery bill: tree nodes the verifier must
+            // recompute from the persisted completion image before it
+            // can serve reads — phoenix's whole-tree reconstruction,
+            // lazy's rebuild of the evicted interior, zero for the
+            // policies whose persisted state is already current.
+            let spec =
+                IntegritySpec::from_config(&SimConfig::table2(Design::Sca, 1).with_integrity(*p));
+            let recovery = recovery_cost(&out.image, spec);
+            exp.insert(
+                kind.label(),
+                &format!("{} recovery", p.label()),
+                recovery as f64,
+            );
             per_policy[i].push(v);
             per_policy_amp[i].push(stats.metadata_write_amplification());
+            per_policy_recovery[i] += recovery;
             root_stalls[i] += stats.root_update_stalls;
             root_overlaps[i] += stats.root_update_overlaps;
             runtimes.push(v);
             amps.push(stats.metadata_write_amplification());
+            recoveries.push(recovery as f64);
         }
         runtime_rows.push((kind.label().to_string(), runtimes));
         amp_rows.push((kind.label().to_string(), amps));
+        recovery_rows.push((kind.label().to_string(), recoveries));
     }
     let means: Vec<f64> = per_policy.iter().map(|v| geo_mean(v)).collect();
     runtime_rows.push(("geomean".to_string(), means.clone()));
@@ -116,6 +143,11 @@ fn main() {
         "Integrity policies — metadata writes per data write (counter + MAC + tree)",
         &series,
         &amp_rows,
+    );
+    print_table(
+        "Integrity policies — boot-time recovery (tree nodes rebuilt from the image)",
+        &series,
+        &recovery_rows,
     );
 
     // Self-check 1: the cost ordering the original policies promise.
@@ -157,6 +189,21 @@ fn main() {
     assert!(
         coloc_amp < lazy_amp,
         "colocated amp ({coloc_amp:.4}) must undercut lazy amp ({lazy_amp:.4})"
+    );
+
+    // Self-check 4: the run-time/boot-time trade. Phoenix persists no
+    // tree, so it must pay at recovery what strict prepaid per write —
+    // strict's (and pipelined's) persisted state recovers for free.
+    let (strict_rec, pipe_rec, phoenix_rec) = (
+        per_policy_recovery[2],
+        per_policy_recovery[3],
+        per_policy_recovery[4],
+    );
+    assert_eq!(strict_rec, 0, "strict's persisted tree must recover free");
+    assert_eq!(pipe_rec, 0, "pipelined's persisted tree must recover free");
+    assert!(
+        phoenix_rec > strict_rec,
+        "phoenix must pay a boot-time rebuild ({phoenix_rec} nodes) where strict pays none"
     );
 
     println!(

@@ -12,14 +12,23 @@
 //! The crash simulations (one per crash point) are independent, so they
 //! run as a parallel sweep; the recovery replays over the surviving
 //! images run sequentially afterwards.
+//!
+//! A final section prices the *integrity* half of boot: for each
+//! integrity policy, the tree nodes [`recovery_cost`] must recompute
+//! from a post-crash image before reads can be served — phoenix's
+//! whole-tree reconstruction, lazy's interior rebuild, zero for
+//! strict/pipelined whose persisted tree is already current
+//! (self-checked: phoenix > strict). These land in the artifact as
+//! `integrity/<policy>` rows.
 
 use nvmm_bench::sweep::{SweepCell, SweepRunner};
 use nvmm_bench::{print_table, Experiment};
 use nvmm_core::recovery::RecoveredMemory;
 use nvmm_core::txn::Mechanism;
-use nvmm_sim::config::{Design, SimConfig};
-use nvmm_sim::system::CrashSpec;
-use nvmm_workloads::{execute, WorkloadKind, WorkloadSpec};
+use nvmm_sim::config::{Design, IntegrityPolicy, SimConfig};
+use nvmm_sim::integrity::{recovery_cost, IntegritySpec};
+use nvmm_sim::system::{CrashSpec, System};
+use nvmm_workloads::{execute, traces_for_cores, WorkloadKind, WorkloadSpec};
 
 fn main() {
     // Phase 1: enumerate every (mechanism, workload, crash point) cell.
@@ -96,6 +105,66 @@ fn main() {
     println!("\nRecovery restores at most one transaction's regions — bounded,");
     println!("crash-point-independent work, while the runtime cost (logging +");
     println!("counter writebacks) is paid on every transaction.");
+
+    // Phase 3: the integrity side of boot. Crash one workload at a few
+    // instants under each policy and count the tree nodes recovery must
+    // recompute from each surviving image before reads can be served.
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(10);
+    let mut integrity_rows = Vec::new();
+    let mut boot_mean = Vec::new();
+    for policy in IntegrityPolicy::ALL {
+        if !policy.enabled() {
+            continue;
+        }
+        let cfg = SimConfig::table2(Design::Sca, 1).with_integrity(policy);
+        let ispec = IntegritySpec::from_config(&cfg);
+        let traces = traces_for_cores(&spec, 1);
+        let full = System::new(cfg.clone(), traces.clone()).run(CrashSpec::None);
+        let total_events = full.events_processed;
+        let (mut sum, mut max, mut points) = (0u64, 0u64, 0u64);
+        let mut k = total_events / 8;
+        while k <= total_events {
+            let out = System::new(cfg.clone(), traces.clone()).run(CrashSpec::AfterEvent(k));
+            let nodes = recovery_cost(&out.image, ispec);
+            sum += nodes;
+            max = max.max(nodes);
+            points += 1;
+            k += (total_events / 4).max(1);
+        }
+        let mean = sum as f64 / points.max(1) as f64;
+        let row = format!("integrity/{}", policy.label());
+        exp.insert(&row, "boot_nodes_mean", mean);
+        exp.insert(&row, "boot_nodes_max", max as f64);
+        integrity_rows.push((
+            policy.label().to_string(),
+            vec![points as f64, mean, max as f64],
+        ));
+        boot_mean.push((policy, mean));
+    }
+    print_table(
+        "boot-time integrity recovery (tree nodes recomputed from the crash image)",
+        &["crash points", "mean nodes", "max nodes"],
+        &integrity_rows,
+    );
+    let mean_of = |p: IntegrityPolicy| {
+        boot_mean
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, m)| *m)
+            .unwrap_or(0.0)
+    };
+    let (phoenix, strict) = (
+        mean_of(IntegrityPolicy::Phoenix),
+        mean_of(IntegrityPolicy::Strict),
+    );
+    assert_eq!(strict, 0.0, "strict's persisted tree must recover free");
+    assert!(
+        phoenix > strict,
+        "phoenix must pay a boot-time rebuild (mean {phoenix:.1} nodes) where strict pays none"
+    );
+    println!(
+        "\nboot trade self-check: phoenix rebuilds {phoenix:.1} nodes/boot, strict {strict:.1}"
+    );
     let path = exp.save().expect("write results");
     println!("saved {}", path.display());
 }

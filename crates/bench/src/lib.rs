@@ -19,6 +19,7 @@
 //! | `fig_integrity` | integrity-policy cost: runtime and metadata write amplification of mac-only / lazy / strict on top of SCA (self-checking; no paper figure) |
 //! | `fig_mc_perf` | model-checker throughput: eager rebuild-per-mask enumeration vs the incremental copy-on-write walk with parallel verification (self-checking; no paper figure) |
 //! | `fig_service` | open-loop service throughput and p50/p95/p99/p999 arrival-to-commit tails: steady/burst/diurnal arrival curves over 1–4 controller shards, plus a generator-backed streamed-ingest demo with batched journaling (self-checking; no paper figure) |
+//! | `fig_attack` | adversarial detection matrix — six integrity policies × {replay, counter-rollback, torn-write, split-replay} judged against per-policy freshness anchors, with `mac-only × {replay, counter-rollback}` the only permitted misses — plus each policy's wear report and lifetime estimate (self-checking; no paper figure) |
 //!
 //! Run e.g. `cargo run --release -p nvmm-bench --bin fig12`. Each binary
 //! prints a human-readable table and writes machine-readable JSON to
@@ -44,7 +45,10 @@
 //!
 //! `fig_service` additionally honors `NVMM_SHARDS`, `NVMM_STREAM_OPS`,
 //! and `NVMM_SERVICE_BATCH` (see its binary docs); those only affect
-//! its `*_timing.json` companion, never the main artifact.
+//! its `*_timing.json` companion, never the main artifact. `fig_attack`
+//! honors `NVMM_ATTACK_VICTIMS`, `NVMM_ATTACK_FRAC_MILLI`,
+//! `NVMM_ENDURANCE`, and `NVMM_SHARDS` (the last sizes its runtime
+//! cross-check only — its artifact is likewise knob-invariant).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

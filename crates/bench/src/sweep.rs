@@ -28,10 +28,13 @@
 //! next to each cell's stats.
 //!
 //! Memory: completed-run (`CrashSpec::None`) outcomes have their NVMM
-//! image dropped before being retained — no figure consumes it, and a
-//! large grid would otherwise hold every image live at once. Crash
-//! cells keep theirs: post-crash recovery is exactly what their
-//! consumers (`table1`, `recovery_cost`) need the image for.
+//! image dropped before being retained — most figures never consume
+//! it, and a large grid would otherwise hold every image live at once.
+//! Crash cells keep theirs: post-crash recovery is exactly what their
+//! consumers (`table1`, `recovery_cost`) need the image for. A
+//! completion cell that *does* need its image (e.g. `fig_integrity`
+//! pricing boot-time tree rebuilds) opts in with
+//! [`SweepCell::with_kept_image`].
 
 use crate::{CellRecord, Experiment};
 use nvmm_json::ToJson;
@@ -63,6 +66,9 @@ pub struct SweepCell {
     /// Open-loop arrival shaping applied to the generated traces
     /// (`None` = closed-loop replay, the paper's methodology).
     pub shape: Option<ArrivalCurve>,
+    /// Retain the final NVMM image even for a completed run (crash
+    /// cells always keep theirs).
+    pub keep_image: bool,
 }
 
 impl SweepCell {
@@ -75,6 +81,7 @@ impl SweepCell {
             cfg,
             crash: CrashSpec::None,
             shape: None,
+            keep_image: false,
         }
     }
 
@@ -93,6 +100,13 @@ impl SweepCell {
     /// Returns the cell with a crash point.
     pub fn with_crash(mut self, crash: CrashSpec) -> Self {
         self.crash = crash;
+        self
+    }
+
+    /// Returns the cell with its completion image retained (see the
+    /// module docs on image dropping).
+    pub fn with_kept_image(mut self) -> Self {
+        self.keep_image = true;
         self
     }
 
@@ -205,13 +219,25 @@ impl SweepRunner {
                 sim_jobs.len() - 1
             });
         }
-        let unique: Vec<Arc<RunOutcome>> = run_parallel(self.threads, &sim_jobs, |&ci| {
+        // A dedupe group keeps its image if *any* of its cells asked to.
+        let mut keep_image = vec![false; sim_jobs.len()];
+        for cell in &cells {
+            if cell.keep_image {
+                keep_image[sim_index[&cell.sim_key()]] = true;
+            }
+        }
+        let sim_jobs: Vec<(usize, bool)> = sim_jobs
+            .iter()
+            .zip(&keep_image)
+            .map(|(&ci, &keep)| (ci, keep))
+            .collect();
+        let unique: Vec<Arc<RunOutcome>> = run_parallel(self.threads, &sim_jobs, |&(ci, keep)| {
             let cell = &cells[ci];
             let t = &traces[trace_index[&cell.trace_key()]];
             let mut out = System::new(cell.cfg.clone(), (**t).clone()).run(cell.crash);
-            if cell.crash == CrashSpec::None {
-                // No consumer reads a completed run's image; drop it so
-                // big grids don't hold every image live at once.
+            if cell.crash == CrashSpec::None && !keep {
+                // No consumer reads this completed run's image; drop it
+                // so big grids don't hold every image live at once.
                 out.image = NvmmImage::new();
             }
             Arc::new(out)
@@ -370,6 +396,23 @@ mod tests {
             outs.get("a", "crash").image.data_lines() > 0,
             "crash image retained"
         );
+    }
+
+    #[test]
+    fn kept_image_opt_in_survives_completion_and_dedupe() {
+        let spec = WorkloadSpec::smoke(WorkloadKind::ArraySwap);
+        // Two cells deduping to one simulation; only one opts in, and
+        // the shared outcome must keep the image for both.
+        let cells = vec![
+            SweepCell::eval("a", "plain", &spec, Design::Sca, 1),
+            SweepCell::eval("a", "kept", &spec, Design::Sca, 1).with_kept_image(),
+        ];
+        let outs = SweepRunner::with_threads(1).run(cells);
+        assert!(
+            outs.get("a", "kept").image.data_lines() > 0,
+            "opted-in completion image retained"
+        );
+        assert!(Arc::ptr_eq(&outs.outcomes[0], &outs.outcomes[1]));
     }
 
     #[test]

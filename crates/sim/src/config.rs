@@ -558,6 +558,15 @@ pub struct SimConfig {
     /// counter-atomic pair on a shard carries an epoch summary of its
     /// counter line (1 = every pair). Ignored by other policies.
     pub phoenix_epoch_every: u64,
+    /// PCM cell endurance — writes one cell survives before wearing out
+    /// (default 10⁸, mid-range for PCM). Only interprets the wear
+    /// tracker's counts ([`crate::device::WearReport::lifetime_runs`]);
+    /// it never changes simulated behavior.
+    pub cell_endurance: u64,
+    /// Maximum data lines the adversary engine (`crate::attack`)
+    /// splices per synthesized attack. Bounds witness size; replay
+    /// attacks substitute the whole stale image regardless.
+    pub attack_victims: u64,
 }
 
 impl SimConfig {
@@ -609,6 +618,8 @@ impl SimConfig {
             tree_bug_drop_dependency: false,
             phoenix_bug_stale_epoch: false,
             phoenix_epoch_every: 4,
+            cell_endurance: 100_000_000,
+            attack_victims: 4,
         }
     }
 
@@ -666,6 +677,25 @@ impl SimConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "at least one shard required");
         self.shards = shards;
+        self
+    }
+
+    /// Selects the PCM cell endurance used by wear reports
+    /// (see [`SimConfig::cell_endurance`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endurance` is zero.
+    pub fn with_cell_endurance(mut self, endurance: u64) -> Self {
+        assert!(endurance >= 1, "cell endurance must be positive");
+        self.cell_endurance = endurance;
+        self
+    }
+
+    /// Selects the adversary engine's per-attack victim budget
+    /// (see [`SimConfig::attack_victims`]).
+    pub fn with_attack_victims(mut self, victims: u64) -> Self {
+        self.attack_victims = victims;
         self
     }
 }
@@ -737,6 +767,8 @@ impl ToJson for SimConfig {
                 "phoenix_epoch_every".to_string(),
                 self.phoenix_epoch_every.to_json(),
             ),
+            ("cell_endurance".to_string(), self.cell_endurance.to_json()),
+            ("attack_victims".to_string(), self.attack_victims.to_json()),
         ])
     }
 }
@@ -792,6 +824,18 @@ impl FromJson for SimConfig {
                 Some(v) => u64::from_json(v).map_err(|e| {
                     FromJsonError(format!("in field `phoenix_epoch_every`: {}", e.0))
                 })?,
+                None => 4,
+            },
+            // The two fields below are absent in configs serialized
+            // before the adversary/wear subsystem.
+            cell_endurance: match json.get("cell_endurance") {
+                Some(v) => u64::from_json(v)
+                    .map_err(|e| FromJsonError(format!("in field `cell_endurance`: {}", e.0)))?,
+                None => 100_000_000,
+            },
+            attack_victims: match json.get("attack_victims") {
+                Some(v) => u64::from_json(v)
+                    .map_err(|e| FromJsonError(format!("in field `attack_victims`: {}", e.0)))?,
                 None => 4,
             },
         })
@@ -976,5 +1020,33 @@ mod tests {
         assert!(!back.tree_bug_drop_dependency);
         assert!(!back.phoenix_bug_stale_epoch);
         assert_eq!(back.phoenix_epoch_every, 4);
+    }
+
+    #[test]
+    fn attack_and_wear_knobs_default_roundtrip_and_back_compat() {
+        let c = SimConfig::single_core(Design::Sca);
+        assert_eq!(c.cell_endurance, 100_000_000);
+        assert_eq!(c.attack_victims, 4);
+        let tuned = SimConfig::table2(Design::Sca, 2)
+            .with_cell_endurance(10_000_000)
+            .with_attack_victims(9);
+        let text = tuned.to_json().to_pretty();
+        let back = SimConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, tuned);
+        // Configs serialized before the adversary/wear subsystem have
+        // neither key and must parse with the defaults.
+        let mut without = c.to_json();
+        if let Json::Obj(fields) = &mut without {
+            fields.retain(|(k, _)| k != "cell_endurance" && k != "attack_victims");
+        }
+        let back = SimConfig::from_json(&without).unwrap();
+        assert_eq!(back.cell_endurance, 100_000_000);
+        assert_eq!(back.attack_victims, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_endurance_rejected_by_builder() {
+        let _ = SimConfig::single_core(Design::Sca).with_cell_endurance(0);
     }
 }

@@ -36,7 +36,7 @@
 use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, NvmmTarget, TreeNodeAddr};
 use crate::cache::SetAssocCache;
 use crate::config::{Design, SimConfig};
-use crate::device::{AccessKind, PcmDevice};
+use crate::device::{AccessKind, PcmDevice, WearReport, WearTracker};
 use crate::integrity::{DigestLine, IntegrityState, MetaKey};
 use crate::nvmm::NvmmImage;
 use crate::stats::Stats;
@@ -194,8 +194,8 @@ pub struct MemoryController {
     crypto_latency: Time,
     overhead: Time,
     compress_counters: bool,
-    /// Per-target NVMM write counts (wear tracking, §6.3.3).
-    wear: FxHashMap<NvmmTarget, u64>,
+    /// Per-target NVMM write accounting (wear tracking, §6.3.3).
+    wear: WearTracker,
     /// Stop-loss window: force a counter-line write-back after this many
     /// un-persisted bumps (None = disabled).
     stop_loss: Option<u64>,
@@ -253,7 +253,7 @@ impl MemoryController {
             crypto_latency: config.crypto_latency,
             overhead: config.controller_overhead,
             compress_counters: config.compress_counters,
-            wear: FxHashMap::default(),
+            wear: WearTracker::new(),
             stop_loss: config.stop_loss,
             counter_lag: FxHashMap::default(),
             integrity: IntegrityState::from_config(config),
@@ -302,9 +302,12 @@ impl MemoryController {
     /// Wear summary over all NVMM writes: (distinct targets written,
     /// maximum writes to any single target).
     pub fn wear_summary(&self) -> (u64, u64) {
-        let distinct = self.wear.len() as u64;
-        let max = self.wear.values().copied().max().unwrap_or(0);
-        (distinct, max)
+        (self.wear.distinct(), self.wear.max())
+    }
+
+    /// Full wear/endurance report at the given cell endurance.
+    pub fn wear_report(&self, cell_endurance: u64) -> WearReport {
+        self.wear.report(cell_endurance)
     }
 
     /// Probes the counter cache for `cline`. On a hit returns `None`; on
@@ -357,12 +360,13 @@ impl MemoryController {
         stats: &mut Stats,
     ) -> PlainReceipt {
         let receipt = self.queues.submit_plain(&mut self.device, target, t);
+        stats.wear_line_writes += 1;
+        self.wear.record(target);
         if receipt.coalesced {
             stats.coalesced_metadata_writes += 1;
         } else {
             stats.nvmm_metadata_writes += 1;
             stats.bytes_written += 64;
-            *self.wear.entry(target).or_default() += 1;
         }
         receipt
     }
@@ -389,12 +393,13 @@ impl MemoryController {
             let r = self
                 .queues
                 .submit_plain(&mut self.device, NvmmTarget::PackedMeta(cline), t);
+            stats.wear_line_writes += 1;
+            self.wear.record(NvmmTarget::PackedMeta(cline));
             if r.coalesced {
                 stats.coalesced_packed_meta_writes += 1;
             } else {
                 stats.nvmm_packed_meta_writes += 1;
                 stats.bytes_written += self.counter_line_cost(cline) + 64;
-                *self.wear.entry(NvmmTarget::PackedMeta(cline)).or_default() += 1;
             }
             let integ = self.integrity.as_mut().expect("checked above");
             integ.clean(MetaKey::Mac(mline));
@@ -419,12 +424,13 @@ impl MemoryController {
         let rc = self
             .queues
             .submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
+        stats.wear_line_writes += 1;
+        self.wear.record(NvmmTarget::Counter(cline));
         if rc.coalesced {
             stats.coalesced_counter_writes += 1;
         } else {
             stats.nvmm_counter_writes += 1;
             stats.bytes_written += self.counter_line_cost(cline);
-            *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
         }
         let rm = self.submit_meta_write(NvmmTarget::Mac(mline), t, stats);
         let guaranteed = rc.accepted.max(rm.accepted);
@@ -509,12 +515,13 @@ impl MemoryController {
         let receipt = self
             .queues
             .submit_plain(&mut self.device, NvmmTarget::Counter(cline), t);
+        stats.wear_line_writes += 1;
+        self.wear.record(NvmmTarget::Counter(cline));
         if receipt.coalesced {
             stats.coalesced_counter_writes += 1;
         } else {
             stats.nvmm_counter_writes += 1;
             stats.bytes_written += self.counter_line_cost(cline);
-            *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
         }
         self.journal.push(JournalRecord {
             submitted_at: t,
@@ -593,12 +600,13 @@ impl MemoryController {
                 let r = self
                     .queues
                     .submit_plain(&mut self.device, NvmmTarget::Data(line), t);
+                stats.wear_line_writes += 1;
+                self.wear.record(NvmmTarget::Data(line));
                 if r.coalesced {
                     stats.coalesced_data_writes += 1;
                 } else {
                     stats.nvmm_data_writes += 1;
                     stats.bytes_written += 64;
-                    *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
                 }
                 self.journal.push(JournalRecord {
                     submitted_at: t,
@@ -623,12 +631,13 @@ impl MemoryController {
                 let r = self
                     .queues
                     .submit_plain(&mut self.device, NvmmTarget::Data(line), t_enc);
+                stats.wear_line_writes += 1;
+                self.wear.record(NvmmTarget::Data(line)); // widened line
                 if r.coalesced {
                     stats.coalesced_data_writes += 1;
                 } else {
                     stats.nvmm_data_writes += 1;
                     stats.bytes_written += 72;
-                    *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1; // widened line
                 }
                 self.journal.push(JournalRecord {
                     submitted_at: t_enc,
@@ -717,7 +726,10 @@ impl MemoryController {
             }
             stats.nvmm_data_writes += 1;
             stats.bytes_written += 64;
-            *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
+            stats.wear_line_writes += 1;
+            self.wear.record(NvmmTarget::Data(line));
+            stats.wear_line_writes += 1;
+            self.wear.record(counter_target);
             if r.counter_coalesced {
                 if packed {
                     stats.coalesced_packed_meta_writes += 1;
@@ -727,11 +739,9 @@ impl MemoryController {
             } else if packed {
                 stats.nvmm_packed_meta_writes += 1;
                 stats.bytes_written += self.counter_line_cost(cline) + 64;
-                *self.wear.entry(counter_target).or_default() += 1;
             } else {
                 stats.nvmm_counter_writes += 1;
                 stats.bytes_written += self.counter_line_cost(cline);
-                *self.wear.entry(NvmmTarget::Counter(cline)).or_default() += 1;
             }
             // The pair persisted this counter line's current snapshot;
             // the cached copy is clean.
@@ -947,12 +957,13 @@ impl MemoryController {
             let r = self
                 .queues
                 .submit_plain(&mut self.device, NvmmTarget::Data(line), t_enq);
+            stats.wear_line_writes += 1;
+            self.wear.record(NvmmTarget::Data(line));
             if r.coalesced {
                 stats.coalesced_data_writes += 1;
             } else {
                 stats.nvmm_data_writes += 1;
                 stats.bytes_written += 64;
-                *self.wear.entry(NvmmTarget::Data(line)).or_default() += 1;
             }
             if let Some(cache) = self.counter_cache.as_mut() {
                 cache.get_mut(&cline, true);
@@ -1103,7 +1114,7 @@ impl MemoryController {
     /// Per-target NVMM write counts (for the shard layer's exact wear
     /// merge — tree nodes may be written from several shards).
     pub(crate) fn wear(&self) -> &FxHashMap<NvmmTarget, u64> {
-        &self.wear
+        self.wear.counts()
     }
 
     /// Removes the first `n` journal records. The shard layer calls this

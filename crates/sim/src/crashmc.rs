@@ -505,6 +505,32 @@ impl CrashSet {
         self.image(&LandMask::zeros(self.groups))
     }
 
+    /// Judges `mask`'s legal post-crash image as a *wholesale replay*
+    /// against the freshness anchor `fresh` — the adversary who
+    /// recorded this legal crash image off the bus and splices it back
+    /// after the run moved on. Every mask this set admits is an image
+    /// ADR could really have left, so a freshness-anchored policy must
+    /// return [`Detected`](crate::integrity::AttackVerdict::Detected)
+    /// for each of them once the current state has advanced past
+    /// `crash_time` (the adversary-engine tests sweep this over the
+    /// enumeration).
+    pub fn replay_verdict(
+        &self,
+        mask: &LandMask,
+        spec: crate::integrity::IntegritySpec,
+        engine: &nvmm_crypto::engine::EncryptionEngine,
+        mac_engine: &nvmm_crypto::mac::MacEngine,
+        fresh: &crate::integrity::FreshnessRef,
+    ) -> crate::integrity::AttackVerdict {
+        crate::integrity::verify_image_attack_with(
+            &self.image(mask),
+            spec,
+            engine,
+            mac_engine,
+            fresh,
+        )
+    }
+
     /// The cut schedule `opts` prescribes: every legal prefix
     /// combination in odometer order (domain 0 fastest) when the space
     /// fits the cap, else the two corners followed by the seeded
@@ -968,6 +994,67 @@ mod tests {
                 "all-miss mask must reproduce the single filtered journal at {t}"
             );
         }
+    }
+
+    /// The replay adversary gets to pick *any* legal crash image off
+    /// the enumeration, not just the ADR baseline. Under a
+    /// freshness-anchored policy, every such image whose counter
+    /// region lags the completed run must come back `Detected` when
+    /// replayed against the final freshness reference.
+    #[test]
+    fn enumerated_crash_images_replayed_after_the_run_are_caught() {
+        use crate::config::IntegrityPolicy;
+        use crate::integrity::{FreshnessRef, IntegritySpec};
+        use nvmm_crypto::engine::EncryptionEngine;
+        use nvmm_crypto::mac::MacEngine;
+
+        let cfg = SimConfig::single_core(Design::Sca).with_integrity(IntegrityPolicy::Lazy);
+        let mut c = MemoryController::new(&cfg);
+        let mut s = Stats::new(1);
+        for round in 0..2u64 {
+            for i in 0..4u64 {
+                c.writeback(
+                    LineAddr(i),
+                    [(1 + round * 4 + i) as u8; 64],
+                    true,
+                    Time::from_ns(round * 1_000 + i * 50),
+                    &mut s,
+                );
+            }
+        }
+        let full = c.build_image(None);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Lazy,
+            levels: cfg.tree_levels,
+        };
+        let fresh = FreshnessRef::capture(&full, spec);
+        let counter_region = |img: &NvmmImage| {
+            let mut v: Vec<_> = img
+                .counter_lines()
+                .map(|(a, l)| (a, l.to_bytes()))
+                .collect();
+            v.sort_unstable_by_key(|&(a, _)| a);
+            v
+        };
+        let full_counters = counter_region(&full);
+        let engine = EncryptionEngine::new(cfg.key);
+        let mac_engine = MacEngine::new(cfg.key);
+        let mut stale_caught = 0u64;
+        for t in probe_times(3_000) {
+            let set = c.crash_set(t);
+            for (mask, img) in set.enumerate(EnumOpts::default()).images {
+                let v = set.replay_verdict(&mask, spec, &engine, &mac_engine, &fresh);
+                if counter_region(&img) != full_counters {
+                    assert!(
+                        v.detected(),
+                        "stale legal image at {t}, mask {:?}, escaped the root check",
+                        mask.landed()
+                    );
+                    stale_caught += 1;
+                }
+            }
+        }
+        assert!(stale_caught > 0, "sweep never produced a stale legal image");
     }
 
     #[test]

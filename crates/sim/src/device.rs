@@ -20,6 +20,8 @@
 use crate::addr::NvmmTarget;
 use crate::config::{PcmTiming, SimConfig};
 use crate::time::Time;
+use fxhash::FxHashMap;
+use nvmm_json::{field, FromJson, FromJsonError, Json, ToJson};
 
 /// Kind of device access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +114,159 @@ impl PcmDevice {
             .copied()
             .max()
             .unwrap_or(Time::ZERO)
+    }
+}
+
+/// Per-line wear accounting for the PCM array.
+///
+/// PCM cells endure a bounded number of SET/RESET cycles (~10⁷–10⁹);
+/// a controller's write *placement* therefore matters as much as its
+/// write *count*. The tracker records every line-write *request* at
+/// line granularity across all regions (data, counter, MAC, tree,
+/// packed metadata) — including requests the write queues later
+/// coalesce — so counter-write-heavy integrity policies expose their
+/// lifetime cost, not just their bandwidth cost, and the tally stays
+/// identical across shard and thread counts.
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    counts: FxHashMap<NvmmTarget, u64>,
+    total: u64,
+}
+
+impl WearTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one array write to `target`.
+    pub fn record(&mut self, target: NvmmTarget) {
+        *self.counts.entry(target).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Per-target write counts (all regions).
+    pub fn counts(&self) -> &FxHashMap<NvmmTarget, u64> {
+        &self.counts
+    }
+
+    /// Number of distinct lines ever written.
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Writes absorbed by the most-written line.
+    pub fn max(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total array writes across all lines.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Summarizes wear at the given cell endurance.
+    pub fn report(&self, cell_endurance: u64) -> WearReport {
+        WearReport::from_counts(self.counts.values().copied(), cell_endurance)
+    }
+}
+
+/// A deterministic wear/endurance summary of one run.
+///
+/// Produced by [`WearTracker::report`] (or merged across shards by
+/// `ShardedController::wear_report`). Every field is a pure function of
+/// the per-line write counts, so the report is byte-identical across
+/// thread and shard counts whenever the write stream is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WearReport {
+    /// Distinct lines written, across every region.
+    pub distinct_lines: u64,
+    /// Total array writes.
+    pub total_writes: u64,
+    /// Writes absorbed by the hottest line.
+    pub max_line_writes: u64,
+    /// Mean writes per written line, in thousandths (milli-writes), so
+    /// the artifact stays integer-exact across platforms.
+    pub mean_line_writes_milli: u64,
+    /// Hottest-line histogram: `histogram[i]` counts lines whose write
+    /// count falls in `[2^i, 2^(i+1))`. Trimmed to the last non-empty
+    /// bucket.
+    pub histogram: Vec<u64>,
+    /// The cell endurance (writes per cell) the lifetime estimate uses.
+    pub cell_endurance: u64,
+    /// Lifetime estimate: how many times this workload could repeat
+    /// before the hottest line exceeds `cell_endurance` (without wear
+    /// leveling). `cell_endurance` itself when nothing was written.
+    pub lifetime_runs: u64,
+}
+
+impl WearReport {
+    /// Builds a report from raw per-line write counts.
+    pub fn from_counts(counts: impl Iterator<Item = u64>, cell_endurance: u64) -> Self {
+        let mut distinct = 0u64;
+        let mut total = 0u64;
+        let mut max = 0u64;
+        let mut histogram: Vec<u64> = Vec::new();
+        for c in counts {
+            if c == 0 {
+                continue;
+            }
+            distinct += 1;
+            total += c;
+            max = max.max(c);
+            let bucket = 63 - c.leading_zeros() as usize; // floor(log2(c))
+            if histogram.len() <= bucket {
+                histogram.resize(bucket + 1, 0);
+            }
+            histogram[bucket] += 1;
+        }
+        let mean_milli = total
+            .saturating_mul(1000)
+            .checked_div(distinct)
+            .unwrap_or(0);
+        Self {
+            distinct_lines: distinct,
+            total_writes: total,
+            max_line_writes: max,
+            mean_line_writes_milli: mean_milli,
+            histogram,
+            cell_endurance,
+            lifetime_runs: cell_endurance / max.max(1),
+        }
+    }
+}
+
+impl ToJson for WearReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("distinct_lines".to_string(), self.distinct_lines.to_json()),
+            ("total_writes".to_string(), self.total_writes.to_json()),
+            (
+                "max_line_writes".to_string(),
+                self.max_line_writes.to_json(),
+            ),
+            (
+                "mean_line_writes_milli".to_string(),
+                self.mean_line_writes_milli.to_json(),
+            ),
+            ("histogram".to_string(), self.histogram.to_json()),
+            ("cell_endurance".to_string(), self.cell_endurance.to_json()),
+            ("lifetime_runs".to_string(), self.lifetime_runs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WearReport {
+    fn from_json(json: &Json) -> Result<Self, FromJsonError> {
+        Ok(Self {
+            distinct_lines: field(json, "distinct_lines")?,
+            total_writes: field(json, "total_writes")?,
+            max_line_writes: field(json, "max_line_writes")?,
+            mean_line_writes_milli: field(json, "mean_line_writes_milli")?,
+            histogram: field(json, "histogram")?,
+            cell_endurance: field(json, "cell_endurance")?,
+            lifetime_runs: field(json, "lifetime_runs")?,
+        })
     }
 }
 
@@ -214,5 +369,49 @@ mod tests {
             d.schedule(data(0), AccessKind::Write, Time::ZERO);
         }
         assert_eq!(d.write_horizon(), Time::from_ns(16 * 313));
+    }
+
+    #[test]
+    fn wear_tracker_counts_and_summarizes() {
+        let mut w = WearTracker::new();
+        for _ in 0..5 {
+            w.record(data(0));
+        }
+        w.record(data(1));
+        assert_eq!(w.distinct(), 2);
+        assert_eq!(w.max(), 5);
+        assert_eq!(w.total(), 6);
+        let r = w.report(100);
+        assert_eq!(r.distinct_lines, 2);
+        assert_eq!(r.total_writes, 6);
+        assert_eq!(r.max_line_writes, 5);
+        assert_eq!(r.mean_line_writes_milli, 3000);
+        // 1 line in [1,2), 1 line in [4,8).
+        assert_eq!(r.histogram, vec![1, 0, 1]);
+        assert_eq!(r.lifetime_runs, 20);
+    }
+
+    #[test]
+    fn wear_report_of_empty_tracker_is_inert() {
+        let r = WearTracker::new().report(1_000);
+        assert_eq!(r.distinct_lines, 0);
+        assert_eq!(r.max_line_writes, 0);
+        assert_eq!(r.mean_line_writes_milli, 0);
+        assert!(r.histogram.is_empty());
+        assert_eq!(r.lifetime_runs, 1_000);
+    }
+
+    #[test]
+    fn wear_report_json_round_trips() {
+        use nvmm_json::{FromJson, ToJson};
+        let mut w = WearTracker::new();
+        for i in 0..20 {
+            for _ in 0..=(i % 7) {
+                w.record(data(i));
+            }
+        }
+        let r = w.report(100_000_000);
+        let back = WearReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
     }
 }

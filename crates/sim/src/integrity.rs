@@ -611,6 +611,224 @@ pub fn verify_image_with(
     Ok(())
 }
 
+/// The verdict of the adversary oracle ([`verify_image_attack`]) on an
+/// attacked post-crash image: either some policy mechanism flagged the
+/// tampering (with a human-readable blame trail), or the image passed
+/// every check the policy performs — the attack succeeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackVerdict {
+    /// The policy caught the tampering; `blame` names the mechanism
+    /// and the first witnessing line/node.
+    Detected {
+        /// Which check fired and on what address.
+        blame: String,
+    },
+    /// Every check the policy performs passed: the adversary wins.
+    Undetected,
+}
+
+impl AttackVerdict {
+    /// Whether the tampering was caught.
+    pub fn detected(&self) -> bool {
+        matches!(self, AttackVerdict::Detected { .. })
+    }
+
+    /// The blame trail, when detected.
+    pub fn blame(&self) -> Option<&str> {
+        match self {
+            AttackVerdict::Detected { blame } => Some(blame),
+            AttackVerdict::Undetected => None,
+        }
+    }
+}
+
+/// Per-counter-line latest persisted phoenix epoch summary sequence
+/// numbers in `img` (each summary node overwrites its predecessor, so
+/// the persisted node *is* the latest).
+fn phoenix_seq_map(img: &NvmmImage) -> FxHashMap<CounterLineAddr, u64> {
+    let mut seqs: FxHashMap<CounterLineAddr, u64> = FxHashMap::default();
+    for (node, digests) in img.tree_nodes() {
+        if let Some((cline, _claim, seq)) = decode_phoenix_summary(node, &digests) {
+            let e = seqs.entry(cline).or_insert(0);
+            *e = (*e).max(seq);
+        }
+    }
+    seqs
+}
+
+/// Non-wrapping sum of every counter persisted in `img`'s counter
+/// region — the quantity the co-located policy's freshness register
+/// tracks. Each write bumps exactly one counter, so the sum is
+/// strictly monotone run-forward; `u128` keeps it exact.
+fn image_counter_sum(img: &NvmmImage) -> u128 {
+    let mut sum = 0u128;
+    for (_, counters) in img.counter_lines() {
+        for slot in 0..TREE_ARITY {
+            sum += counters.get(slot).0 as u128;
+        }
+    }
+    sum
+}
+
+/// The freshness anchor a policy consults *in addition to* the
+/// in-image checks when judging a suspect image: the model of the
+/// small on-chip non-volatile state real designs reserve exactly so
+/// replay has something to contradict.
+///
+/// * `root` — the tree root over the honest image's counter region
+///   (the NV root register of lazy/strict/pipelined designs).
+/// * `phoenix_seqs` — per counter line, the latest epoch-summary
+///   sequence number the honest image persisted (the monotone epoch
+///   counter phoenix recovery audits against).
+/// * `counter_sum` — the non-wrapping sum of all persisted counters
+///   (the co-located design's monotone write-counter register).
+///
+/// `mac-only` deliberately captures nothing beyond what the image
+/// itself carries — that *absence* of a freshness root is the
+/// vulnerability the detection matrix demonstrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreshnessRef {
+    root: DigestLine,
+    phoenix_seqs: Vec<(CounterLineAddr, u64)>,
+    counter_sum: u128,
+}
+
+impl FreshnessRef {
+    /// Captures the anchor from an honest (trusted) image — in the
+    /// attack pipeline, the *latest* crash-free snapshot the adversary
+    /// tampers with.
+    pub fn capture(img: &NvmmImage, spec: IntegritySpec) -> Self {
+        let root = if spec.policy.has_tree() {
+            rebuild_tree(img, spec.levels).0
+        } else {
+            DigestLine::new()
+        };
+        let mut phoenix_seqs: Vec<(CounterLineAddr, u64)> = if spec.policy.phoenix() {
+            phoenix_seq_map(img).into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        phoenix_seqs.sort_unstable_by_key(|&(cline, _)| cline);
+        Self {
+            root,
+            phoenix_seqs,
+            counter_sum: image_counter_sum(img),
+        }
+    }
+}
+
+/// The adversary oracle: judges a (possibly tampered) post-crash image
+/// against both the in-image invariants ([`verify_image`]) and the
+/// policy's freshness anchor `fresh`. See [`verify_image_attack_with`]
+/// for the per-policy check order.
+pub fn verify_image_attack(
+    img: &NvmmImage,
+    spec: IntegritySpec,
+    key: [u8; 16],
+    fresh: &FreshnessRef,
+) -> AttackVerdict {
+    verify_image_attack_with(
+        img,
+        spec,
+        &EncryptionEngine::new(key),
+        &MacEngine::new(key),
+        fresh,
+    )
+}
+
+/// [`verify_image_attack`] with caller-supplied engines (the detection
+/// matrix judges dozens of attacked images under one key).
+///
+/// Check order:
+///
+/// 1. **In-image invariants** — [`verify_image_with`]: MAC mismatches
+///    (torn writes, split replays, any incoherent splice), tree
+///    parent/child ordering (strict, pipelined), stale phoenix epoch
+///    claims. Any error is a detection; its message is the blame.
+/// 2. **Freshness** — policy-specific comparison against `fresh`:
+///    * lazy/strict/pipelined: the root rebuilt from the image's
+///      counter region must equal the NV root register;
+///    * phoenix: no counter line's latest persisted summary sequence
+///      may regress below the register's;
+///    * colocated: the persisted counter sum may not fall behind the
+///      monotone write-counter register;
+///    * mac-only: **no freshness check exists** — a coherent stale
+///      image sails through, which is the point.
+///
+/// An honest image judged against its own [`FreshnessRef`] is always
+/// [`AttackVerdict::Undetected`] (no false positives); the soundness
+/// proptest pins this down across policies and crash times.
+pub fn verify_image_attack_with(
+    img: &NvmmImage,
+    spec: IntegritySpec,
+    engine: &EncryptionEngine,
+    mac_engine: &MacEngine,
+    fresh: &FreshnessRef,
+) -> AttackVerdict {
+    if !spec.policy.enabled() {
+        return AttackVerdict::Undetected;
+    }
+    if let Err(blame) = verify_image_with(img, spec, engine, mac_engine) {
+        return AttackVerdict::Detected { blame };
+    }
+    if spec.policy.phoenix() {
+        let got = phoenix_seq_map(img);
+        for &(cline, want) in &fresh.phoenix_seqs {
+            let seen = got.get(&cline).copied().unwrap_or(0);
+            if seen < want {
+                return AttackVerdict::Detected {
+                    blame: format!(
+                        "epoch regression: {cline}'s latest persisted summary is #{seen}, \
+                         but the recovery register recorded #{want}"
+                    ),
+                };
+            }
+        }
+    } else if spec.policy.has_tree() {
+        let (root, _) = rebuild_tree(img, spec.levels);
+        if root != fresh.root {
+            return AttackVerdict::Detected {
+                blame: "root freshness: the root rebuilt from the persisted counter \
+                        region does not match the NV root register (replayed or \
+                        rolled-back counters)"
+                    .to_string(),
+            };
+        }
+    } else if spec.policy.packed_meta() {
+        let got = image_counter_sum(img);
+        if got < fresh.counter_sum {
+            return AttackVerdict::Detected {
+                blame: format!(
+                    "counter rollback: persisted counter sum {got:#x} fell behind \
+                     the monotone write-counter register's {:#x}",
+                    fresh.counter_sum
+                ),
+            };
+        }
+    }
+    AttackVerdict::Undetected
+}
+
+/// Boot-time recovery cost of `spec`'s policy on `img`, in tree nodes
+/// materialized before the system can serve verified reads:
+///
+/// * **phoenix** — the full interior set ([`reconstruct_tree`]): the
+///   tree is never persisted, so recovery rebuilds all of it.
+/// * **lazy** — the same bottom-up rebuild ([`rebuild_tree`]): stale
+///   persisted interiors can't be trusted after a crash.
+/// * **strict/pipelined** — `0`: every persisted node verified against
+///   its children already; the tree is usable as-is.
+/// * **mac-only/colocated/none** — `0`: there is no tree.
+pub fn recovery_cost(img: &NvmmImage, spec: IntegritySpec) -> u64 {
+    if spec.policy.phoenix() {
+        reconstruct_tree(img, spec.levels).len() as u64
+    } else if spec.policy.has_tree() && !spec.policy.persists_path_in_pair() {
+        rebuild_tree(img, spec.levels).1 as u64
+    } else {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -939,5 +1157,129 @@ mod tests {
             levels: 0,
         };
         assert!(verify_image(&img, spec, key).is_ok());
+    }
+
+    /// A small counter-region image: `pairs` of (counter line, slot,
+    /// counter value).
+    fn counter_image(pairs: &[(u64, usize, u64)]) -> NvmmImage {
+        let mut img = NvmmImage::new();
+        let mut lines: FxHashMap<u64, CounterLine> = FxHashMap::default();
+        for &(cline, slot, value) in pairs {
+            lines.entry(cline).or_default().set(slot, Counter(value));
+        }
+        for (cline, cl) in lines {
+            img.write_counter_line(CounterLineAddr(cline), cl);
+        }
+        img
+    }
+
+    #[test]
+    fn honest_image_matches_its_own_freshness_ref() {
+        let img = counter_image(&[(0, 0, 3), (5, 2, 7)]);
+        for policy in IntegrityPolicy::ALL {
+            let spec = IntegritySpec { policy, levels: 4 };
+            let fresh = FreshnessRef::capture(&img, spec);
+            assert_eq!(
+                verify_image_attack(&img, spec, [0; 16], &fresh),
+                AttackVerdict::Undetected,
+                "false positive under {policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_policies_detect_counter_rollback_via_root_register() {
+        let latest = counter_image(&[(0, 0, 3)]);
+        let stale = counter_image(&[(0, 0, 2)]);
+        for policy in [
+            IntegrityPolicy::Lazy,
+            IntegrityPolicy::Strict,
+            IntegrityPolicy::Pipelined,
+        ] {
+            let spec = IntegritySpec { policy, levels: 4 };
+            let fresh = FreshnessRef::capture(&latest, spec);
+            let v = verify_image_attack(&stale, spec, [0; 16], &fresh);
+            assert!(v.detected(), "{policy} missed the rollback");
+            assert!(v.blame().unwrap().contains("root"), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn mac_only_has_no_freshness_anchor() {
+        let latest = counter_image(&[(0, 0, 3)]);
+        let stale = counter_image(&[(0, 0, 2)]);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::MacOnly,
+            levels: 0,
+        };
+        let fresh = FreshnessRef::capture(&latest, spec);
+        assert_eq!(
+            verify_image_attack(&stale, spec, [0; 16], &fresh),
+            AttackVerdict::Undetected,
+            "a coherent stale image must sail past mac-only"
+        );
+    }
+
+    #[test]
+    fn phoenix_detects_epoch_sequence_regression() {
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Phoenix,
+            levels: 4,
+        };
+        let mut cl = CounterLine::new();
+        cl.set(0, Counter(4));
+        let mut latest = NvmmImage::new();
+        latest.write_counter_line(CounterLineAddr(0), cl);
+        let (node, d) = phoenix_summary(CounterLineAddr(0), &cl, 2);
+        latest.write_tree_node(node, d);
+        let fresh = FreshnessRef::capture(&latest, spec);
+        // The stale image is internally consistent (its summary #1
+        // claims a sum its counters reach) — only the register's
+        // sequence number exposes the replay.
+        let mut old = CounterLine::new();
+        old.set(0, Counter(2));
+        let mut stale = NvmmImage::new();
+        stale.write_counter_line(CounterLineAddr(0), old);
+        let (node, d) = phoenix_summary(CounterLineAddr(0), &old, 1);
+        stale.write_tree_node(node, d);
+        assert!(verify_image(&stale, spec, [0; 16]).is_ok());
+        let v = verify_image_attack(&stale, spec, [0; 16], &fresh);
+        assert!(v.detected());
+        assert!(v.blame().unwrap().contains("epoch regression"), "{v:?}");
+    }
+
+    #[test]
+    fn colocated_detects_rollback_via_counter_sum_register() {
+        let latest = counter_image(&[(0, 0, 3), (1, 4, 6)]);
+        let stale = counter_image(&[(0, 0, 3), (1, 4, 5)]);
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Colocated,
+            levels: 0,
+        };
+        let fresh = FreshnessRef::capture(&latest, spec);
+        let v = verify_image_attack(&stale, spec, [0; 16], &fresh);
+        assert!(v.detected());
+        assert!(v.blame().unwrap().contains("counter rollback"), "{v:?}");
+    }
+
+    #[test]
+    fn recovery_cost_prices_phoenix_and_lazy_rebuilds() {
+        let img = counter_image(&[(0, 0, 3), (9, 1, 2), (70, 2, 8)]);
+        let at = |policy| recovery_cost(&img, IntegritySpec { policy, levels: 4 });
+        let phoenix = at(IntegrityPolicy::Phoenix);
+        let lazy = at(IntegrityPolicy::Lazy);
+        assert_eq!(phoenix, reconstruct_tree(&img, 4).len() as u64);
+        assert_eq!(lazy, rebuild_tree(&img, 4).1 as u64);
+        assert_eq!(phoenix, lazy, "same interior set, different trust model");
+        assert!(phoenix > 0);
+        for free in [
+            IntegrityPolicy::Strict,
+            IntegrityPolicy::Pipelined,
+            IntegrityPolicy::MacOnly,
+            IntegrityPolicy::Colocated,
+            IntegrityPolicy::None,
+        ] {
+            assert_eq!(at(free), 0, "{free} pays no rebuild at boot");
+        }
     }
 }

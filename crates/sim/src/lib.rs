@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod attack;
 pub mod cache;
 pub mod config;
 pub mod controller;
@@ -72,9 +73,17 @@ pub mod trace;
 pub mod wq;
 
 pub use addr::{ByteAddr, CounterLineAddr, LineAddr, MacLineAddr, ShardMap, TreeNodeAddr};
+pub use attack::{
+    expected_vulnerable, run_detection_row, snapshot_pair, synthesize, victim_lines, AttackKind,
+    AttackOutcome, MatrixCell, SnapshotPair,
+};
 pub use config::{Design, IntegrityPolicy, SimConfig};
 pub use crashmc::{CrashSet, EnumOpts, EnumStats, Enumeration, LandMask};
-pub use integrity::{rebuild_tree, verify_image, verify_image_with, DigestLine, IntegritySpec};
+pub use device::{WearReport, WearTracker};
+pub use integrity::{
+    rebuild_tree, recovery_cost, verify_image, verify_image_attack, verify_image_attack_with,
+    verify_image_with, AttackVerdict, DigestLine, FreshnessRef, IntegritySpec,
+};
 pub use nvmm::{LineRead, NvmmImage};
 pub use parallel::{mc_threads, run_parallel};
 pub use shard::ShardedController;

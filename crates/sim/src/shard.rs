@@ -39,6 +39,7 @@ use crate::addr::{LineAddr, NvmmTarget, ShardMap};
 use crate::config::{CacheGeometry, Design, SimConfig};
 use crate::controller::{JournalRecord, MemoryController};
 use crate::crashmc::CrashSet;
+use crate::device::WearReport;
 use crate::nvmm::NvmmImage;
 use crate::stats::Stats;
 use crate::time::Time;
@@ -184,6 +185,23 @@ impl ShardedController {
         let distinct = merged.len() as u64;
         let max = merged.values().copied().max().unwrap_or(0);
         (distinct, max)
+    }
+
+    /// Full wear/endurance report over all shards at the given cell
+    /// endurance. Like [`ShardedController::wear_summary`], per-target
+    /// counts are merged exactly across shards first, so the report is
+    /// identical at any shard count for the same write stream.
+    pub fn wear_report(&self, cell_endurance: u64) -> WearReport {
+        if self.shards.len() == 1 {
+            return self.shards[0].wear_report(cell_endurance);
+        }
+        let mut merged: FxHashMap<NvmmTarget, u64> = FxHashMap::default();
+        for ctl in &self.shards {
+            for (target, count) in ctl.wear() {
+                *merged.entry(*target).or_insert(0) += count;
+            }
+        }
+        WearReport::from_counts(merged.values().copied(), cell_endurance)
     }
 
     /// Total journaled NVMM writes, including compacted records.

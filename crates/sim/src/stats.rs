@@ -98,6 +98,16 @@ pub struct Stats {
     pub coalesced_packed_meta_writes: u64,
     /// Phoenix epoch summaries persisted inside counter-atomic pairs.
     pub phoenix_epoch_writes: u64,
+    /// Line-write *requests* charged to the wear tracker — one per
+    /// architectural NVMM write across every region, counting writes
+    /// the queues later coalesce (always equals [`Stats::nvmm_writes`]
+    /// plus [`Stats::coalesced_writes`]). Counting requests rather
+    /// than drains keeps wear a conserved quantity — identical across
+    /// shard and thread counts — and makes the lifetime estimate
+    /// conservative: a cell's endurance budget should not depend on
+    /// queue-drain timing. Kept as a live counter so telemetry can
+    /// expose a per-epoch wear series.
+    pub wear_line_writes: u64,
 }
 
 impl Stats {
@@ -128,6 +138,17 @@ impl Stats {
             + self.nvmm_packed_meta_writes
     }
 
+    /// Write-queue entries that merged into an existing same-line
+    /// entry instead of costing a fresh drain, across every region.
+    /// `nvmm_writes() + coalesced_writes()` is the conserved
+    /// request-level write count the wear tracker charges.
+    pub fn coalesced_writes(&self) -> u64 {
+        self.coalesced_data_writes
+            + self.coalesced_counter_writes
+            + self.coalesced_metadata_writes
+            + self.coalesced_packed_meta_writes
+    }
+
     /// Metadata write amplification: counter + MAC/tree + packed
     /// metadata writes per data write (0.0 for a run with no data
     /// writes). A packed counter+MAC line counts once — that is the
@@ -140,6 +161,16 @@ impl Stats {
                 as f64
                 / self.nvmm_data_writes as f64
         }
+    }
+
+    /// Mean array writes per distinct written line in thousandths
+    /// (milli-writes), or 0 for a run with no writes — the flip side of
+    /// `max_line_writes` for wear-leveling headroom.
+    pub fn mean_line_writes_milli(&self) -> u64 {
+        self.wear_line_writes
+            .saturating_mul(1000)
+            .checked_div(self.distinct_lines_written)
+            .unwrap_or(0)
     }
 
     /// Transactions per simulated second; 0.0 for a zero-length run.
@@ -324,7 +355,8 @@ macro_rules! stats_u64_fields {
             root_update_overlaps,
             nvmm_packed_meta_writes,
             coalesced_packed_meta_writes,
-            phoenix_epoch_writes
+            phoenix_epoch_writes,
+            wear_line_writes
         );
     };
 }
@@ -404,6 +436,17 @@ mod tests {
         };
         assert!((s.throughput_tps() - 500_000.0).abs() / 500_000.0 < 1e-9);
         assert_eq!(Stats::default().throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn mean_line_writes_handles_zero_and_rounds_down() {
+        assert_eq!(Stats::default().mean_line_writes_milli(), 0);
+        let s = Stats {
+            wear_line_writes: 7,
+            distinct_lines_written: 2,
+            ..Stats::default()
+        };
+        assert_eq!(s.mean_line_writes_milli(), 3500);
     }
 
     #[test]
@@ -513,6 +556,7 @@ mod tests {
             nvmm_packed_meta_writes: 33,
             coalesced_packed_meta_writes: 34,
             phoenix_epoch_writes: 35,
+            wear_line_writes: 36,
         };
         let back = Stats::from_json(&Json::parse(&s.to_json().to_compact()).unwrap()).unwrap();
         assert_eq!(back, s);

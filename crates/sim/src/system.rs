@@ -18,6 +18,7 @@ use crate::addr::LineAddr;
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
 use crate::crashmc::CrashSet;
+use crate::device::WearReport;
 use crate::nvmm::NvmmImage;
 use crate::shard::ShardedController;
 use crate::stats::{LatencyHist, Stats};
@@ -70,6 +71,9 @@ pub struct RunOutcome {
     /// at least one core executed a [`TraceEvent::WaitUntil`] arrival
     /// gate and then committed a transaction (open-loop replay).
     pub latency: Option<LatencyHist>,
+    /// Per-line wear/endurance report over all shards, at the
+    /// configured [`SimConfig::cell_endurance`].
+    pub wear: WearReport,
 }
 
 /// A cached data line: payload plus the counter-atomic annotation of the
@@ -263,6 +267,7 @@ impl System {
             .take()
             .map(|s| s.finish(self.stats.runtime, &self.stats, &self.controller));
         let latency = (self.latency.count() > 0).then_some(self.latency);
+        let wear = self.controller.wear_report(self.cfg.cell_endurance);
         let outcome = RunOutcome {
             stats: self.stats,
             image,
@@ -272,6 +277,7 @@ impl System {
             events_processed: self.events_processed,
             timeline,
             latency,
+            wear,
         };
         (outcome, self.controller)
     }

@@ -45,7 +45,8 @@ macro_rules! epoch_delta_fields {
             counter_cache_evictions,
             counter_cache_writebacks,
             nvmm_metadata_writes,
-            bytes_written
+            bytes_written,
+            wear_line_writes
         );
     };
 }
@@ -83,6 +84,9 @@ pub struct EpochSample {
     pub nvmm_metadata_writes: u64,
     /// Bytes written to NVMM during the epoch.
     pub bytes_written: u64,
+    /// Array writes charged to the wear tracker during the epoch (all
+    /// regions) — the time-resolved wear series.
+    pub wear_line_writes: u64,
 }
 
 impl EpochSample {
@@ -218,6 +222,7 @@ struct Baseline {
     counter_cache_writebacks: u64,
     nvmm_metadata_writes: u64,
     bytes_written: u64,
+    wear_line_writes: u64,
 }
 
 impl Baseline {
@@ -426,6 +431,16 @@ mod tests {
                 "{design:?}"
             );
             assert_eq!(tl.total(|e| e.bytes_written), s.bytes_written, "{design:?}");
+            assert_eq!(
+                tl.total(|e| e.wear_line_writes),
+                s.wear_line_writes,
+                "{design:?}"
+            );
+            assert_eq!(
+                s.wear_line_writes,
+                s.nvmm_writes() + s.coalesced_writes(),
+                "every NVMM write request is charged to the wear tracker ({design:?})"
+            );
         }
     }
 

@@ -140,6 +140,54 @@ fn sharded_telemetry_reconciles_with_final_stats() {
     );
 }
 
+/// Wear is conserved work, not timing: the per-line write counts a
+/// sharded run accumulates across its controllers must merge to
+/// exactly the shards=1 report — distinct lines, totals, maximum,
+/// histogram, everything.
+#[test]
+fn sharded_wear_reports_reconcile_with_single_shard_baseline() {
+    let cores = 4;
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(6);
+    let run = |shards: usize| {
+        let cfg = SimConfig::table2(Design::Sca, cores).with_shards(shards);
+        System::new(cfg, traces_for_cores(&spec, cores)).run(CrashSpec::None)
+    };
+    let base = run(1);
+    assert!(base.wear.distinct_lines > 0, "workload must touch NVMM");
+    assert_eq!(
+        base.wear.total_writes,
+        base.stats.nvmm_writes() + base.stats.coalesced_writes(),
+        "wear totals must account for every NVMM write request"
+    );
+    assert_eq!(
+        base.stats.wear_line_writes,
+        base.stats.nvmm_writes() + base.stats.coalesced_writes()
+    );
+    for shards in [2, 4] {
+        let out = run(shards);
+        assert_eq!(
+            out.wear, base.wear,
+            "shards={shards} changed the merged wear report"
+        );
+    }
+}
+
+/// The time-resolved wear series is exhaustive: per-epoch
+/// `wear_line_writes` deltas sum to the final merged counter, so no
+/// shard's device writes escape the sampler.
+#[test]
+fn sharded_wear_telemetry_reconciles_with_final_stats() {
+    let cores = 4;
+    let spec = WorkloadSpec::smoke(WorkloadKind::Queue).with_ops(6);
+    let mut cfg = SimConfig::table2(Design::Sca, cores).with_shards(4);
+    cfg.telemetry_epoch = Some(Time::from_ns(500));
+    let out = System::new(cfg, traces_for_cores(&spec, cores)).run(CrashSpec::None);
+    let timeline = out.timeline.expect("telemetry was enabled");
+    let series: u64 = timeline.epochs.iter().map(|e| e.wear_line_writes).sum();
+    assert_eq!(series, out.stats.wear_line_writes);
+    assert_eq!(series, out.wear.total_writes);
+}
+
 fn opts(max_images: usize) -> ModelCheckOpts {
     ModelCheckOpts {
         max_images,
