@@ -71,6 +71,18 @@ pub fn mc_threads() -> usize {
         .max(1)
 }
 
+/// The intra-run shard-worker count: `NVMM_SHARD_THREADS`, clamped to
+/// at least 1. Unlike [`mc_threads`], the default is **1** — the
+/// sequential replay path — so existing single-threaded runs are
+/// untouched unless the knob is set explicitly (or a bench pins the
+/// count via `System::with_shard_threads`). Deliberately *not* chained
+/// to `NVMM_THREADS`: sweep fan-out and intra-run workers multiply, so
+/// enabling both by default would oversubscribe the host. Results are
+/// bit-identical at any value (see `docs/ARCHITECTURE.md`).
+pub fn shard_threads() -> usize {
+    env_threads("NVMM_SHARD_THREADS").unwrap_or(1).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

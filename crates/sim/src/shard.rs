@@ -46,19 +46,27 @@ use crate::time::Time;
 use fxhash::FxHashMap;
 use nvmm_crypto::engine::EncryptionEngine;
 use nvmm_crypto::LineData;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// Divides a cache's capacity across `n` shards, keeping at least one
-/// full set per slice. With one shard the geometry is returned
-/// untouched, so the single-shard configuration is bit-identical to the
-/// pre-sharding pipeline.
-fn slice_geometry(g: CacheGeometry, n: usize) -> CacheGeometry {
+/// Divides a cache's capacity across `n` shards at set granularity,
+/// keeping at least one full set per slice. The split is exact: the
+/// `total_sets % n` remainder sets go to the low-index shards, so the
+/// per-shard capacities sum to the unsharded geometry's whole-set
+/// capacity for every shard count — including non-powers of two —
+/// whenever there are at least `n` sets to hand out. With one shard the
+/// geometry is returned untouched, so the single-shard configuration is
+/// bit-identical to the pre-sharding pipeline.
+fn slice_geometry(g: CacheGeometry, shard: usize, n: usize) -> CacheGeometry {
     if n == 1 {
         return g;
     }
     let set_bytes = g.ways as u64 * 64;
-    let per_shard = g.capacity_bytes / n as u64;
+    let total_sets = g.capacity_bytes / set_bytes;
+    let base = total_sets / n as u64;
+    let extra = ((shard as u64) < total_sets % n as u64) as u64;
     CacheGeometry {
-        capacity_bytes: (per_shard / set_bytes).max(1) * set_bytes,
+        capacity_bytes: (base + extra).max(1) * set_bytes,
         ..g
     }
 }
@@ -80,17 +88,17 @@ pub struct ShardedController {
 
 impl ShardedController {
     /// Builds `config.shards` controllers. The shared counter and
-    /// integrity-metadata caches are sliced evenly across shards (total
-    /// capacity preserved up to set-granularity rounding); queues,
-    /// banks, and the bus are per-channel resources and stay full-size
-    /// in every shard.
+    /// integrity-metadata caches are sliced across shards at set
+    /// granularity (total capacity preserved exactly — remainder sets
+    /// go to the low-index shards); queues, banks, and the bus are
+    /// per-channel resources and stay full-size in every shard.
     pub fn new(config: &SimConfig) -> Self {
         let map = ShardMap::new(config.shards);
         let shards = (0..config.shards)
             .map(|s| {
                 let mut cfg = config.clone();
-                cfg.counter_cache = slice_geometry(config.counter_cache, config.shards);
-                cfg.metadata_cache = slice_geometry(config.metadata_cache, config.shards);
+                cfg.counter_cache = slice_geometry(config.counter_cache, s, config.shards);
+                cfg.metadata_cache = slice_geometry(config.metadata_cache, s, config.shards);
                 MemoryController::new_shard(&cfg, s)
             })
             .collect();
@@ -216,24 +224,41 @@ impl ShardedController {
 
     /// Visits the live (un-compacted) journal in merged order: the
     /// k-way merge by `(submitted_at, shard_index)` described in the
-    /// module docs. Within a shard, records are visited in submission
-    /// order, so with one shard this is the identity traversal.
+    /// module docs, streamed through a [`BinaryHeap`] of per-shard
+    /// cursors — O(shards) state and O(log shards) per record, never
+    /// materializing the merged list. Within a shard, records are
+    /// visited in submission order, so with one shard this is the
+    /// identity traversal.
     fn for_each_merged(&self, mut f: impl FnMut(&JournalRecord)) {
         let mut cur: Vec<usize> = self.folded.clone();
-        loop {
-            let mut best: Option<(Time, usize)> = None;
-            for (s, ctl) in self.shards.iter().enumerate() {
-                if let Some(rec) = ctl.journal().get(cur[s]) {
-                    let key = (rec.submitted_at, s);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
-                    }
-                }
-            }
-            let Some((_, s)) = best else { break };
+        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, ctl)| {
+                ctl.journal()
+                    .get(cur[s])
+                    .map(|rec| Reverse((rec.submitted_at, s)))
+            })
+            .collect();
+        while let Some(Reverse((_, s))) = heap.pop() {
             f(&self.shards[s].journal()[cur[s]]);
             cur[s] += 1;
+            if let Some(rec) = self.shards[s].journal().get(cur[s]) {
+                heap.push(Reverse((rec.submitted_at, s)));
+            }
         }
+    }
+
+    /// Streams the merge keys `(submitted_at, shard)` of the live
+    /// journal in merged order, without exposing the record type or
+    /// materializing the merged list. This is the public face of the
+    /// private heap-merge traversal: `tests/merge_streaming.rs`
+    /// drives it under a counting allocator to pin the O(shards)
+    /// allocation bound (the crate itself forbids the `unsafe` a
+    /// counting `GlobalAlloc` needs).
+    pub fn for_each_merged_key(&self, mut f: impl FnMut(Time, usize)) {
+        self.for_each_merged(|rec| f(rec.submitted_at, rec.shard));
     }
 
     /// The merged journal as one owned, globally-ordered record list —
@@ -307,25 +332,29 @@ impl ShardedController {
     /// folded records a stable prefix of the final merged order, so the
     /// completion image is unchanged.
     pub(crate) fn compact_through(&mut self, watermark: Time) {
-        loop {
-            let mut best: Option<(Time, usize)> = None;
-            for (s, ctl) in self.shards.iter().enumerate() {
-                if let Some(rec) = ctl.journal().get(self.folded[s]) {
-                    let key = (rec.submitted_at, s);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
-                    }
-                }
-            }
-            let Some((at, s)) = best else { break };
+        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, ctl)| {
+                ctl.journal()
+                    .get(self.folded[s])
+                    .map(|rec| Reverse((rec.submitted_at, s)))
+            })
+            .collect();
+        while let Some(&Reverse((at, s))) = heap.peek() {
             if at >= watermark {
                 break;
             }
+            heap.pop();
             self.shards[s].journal()[self.folded[s]]
                 .op
                 .apply(&mut self.base);
             self.folded[s] += 1;
             self.compacted += 1;
+            if let Some(rec) = self.shards[s].journal().get(self.folded[s]) {
+                heap.push(Reverse((rec.submitted_at, s)));
+            }
         }
         for (s, folded) in self.folded.iter_mut().enumerate() {
             if *folded > 0 {
@@ -333,6 +362,43 @@ impl ShardedController {
                 *folded = 0;
             }
         }
+    }
+
+    /// Detaches the shard controllers so per-shard worker threads can
+    /// own them for the duration of a parallel replay
+    /// ([`crate::system::System`] with `NVMM_SHARD_THREADS > 1`). The
+    /// remaining husk keeps the map and the compaction base; every
+    /// whole-system query panics until
+    /// [`ShardedController::restore_shards`] puts the controllers back.
+    pub(crate) fn take_shards(&mut self) -> Vec<MemoryController> {
+        assert!(
+            self.folded.iter().all(|&f| f == 0),
+            "folded cursors must be drained before detaching shards"
+        );
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Reattaches the controllers detached by
+    /// [`ShardedController::take_shards`], in shard order.
+    pub(crate) fn restore_shards(&mut self, shards: Vec<MemoryController>) {
+        assert!(self.shards.is_empty(), "shards already attached");
+        assert_eq!(shards.len(), self.folded.len(), "wrong shard count");
+        self.shards = shards;
+    }
+
+    /// Folds journal records shipped back from detached shard workers
+    /// into the compaction base — the parallel-replay counterpart of
+    /// [`ShardedController::compact_through`]. The records are applied
+    /// in merged order: a stable sort by `(submitted_at, shard)` equals
+    /// the k-way merge because each worker ships its shards' records in
+    /// per-shard submission order, so equal keys (same shard, same
+    /// instant) keep their relative order.
+    pub(crate) fn fold_shipped(&mut self, mut records: Vec<JournalRecord>) {
+        records.sort_by_key(|rec| (rec.submitted_at, rec.shard));
+        for rec in &records {
+            rec.op.apply(&mut self.base);
+        }
+        self.compacted += records.len() as u64;
     }
 
     /// Parity probe for the single-shard configuration: `Some(true)`
@@ -435,6 +501,16 @@ mod tests {
                 "merge key must be non-decreasing"
             );
         }
+        // The streaming traversal must visit the same sequence the
+        // owned list materializes. (The companion allocation-count
+        // assertion — the merge must stream through O(shards) state,
+        // never a journal-proportional buffer — lives in
+        // `tests/merge_streaming.rs`: hooking the allocator needs
+        // `unsafe`, which this crate forbids.)
+        let mut visited = Vec::new();
+        sharded.for_each_merged(|rec| visited.push((rec.submitted_at, rec.shard)));
+        let keys: Vec<_> = merged.iter().map(|r| (r.submitted_at, r.shard)).collect();
+        assert_eq!(visited, keys);
     }
 
     #[test]
@@ -482,18 +558,50 @@ mod tests {
     }
 
     #[test]
-    fn cache_slices_preserve_total_capacity_up_to_rounding() {
+    fn cache_slices_preserve_total_capacity_exactly() {
+        let set_bytes = 16u64 * 64;
         let g = CacheGeometry {
-            capacity_bytes: 1024 * 1024,
+            capacity_bytes: 1024 * 1024, // 1024 sets at 16 ways
             ways: 16,
             latency: Time::from_ns(1),
         };
-        assert_eq!(slice_geometry(g, 1), g);
-        for n in [2usize, 3, 4, 8] {
-            let s = slice_geometry(g, n);
-            assert!(s.capacity_bytes >= 16 * 64, "at least one set per slice");
-            assert!(s.capacity_bytes * n as u64 <= g.capacity_bytes);
-            assert_eq!(s.capacity_bytes % (16 * 64), 0, "whole sets only");
+        assert_eq!(slice_geometry(g, 0, 1), g);
+        // Exact conservation for every shard count, powers of two or
+        // not: the remainder sets land on the low-index shards, slices
+        // differ by at most one set, and the sum equals the unsharded
+        // capacity — no "up to rounding" tolerance.
+        for n in [2usize, 3, 4, 5, 6, 7, 8] {
+            let slices: Vec<CacheGeometry> = (0..n).map(|s| slice_geometry(g, s, n)).collect();
+            let total: u64 = slices.iter().map(|s| s.capacity_bytes).sum();
+            assert_eq!(
+                total, g.capacity_bytes,
+                "{n} slices must sum exactly to the unsharded capacity"
+            );
+            let (min, max) = (
+                slices.iter().map(|s| s.capacity_bytes).min().unwrap(),
+                slices.iter().map(|s| s.capacity_bytes).max().unwrap(),
+            );
+            assert!(max - min <= set_bytes, "slices differ by at most one set");
+            for s in &slices {
+                assert!(s.capacity_bytes >= set_bytes, "at least one set per slice");
+                assert_eq!(s.capacity_bytes % set_bytes, 0, "whole sets only");
+            }
+            assert!(
+                slices
+                    .windows(2)
+                    .all(|w| w[0].capacity_bytes >= w[1].capacity_bytes),
+                "remainder sets go to low-index shards"
+            );
+        }
+        // More shards than sets: the min-one-set floor still applies.
+        let tiny = CacheGeometry {
+            capacity_bytes: 2 * set_bytes,
+            ways: 16,
+            latency: Time::from_ns(1),
+        };
+        for s in 0..3 {
+            assert_eq!(slice_geometry(tiny, s, 3).capacity_bytes % set_bytes, 0);
+            assert!(slice_geometry(tiny, s, 3).capacity_bytes >= set_bytes);
         }
     }
 }

@@ -110,6 +110,48 @@ pub struct Stats {
     pub wear_line_writes: u64,
 }
 
+/// Field list shared by [`Stats::absorb`] and the `ToJson`/`FromJson`
+/// impls so the three cannot drift apart: every `u64` counter, with the
+/// `Time`/`Vec` fields handled explicitly at each use site.
+macro_rules! stats_u64_fields {
+    ($m:ident) => {
+        $m!(
+            nvmm_reads,
+            nvmm_data_writes,
+            nvmm_counter_writes,
+            nvmm_counter_reads,
+            bytes_written,
+            counter_cache_hits,
+            counter_cache_misses,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            counter_atomic_writes,
+            plain_writes,
+            pairing_stalls,
+            coalesced_data_writes,
+            coalesced_counter_writes,
+            transactions_committed,
+            counter_cache_writebacks,
+            distinct_lines_written,
+            max_line_writes,
+            counter_cache_evictions,
+            tree_cache_hits,
+            tree_cache_misses,
+            tree_cache_evictions,
+            nvmm_metadata_writes,
+            coalesced_metadata_writes,
+            root_update_stalls,
+            root_update_overlaps,
+            nvmm_packed_meta_writes,
+            coalesced_packed_meta_writes,
+            phoenix_epoch_writes,
+            wear_line_writes
+        );
+    };
+}
+
 impl Stats {
     /// Creates a zeroed statistics block for `cores` cores.
     pub fn new(cores: usize) -> Self {
@@ -117,6 +159,31 @@ impl Stats {
             core_runtimes: vec![Time::ZERO; cores],
             ..Self::default()
         }
+    }
+
+    /// Folds another accumulator into this one by summing every
+    /// counter and stall-time field — the deterministic merge of
+    /// per-worker statistics after a parallel shard replay. Every field
+    /// the memory controller touches is a monotone `+=` accumulator, so
+    /// summing per-worker blocks reproduces the sequential interleaving
+    /// bit for bit regardless of completion order. End-of-run fields
+    /// the replay engine *assigns* (`runtime`, `core_runtimes`,
+    /// `distinct_lines_written`, `max_line_writes`) are left untouched:
+    /// the front end sets them once, after the merge.
+    pub fn absorb(&mut self, other: &Stats) {
+        // `stats_u64_fields!` includes the two end-of-run wear fields;
+        // keep this side's values so the merge only sums accumulators.
+        let (distinct, max_writes) = (self.distinct_lines_written, self.max_line_writes);
+        macro_rules! add_u64 {
+            ($($name:ident),*) => { $( self.$name += other.$name; )* };
+        }
+        stats_u64_fields!(add_u64);
+        self.distinct_lines_written = distinct;
+        self.max_line_writes = max_writes;
+        self.barrier_stall += other.barrier_stall;
+        self.queue_full_stall += other.queue_full_stall;
+        self.pairing_stall += other.pairing_stall;
+        self.root_update_stall += other.root_update_stall;
     }
 
     /// Counter cache miss rate over all probes, or 0.0 if never probed.
@@ -319,48 +386,6 @@ impl FromJson for LatencyHist {
     }
 }
 
-/// Field list shared by the `ToJson`/`FromJson` impls so the two cannot
-/// drift apart: `(json key, getter, setter)` triples for every `u64`
-/// counter, with the `Time`/`Vec` fields handled explicitly.
-macro_rules! stats_u64_fields {
-    ($m:ident) => {
-        $m!(
-            nvmm_reads,
-            nvmm_data_writes,
-            nvmm_counter_writes,
-            nvmm_counter_reads,
-            bytes_written,
-            counter_cache_hits,
-            counter_cache_misses,
-            l1_hits,
-            l1_misses,
-            l2_hits,
-            l2_misses,
-            counter_atomic_writes,
-            plain_writes,
-            pairing_stalls,
-            coalesced_data_writes,
-            coalesced_counter_writes,
-            transactions_committed,
-            counter_cache_writebacks,
-            distinct_lines_written,
-            max_line_writes,
-            counter_cache_evictions,
-            tree_cache_hits,
-            tree_cache_misses,
-            tree_cache_evictions,
-            nvmm_metadata_writes,
-            coalesced_metadata_writes,
-            root_update_stalls,
-            root_update_overlaps,
-            nvmm_packed_meta_writes,
-            coalesced_packed_meta_writes,
-            phoenix_epoch_writes,
-            wear_line_writes
-        );
-    };
-}
-
 impl ToJson for Stats {
     fn to_json(&self) -> Json {
         let mut members = vec![
@@ -452,6 +477,45 @@ mod tests {
     #[test]
     fn new_sizes_core_vector() {
         assert_eq!(Stats::new(4).core_runtimes.len(), 4);
+    }
+
+    #[test]
+    fn absorb_sums_accumulators_and_keeps_assigned_fields() {
+        let mut a = Stats {
+            nvmm_data_writes: 3,
+            pairing_stall: Time::from_ns(10),
+            barrier_stall: Time::from_ns(5),
+            distinct_lines_written: 7,
+            max_line_writes: 9,
+            runtime: Time::from_ns(100),
+            core_runtimes: vec![Time::from_ns(100)],
+            ..Stats::default()
+        };
+        let b = Stats {
+            nvmm_data_writes: 4,
+            bytes_written: 64,
+            pairing_stall: Time::from_ns(2),
+            distinct_lines_written: 99, // end-of-run field: must be ignored
+            max_line_writes: 99,
+            runtime: Time::from_ns(999),
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.nvmm_data_writes, 7);
+        assert_eq!(a.bytes_written, 64);
+        assert_eq!(a.pairing_stall, Time::from_ns(12));
+        assert_eq!(a.barrier_stall, Time::from_ns(5));
+        assert_eq!(
+            a.distinct_lines_written, 7,
+            "assigned fields keep this side"
+        );
+        assert_eq!(a.max_line_writes, 9);
+        assert_eq!(
+            a.runtime,
+            Time::from_ns(100),
+            "runtime is assigned, not summed"
+        );
+        assert_eq!(a.core_runtimes, vec![Time::from_ns(100)]);
     }
 
     #[test]

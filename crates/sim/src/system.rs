@@ -9,6 +9,34 @@
 //! the smallest local clock, so controller resources are reserved in
 //! nondecreasing event-start order and the simulation is deterministic.
 //!
+//! # Intra-run parallel shard execution
+//!
+//! With `NVMM_SHARD_THREADS > 1` (or [`System::with_shard_threads`])
+//! the shard controllers are detached onto worker threads for the
+//! duration of the replay. The front end — scheduler, caches, trace
+//! decode — still runs exactly the sequential event order, but its
+//! controller calls become messages over bounded per-worker channels
+//! (the private `ControllerPort` seam):
+//!
+//! * demand reads block for their reply (replay decisions depend on
+//!   them),
+//! * write-backs are fire-and-forget; the ADR guarantee instants of
+//!   `clwb`/counter-writeback flushes flow back asynchronously and are
+//!   folded into a per-core running maximum that is fully resolved
+//!   before any [`TraceEvent::PersistBarrier`] consumes it,
+//! * telemetry epoch boundaries and journal compaction are
+//!   epoch-barrier sync points: every worker finishes its queued
+//!   requests and reports its statistics snapshot / queue depths /
+//!   journal prefix, which merge into exactly the sequential values.
+//!
+//! Because each shard still sees its own request subsequence in the
+//! same order with the same timestamps, and every merged quantity
+//! (statistics, journals, wear, telemetry) is a sum or an
+//! order-insensitive maximum, the results are **bit-identical** to the
+//! sequential path at any thread count — the same determinism contract
+//! `NVMM_THREADS`/`NVMM_MC_THREADS`/`NVMM_SHARDS` carry. See
+//! `docs/ARCHITECTURE.md` for the full argument.
+//!
 //! Crash injection ([`CrashSpec`]) stops replay at an event count or a
 //! wall-clock instant; the post-crash NVMM image is then exactly what ADR
 //! would leave behind (ready write-queue entries included, everything
@@ -17,6 +45,7 @@
 use crate::addr::LineAddr;
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
+use crate::controller::{JournalRecord, MemoryController};
 use crate::crashmc::CrashSet;
 use crate::device::WearReport;
 use crate::nvmm::NvmmImage;
@@ -26,6 +55,7 @@ use crate::telemetry::{EpochSampler, Timeline};
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent, TraceStream};
 use nvmm_crypto::LineData;
+use std::sync::mpsc;
 
 /// When (if ever) to inject a power failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +119,6 @@ struct Core {
     now: Time,
     l1: SetAssocCache<LineAddr, CachedLine>,
     l2: SetAssocCache<LineAddr, CachedLine>,
-    /// Latest time at which all previously issued persists are
-    /// ADR-guaranteed; `persist_barrier` waits for it.
-    persists_guaranteed: Time,
     /// Set once the core executes a `WaitUntil` arrival gate; from then
     /// on every `TxCommit` reports arrival-to-commit latency.
     open_loop: bool,
@@ -104,7 +131,6 @@ impl Core {
             now: Time::ZERO,
             l1: SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways),
             l2: SetAssocCache::new(cfg.l2.sets(), cfg.l2.ways),
-            persists_guaranteed: Time::ZERO,
             open_loop: false,
         }
     }
@@ -114,12 +140,424 @@ impl Core {
     }
 }
 
-/// The simulated system: cores, caches, sharded controller complex,
-/// devices.
-pub struct System {
-    cfg: SimConfig,
+/// How the replay front end reaches the shard controllers. The direct
+/// implementation is today's synchronous call path; the channel
+/// implementation routes the same calls to per-shard worker threads.
+/// The front end is written once against this trait, so the two paths
+/// cannot drift: every replay decision flows through the same code.
+///
+/// The port also owns the per-core "latest ADR guarantee" maxima that
+/// [`TraceEvent::PersistBarrier`] consumes — in the parallel path the
+/// underlying guarantee instants arrive asynchronously, and the port
+/// resolves them before the barrier reads the maximum.
+trait ControllerPort {
+    /// Demand read: blocks until the owning shard answers.
+    fn read(&mut self, line: LineAddr, t: Time, stats: &mut Stats) -> (Time, LineData);
+
+    /// Write-back of a dirty line. With `guarantee_for = Some(core)`
+    /// the ADR guarantee instant is (eventually) folded into that
+    /// core's persist maximum; with `None` nobody will consume it
+    /// (cache-eviction traffic) and no reply is needed.
+    fn writeback(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        counter_atomic: bool,
+        t: Time,
+        stats: &mut Stats,
+        guarantee_for: Option<usize>,
+    );
+
+    /// Explicit counter-cache write-back on behalf of `core`.
+    fn counter_writeback(&mut self, line: LineAddr, t: Time, stats: &mut Stats, core: usize);
+
+    /// The latest guarantee instant of every persist `core` issued,
+    /// with all in-flight guarantee replies resolved — what
+    /// `PersistBarrier` waits for.
+    fn persists_resolved(&mut self, core: usize) -> Time;
+
+    /// Opportunistically drains any pending asynchronous replies;
+    /// called once per replay step to bound reply-queue growth.
+    fn poll(&mut self) {}
+
+    /// Advances the telemetry sampler to `now`, closing any elapsed
+    /// epochs from state equivalent to the sequential interleaving.
+    fn observe(&mut self, sampler: &mut EpochSampler, now: Time, stats: &Stats);
+
+    /// Folds journal records submitted strictly before `watermark`
+    /// into the compaction base (batched-journal completion runs).
+    fn compact(&mut self, watermark: Time);
+}
+
+/// The synchronous single-threaded port: plain method calls on the
+/// [`ShardedController`] — byte-for-byte the pre-refactor execution
+/// path.
+struct DirectPort<'a> {
+    controller: &'a mut ShardedController,
+    /// Per-core running maximum of issued persist guarantees.
+    guar: Vec<Time>,
+}
+
+impl<'a> DirectPort<'a> {
+    fn new(controller: &'a mut ShardedController, cores: usize) -> Self {
+        Self {
+            controller,
+            guar: vec![Time::ZERO; cores],
+        }
+    }
+}
+
+impl ControllerPort for DirectPort<'_> {
+    fn read(&mut self, line: LineAddr, t: Time, stats: &mut Stats) -> (Time, LineData) {
+        self.controller.read(line, t, stats)
+    }
+
+    fn writeback(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        counter_atomic: bool,
+        t: Time,
+        stats: &mut Stats,
+        guarantee_for: Option<usize>,
+    ) {
+        let guaranteed = self
+            .controller
+            .writeback(line, data, counter_atomic, t, stats);
+        if let Some(core) = guarantee_for {
+            self.guar[core] = self.guar[core].max(guaranteed);
+        }
+    }
+
+    fn counter_writeback(&mut self, line: LineAddr, t: Time, stats: &mut Stats, core: usize) {
+        let guaranteed = self.controller.counter_writeback(line, t, stats);
+        self.guar[core] = self.guar[core].max(guaranteed);
+    }
+
+    fn persists_resolved(&mut self, core: usize) -> Time {
+        self.guar[core]
+    }
+
+    fn observe(&mut self, sampler: &mut EpochSampler, now: Time, stats: &Stats) {
+        sampler.observe(now, stats, self.controller);
+    }
+
+    fn compact(&mut self, watermark: Time) {
+        self.controller.compact_through(watermark);
+    }
+}
+
+/// Bounded in-flight window per shard worker: the front end blocks on a
+/// full request channel, so a worker can fall at most this many
+/// requests behind before backpressure pauses the replay.
+const INFLIGHT_WINDOW: usize = 1024;
+
+/// A controller call routed to a shard worker thread.
+enum ShardRequest {
+    Read {
+        shard: usize,
+        line: LineAddr,
+        t: Time,
+    },
+    Writeback {
+        shard: usize,
+        line: LineAddr,
+        data: LineData,
+        counter_atomic: bool,
+        t: Time,
+        guarantee_for: Option<usize>,
+    },
+    CounterWriteback {
+        shard: usize,
+        line: LineAddr,
+        t: Time,
+        core: usize,
+    },
+    /// Epoch-barrier sync: report the cumulative statistics snapshot
+    /// and the summed write-queue depths at each boundary instant.
+    Sync { ends: Vec<Time> },
+    /// Ship back the journal prefix submitted strictly before the
+    /// watermark (parallel batched-journal compaction).
+    Compact { watermark: Time },
+}
+
+/// A shard worker's answer. Requests are processed in order over SPSC
+/// channels, so replies from one worker arrive in request order.
+enum ShardReply {
+    ReadDone {
+        t: Time,
+        data: LineData,
+    },
+    Guarantee {
+        core: usize,
+        t: Time,
+    },
+    Synced {
+        stats: Box<Stats>,
+        depths: Vec<(usize, usize)>,
+    },
+    Compacted {
+        records: Vec<JournalRecord>,
+    },
+}
+
+/// The worker loop: owns every shard controller with
+/// `shard % threads == worker`, processes requests in order against its
+/// own statistics accumulator, and hands both back when the request
+/// channel closes.
+fn shard_worker(
+    mut shards: Vec<MemoryController>,
+    rx: mpsc::Receiver<ShardRequest>,
+    tx: mpsc::Sender<ShardReply>,
+    threads: usize,
+    cores: usize,
+) -> (Vec<MemoryController>, Stats) {
+    let mut stats = Stats::new(cores);
+    while let Ok(req) = rx.recv() {
+        match req {
+            ShardRequest::Read { shard, line, t } => {
+                let (done, data) = shards[shard / threads].read(line, t, &mut stats);
+                let _ = tx.send(ShardReply::ReadDone { t: done, data });
+            }
+            ShardRequest::Writeback {
+                shard,
+                line,
+                data,
+                counter_atomic,
+                t,
+                guarantee_for,
+            } => {
+                let g =
+                    shards[shard / threads].writeback(line, data, counter_atomic, t, &mut stats);
+                if let Some(core) = guarantee_for {
+                    let _ = tx.send(ShardReply::Guarantee { core, t: g });
+                }
+            }
+            ShardRequest::CounterWriteback {
+                shard,
+                line,
+                t,
+                core,
+            } => {
+                let g = shards[shard / threads].counter_writeback(line, t, &mut stats);
+                let _ = tx.send(ShardReply::Guarantee { core, t: g });
+            }
+            ShardRequest::Sync { ends } => {
+                let depths = ends
+                    .iter()
+                    .map(|&end| {
+                        shards.iter().fold((0, 0), |(d, c), ctl| {
+                            let (dd, cc) = ctl.write_queue_depths(end);
+                            (d + dd, c + cc)
+                        })
+                    })
+                    .collect();
+                let _ = tx.send(ShardReply::Synced {
+                    stats: Box::new(stats.clone()),
+                    depths,
+                });
+            }
+            ShardRequest::Compact { watermark } => {
+                let mut records = Vec::new();
+                for ctl in &mut shards {
+                    records.append(&mut ctl.take_journal_prefix(watermark));
+                }
+                let _ = tx.send(ShardReply::Compacted { records });
+            }
+        }
+    }
+    (shards, stats)
+}
+
+/// The message-passing port: routes each controller call to the worker
+/// owning the target shard (`shard % threads`), tracks how many
+/// guarantee replies each worker still owes each core, and performs the
+/// epoch-barrier syncs that keep telemetry and compaction bit-identical
+/// to the sequential path.
+struct ChannelPort<'a> {
+    /// The detached [`ShardedController`] husk: map + compaction base.
+    controller: &'a mut ShardedController,
+    txs: Vec<mpsc::SyncSender<ShardRequest>>,
+    rxs: Vec<mpsc::Receiver<ShardReply>>,
+    /// `owed[worker][core]`: guarantee replies sent for but not yet
+    /// drained.
+    owed: Vec<Vec<u64>>,
+    /// Per-core running maximum of resolved persist guarantees.
+    guar: Vec<Time>,
+    threads: usize,
+}
+
+impl ChannelPort<'_> {
+    fn worker_of(&self, line: LineAddr) -> (usize, usize) {
+        let shard = self.controller.map().shard_of(line);
+        (shard, shard % self.threads)
+    }
+
+    /// Applies a guarantee reply; passes anything else back to the
+    /// caller that awaited it.
+    fn apply(&mut self, worker: usize, reply: ShardReply) -> Option<ShardReply> {
+        match reply {
+            ShardReply::Guarantee { core, t } => {
+                self.guar[core] = self.guar[core].max(t);
+                self.owed[worker][core] -= 1;
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Blocking receive of the next payload (non-guarantee) reply from
+    /// `worker`, applying any guarantee replies queued ahead of it.
+    fn recv_payload(&mut self, worker: usize) -> ShardReply {
+        loop {
+            let reply = self.rxs[worker].recv().expect("shard worker hung up");
+            if let Some(payload) = self.apply(worker, reply) {
+                return payload;
+            }
+        }
+    }
+
+    /// Epoch-barrier sync: every worker drains its request queue, then
+    /// reports its statistics snapshot and queue depths at each
+    /// boundary. Returns the merged cumulative statistics (front end +
+    /// all workers — exactly the sequential value at this point of the
+    /// event order) and the summed depths per boundary.
+    fn sync(&mut self, front_stats: &Stats, ends: &[Time]) -> (Stats, Vec<(usize, usize)>) {
+        for tx in &self.txs {
+            tx.send(ShardRequest::Sync {
+                ends: ends.to_vec(),
+            })
+            .expect("shard worker hung up");
+        }
+        let mut merged = front_stats.clone();
+        let mut depths = vec![(0usize, 0usize); ends.len()];
+        for worker in 0..self.threads {
+            match self.recv_payload(worker) {
+                ShardReply::Synced { stats, depths: d } => {
+                    merged.absorb(&stats);
+                    for (acc, dd) in depths.iter_mut().zip(d) {
+                        acc.0 += dd.0;
+                        acc.1 += dd.1;
+                    }
+                }
+                _ => unreachable!("expected a sync reply"),
+            }
+        }
+        (merged, depths)
+    }
+}
+
+impl ControllerPort for ChannelPort<'_> {
+    fn read(&mut self, line: LineAddr, t: Time, _stats: &mut Stats) -> (Time, LineData) {
+        let (shard, worker) = self.worker_of(line);
+        self.txs[worker]
+            .send(ShardRequest::Read { shard, line, t })
+            .expect("shard worker hung up");
+        match self.recv_payload(worker) {
+            ShardReply::ReadDone { t, data } => (t, data),
+            _ => unreachable!("expected a read reply"),
+        }
+    }
+
+    fn writeback(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        counter_atomic: bool,
+        t: Time,
+        _stats: &mut Stats,
+        guarantee_for: Option<usize>,
+    ) {
+        let (shard, worker) = self.worker_of(line);
+        if let Some(core) = guarantee_for {
+            self.owed[worker][core] += 1;
+        }
+        self.txs[worker]
+            .send(ShardRequest::Writeback {
+                shard,
+                line,
+                data,
+                counter_atomic,
+                t,
+                guarantee_for,
+            })
+            .expect("shard worker hung up");
+    }
+
+    fn counter_writeback(&mut self, line: LineAddr, t: Time, _stats: &mut Stats, core: usize) {
+        let (shard, worker) = self.worker_of(line);
+        self.owed[worker][core] += 1;
+        self.txs[worker]
+            .send(ShardRequest::CounterWriteback {
+                shard,
+                line,
+                t,
+                core,
+            })
+            .expect("shard worker hung up");
+    }
+
+    fn persists_resolved(&mut self, core: usize) -> Time {
+        for worker in 0..self.threads {
+            while self.owed[worker][core] > 0 {
+                let reply = self.rxs[worker].recv().expect("shard worker hung up");
+                if self.apply(worker, reply).is_some() {
+                    unreachable!("unsolicited payload reply while resolving persists");
+                }
+            }
+        }
+        self.guar[core]
+    }
+
+    fn poll(&mut self) {
+        for worker in 0..self.threads {
+            while let Ok(reply) = self.rxs[worker].try_recv() {
+                if self.apply(worker, reply).is_some() {
+                    unreachable!("unsolicited payload reply");
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, sampler: &mut EpochSampler, now: Time, stats: &Stats) {
+        // Fast path: between boundaries the sequential sampler observes
+        // nothing, so no sync is needed.
+        if now < sampler.next_boundary() {
+            return;
+        }
+        let ends = sampler.boundaries_through(now);
+        let (merged, depths) = self.sync(stats, &ends);
+        sampler.observe_with(now, &merged, &|t| {
+            let i = ends
+                .iter()
+                .position(|&e| e == t)
+                .expect("depths were synced for every closed boundary");
+            depths[i]
+        });
+    }
+
+    fn compact(&mut self, watermark: Time) {
+        for tx in &self.txs {
+            tx.send(ShardRequest::Compact { watermark })
+                .expect("shard worker hung up");
+        }
+        let mut shipped = Vec::new();
+        for worker in 0..self.threads {
+            match self.recv_payload(worker) {
+                ShardReply::Compacted { records } => shipped.extend(records),
+                _ => unreachable!("expected a compaction reply"),
+            }
+        }
+        self.controller.fold_shipped(shipped);
+    }
+}
+
+/// The replay front end: cores, caches, statistics, telemetry — every
+/// piece of the simulation that is *not* the controller complex. Its
+/// event loop is written once against [`ControllerPort`], so the
+/// sequential and parallel paths replay literally the same logic.
+struct FrontEnd {
     cores: Vec<Core>,
-    controller: ShardedController,
     stats: Stats,
     events_processed: u64,
     sampler: Option<EpochSampler>,
@@ -128,6 +566,252 @@ pub struct System {
     /// many events (completion-only runs; see
     /// [`System::with_journal_batch`]).
     journal_batch: Option<u64>,
+}
+
+impl FrontEnd {
+    /// Replays all traces through `port`, returning the crash instant
+    /// if one was injected.
+    fn replay(
+        &mut self,
+        cfg: &SimConfig,
+        port: &mut impl ControllerPort,
+        crash: CrashSpec,
+    ) -> Option<Time> {
+        let mut crash_time = None;
+        // Each iteration picks the core with the smallest clock that
+        // still has work.
+        while let Some(ci) = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.done())
+            .min_by_key(|(i, c)| (c.now, *i))
+            .map(|(i, _)| i)
+        {
+            if let CrashSpec::AtTime(t) = crash {
+                if self.cores[ci].now >= t {
+                    crash_time = Some(t);
+                    break;
+                }
+            }
+            port.poll();
+            self.step_core(cfg, port, ci);
+            self.events_processed += 1;
+            if let Some(sampler) = self.sampler.as_mut() {
+                port.observe(sampler, self.cores[ci].now, &self.stats);
+            }
+            if let CrashSpec::AfterEvent(n) = crash {
+                if self.events_processed > n {
+                    crash_time = Some(self.cores[ci].now);
+                    break;
+                }
+            }
+            if let Some(batch) = self.journal_batch {
+                if self.events_processed.is_multiple_of(batch) {
+                    if let Some(watermark) =
+                        self.cores.iter().filter(|c| !c.done()).map(|c| c.now).min()
+                    {
+                        port.compact(watermark);
+                    }
+                }
+            }
+        }
+        crash_time
+    }
+
+    /// Fetches `line` into the core's hierarchy, returning (completion
+    /// time, payload). Handles L1/L2 fills and dirty evictions.
+    fn fetch_line(
+        &mut self,
+        cfg: &SimConfig,
+        port: &mut impl ControllerPort,
+        ci: usize,
+        line: LineAddr,
+    ) -> (Time, CachedLine) {
+        let l1_latency = cfg.l1.latency;
+        let l2_latency = cfg.l2.latency;
+
+        let core = &mut self.cores[ci];
+        let t = core.now + l1_latency;
+        if let Some(&cached) = core.l1.get(&line) {
+            self.stats.l1_hits += 1;
+            return (t, cached);
+        }
+        self.stats.l1_misses += 1;
+        let t = t + l2_latency;
+
+        let (t_fill, payload) = if let Some(&cached) = core.l2.get(&line) {
+            self.stats.l2_hits += 1;
+            (t, cached)
+        } else {
+            self.stats.l2_misses += 1;
+            let (done, data) = port.read(line, t, &mut self.stats);
+            let cached = CachedLine {
+                data,
+                counter_atomic: false,
+            };
+            // Fill L2.
+            let core = &mut self.cores[ci];
+            if let Some(ev) = core.l2.insert(line, cached, false) {
+                if ev.dirty {
+                    port.writeback(
+                        ev.key,
+                        ev.value.data,
+                        ev.value.counter_atomic,
+                        done,
+                        &mut self.stats,
+                        None,
+                    );
+                }
+            }
+            (done, cached)
+        };
+
+        // Fill L1; victims spill to L2, L2 victims spill to memory.
+        let core = &mut self.cores[ci];
+        if let Some(ev1) = core.l1.insert(line, payload, false) {
+            if ev1.dirty {
+                if let Some(ev2) = core.l2.insert(ev1.key, ev1.value, true) {
+                    if ev2.dirty {
+                        port.writeback(
+                            ev2.key,
+                            ev2.value.data,
+                            ev2.value.counter_atomic,
+                            t_fill,
+                            &mut self.stats,
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+        (t_fill, payload)
+    }
+
+    fn step_core(&mut self, cfg: &SimConfig, port: &mut impl ControllerPort, ci: usize) {
+        let ev = self.cores[ci]
+            .source
+            .pull()
+            .expect("scheduler only steps cores with work");
+        match ev {
+            TraceEvent::Compute { duration } => {
+                self.cores[ci].now += duration;
+            }
+            TraceEvent::Read { line } => {
+                let (done, _) = self.fetch_line(cfg, port, ci, line);
+                self.cores[ci].now = done;
+            }
+            TraceEvent::Write {
+                line,
+                data,
+                counter_atomic,
+            } => {
+                // Write-allocate: ensure residency, then update in L1.
+                let in_l1 = self.cores[ci].l1.peek(&line).is_some();
+                let done = if in_l1 {
+                    self.cores[ci].now + cfg.l1.latency
+                } else {
+                    self.fetch_line(cfg, port, ci, line).0
+                };
+                let core = &mut self.cores[ci];
+                let cached = CachedLine {
+                    data,
+                    counter_atomic,
+                };
+                if let Some(existing) = core.l1.get_mut(&line, true) {
+                    existing.data = data;
+                    existing.counter_atomic |= counter_atomic;
+                } else if let Some(ev1) = core.l1.insert(line, cached, true) {
+                    if ev1.dirty {
+                        if let Some(ev2) = core.l2.insert(ev1.key, ev1.value, true) {
+                            if ev2.dirty {
+                                port.writeback(
+                                    ev2.key,
+                                    ev2.value.data,
+                                    ev2.value.counter_atomic,
+                                    done,
+                                    &mut self.stats,
+                                    None,
+                                );
+                            }
+                        }
+                    }
+                }
+                self.cores[ci].now = done;
+            }
+            TraceEvent::Clwb { line } => {
+                let issue = self.cores[ci].now + cfg.l1.latency;
+                let core = &mut self.cores[ci];
+                // Take the newest copy: L1 first, then L2.
+                let newest = core
+                    .l1
+                    .peek(&line)
+                    .copied()
+                    .map(|c| (c, core.l1.is_dirty(&line)))
+                    .or_else(|| {
+                        core.l2
+                            .peek(&line)
+                            .copied()
+                            .map(|c| (c, core.l2.is_dirty(&line)))
+                    });
+                if let Some((cached, dirty)) = newest {
+                    if dirty {
+                        core.l1.clean(&line);
+                        core.l2.clean(&line);
+                        port.writeback(
+                            line,
+                            cached.data,
+                            cached.counter_atomic,
+                            issue + cfg.controller_overhead,
+                            &mut self.stats,
+                            Some(ci),
+                        );
+                    }
+                }
+                self.cores[ci].now = issue;
+            }
+            TraceEvent::CounterCacheWriteback { line } => {
+                let issue = self.cores[ci].now + cfg.l1.latency;
+                port.counter_writeback(line, issue + cfg.controller_overhead, &mut self.stats, ci);
+                self.cores[ci].now = issue;
+            }
+            TraceEvent::PersistBarrier => {
+                let guaranteed = port.persists_resolved(ci);
+                let core = &mut self.cores[ci];
+                if guaranteed > core.now {
+                    self.stats.barrier_stall += guaranteed - core.now;
+                    core.now = guaranteed;
+                }
+            }
+            TraceEvent::TxCommit { id } => {
+                self.stats.transactions_committed += 1;
+                if self.cores[ci].open_loop {
+                    // Open-loop trace: the id is the arrival instant's
+                    // raw tick count; report arrival-to-commit latency
+                    // in nanoseconds.
+                    let arrival = Time(id);
+                    let waited = self.cores[ci].now.0.saturating_sub(arrival.0);
+                    self.latency.record(Time(waited).as_ns_f64().round() as u64);
+                }
+            }
+            TraceEvent::WaitUntil { at } => {
+                let core = &mut self.cores[ci];
+                core.now = core.now.max(at);
+                core.open_loop = true;
+            }
+        }
+    }
+}
+
+/// The simulated system: cores, caches, sharded controller complex,
+/// devices.
+pub struct System {
+    cfg: SimConfig,
+    front: FrontEnd,
+    controller: ShardedController,
+    /// Host worker threads for intra-run shard execution (1 = the
+    /// sequential path). Results are bit-identical at any value.
+    shard_threads: usize,
 }
 
 impl System {
@@ -145,6 +829,11 @@ impl System {
     /// — the service-scale ingest path: generator-backed streams replay
     /// 10^7+ operations without ever materializing them.
     ///
+    /// The intra-run shard worker count defaults to the
+    /// `NVMM_SHARD_THREADS` environment knob
+    /// ([`crate::parallel::shard_threads`], default 1 = sequential);
+    /// [`System::with_shard_threads`] pins it programmatically.
+    ///
     /// # Panics
     ///
     /// Panics if `sources.len() != config.cores`.
@@ -161,14 +850,17 @@ impl System {
         let stats = Stats::new(config.cores);
         let sampler = config.telemetry_epoch.map(EpochSampler::new);
         Self {
-            cfg: config,
-            cores,
+            front: FrontEnd {
+                cores,
+                stats,
+                events_processed: 0,
+                sampler,
+                latency: LatencyHist::new(),
+                journal_batch: None,
+            },
             controller,
-            stats,
-            events_processed: 0,
-            sampler,
-            latency: LatencyHist::new(),
-            journal_batch: None,
+            shard_threads: crate::parallel::shard_threads(),
+            cfg: config,
         }
     }
 
@@ -182,7 +874,22 @@ impl System {
     /// windows crash analysis needs.
     pub fn with_journal_batch(mut self, events: u64) -> Self {
         assert!(events > 0, "journal batch must be positive");
-        self.journal_batch = Some(events);
+        self.front.journal_batch = Some(events);
+        self
+    }
+
+    /// Pins the intra-run shard worker count, overriding the
+    /// `NVMM_SHARD_THREADS` environment default. The effective count is
+    /// clamped to the shard count; 1 selects the sequential path.
+    /// Results are bit-identical at any value — `fig_scale` sweeps this
+    /// knob and asserts exactly that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "shard worker count must be at least 1");
+        self.shard_threads = threads;
         self
     }
 
@@ -210,71 +917,46 @@ impl System {
 
     fn run_inner(mut self, crash: CrashSpec) -> (RunOutcome, ShardedController) {
         assert!(
-            self.journal_batch.is_none() || crash == CrashSpec::None,
+            self.front.journal_batch.is_none() || crash == CrashSpec::None,
             "journal batching is completion-only: crash analysis needs the full journal"
         );
-        let mut crash_time = None;
-        // Each iteration picks the core with the smallest clock that
-        // still has work.
-        while let Some(ci) = self
+        let threads = self.shard_threads.min(self.controller.shards());
+        let crash_time = if threads <= 1 {
+            let mut port = DirectPort::new(&mut self.controller, self.cfg.cores);
+            self.front.replay(&self.cfg, &mut port, crash)
+        } else {
+            self.run_parallel(threads, crash)
+        };
+
+        let front = &mut self.front;
+        for (i, core) in front.cores.iter().enumerate() {
+            front.stats.core_runtimes[i] = core.now;
+        }
+        front.stats.runtime = front
             .cores
             .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.done())
-            .min_by_key(|(i, c)| (c.now, *i))
-            .map(|(i, _)| i)
-        {
-            if let CrashSpec::AtTime(t) = crash {
-                if self.cores[ci].now >= t {
-                    crash_time = Some(t);
-                    break;
-                }
-            }
-            self.step_core(ci);
-            self.events_processed += 1;
-            if let Some(sampler) = self.sampler.as_mut() {
-                sampler.observe(self.cores[ci].now, &self.stats, &self.controller);
-            }
-            if let CrashSpec::AfterEvent(n) = crash {
-                if self.events_processed > n {
-                    crash_time = Some(self.cores[ci].now);
-                    break;
-                }
-            }
-            if let Some(batch) = self.journal_batch {
-                if self.events_processed.is_multiple_of(batch) {
-                    if let Some(watermark) =
-                        self.cores.iter().filter(|c| !c.done()).map(|c| c.now).min()
-                    {
-                        self.controller.compact_through(watermark);
-                    }
-                }
-            }
-        }
-
-        for (i, core) in self.cores.iter().enumerate() {
-            self.stats.core_runtimes[i] = core.now;
-        }
-        self.stats.runtime = self.cores.iter().map(|c| c.now).max().unwrap_or(Time::ZERO);
+            .map(|c| c.now)
+            .max()
+            .unwrap_or(Time::ZERO);
         let (distinct, max) = self.controller.wear_summary();
-        self.stats.distinct_lines_written = distinct;
-        self.stats.max_line_writes = max;
+        front.stats.distinct_lines_written = distinct;
+        front.stats.max_line_writes = max;
         let image = self.controller.build_image(crash_time);
         let crash_set = crash_time.map(|t| self.controller.crash_set(t));
         let persist_windows = self.controller.persist_windows();
-        let timeline = self
+        let timeline = front
             .sampler
             .take()
-            .map(|s| s.finish(self.stats.runtime, &self.stats, &self.controller));
-        let latency = (self.latency.count() > 0).then_some(self.latency);
+            .map(|s| s.finish(front.stats.runtime, &front.stats, &self.controller));
+        let latency = (front.latency.count() > 0).then_some(std::mem::take(&mut front.latency));
         let wear = self.controller.wear_report(self.cfg.cell_endurance);
         let outcome = RunOutcome {
-            stats: self.stats,
+            stats: std::mem::take(&mut front.stats),
             image,
             crash_time,
             crash_set,
             persist_windows,
-            events_processed: self.events_processed,
+            events_processed: front.events_processed,
             timeline,
             latency,
             wear,
@@ -282,184 +964,65 @@ impl System {
         (outcome, self.controller)
     }
 
-    /// Fetches `line` into the core's hierarchy, returning (completion
-    /// time, payload). Handles L1/L2 fills and dirty evictions.
-    fn fetch_line(&mut self, ci: usize, line: LineAddr) -> (Time, CachedLine) {
-        let l1_latency = self.cfg.l1.latency;
-        let l2_latency = self.cfg.l2.latency;
-
-        let core = &mut self.cores[ci];
-        let t = core.now + l1_latency;
-        if let Some(&cached) = core.l1.get(&line) {
-            self.stats.l1_hits += 1;
-            return (t, cached);
+    /// The parallel replay path: detaches the shard controllers onto
+    /// `threads` scoped workers, replays the identical front-end event
+    /// loop through a [`ChannelPort`], then reattaches the controllers
+    /// and merges the per-worker statistics — deterministically, in
+    /// shard order.
+    fn run_parallel(&mut self, threads: usize, crash: CrashSpec) -> Option<Time> {
+        let cores = self.cfg.cores;
+        let taken = self.controller.take_shards();
+        let shard_count = taken.len();
+        // Round-robin ownership: worker w owns shards s with
+        // s % threads == w, at local index s / threads.
+        let mut per_worker: Vec<Vec<MemoryController>> = (0..threads).map(|_| Vec::new()).collect();
+        for (s, ctl) in taken.into_iter().enumerate() {
+            per_worker[s % threads].push(ctl);
         }
-        self.stats.l1_misses += 1;
-        let t = t + l2_latency;
-
-        let (t_fill, payload) = if let Some(&cached) = core.l2.get(&line) {
-            self.stats.l2_hits += 1;
-            (t, cached)
-        } else {
-            self.stats.l2_misses += 1;
-            let (done, data) = self.controller.read(line, t, &mut self.stats);
-            let cached = CachedLine {
-                data,
-                counter_atomic: false,
+        let (crash_time, results) = std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(threads);
+            let mut rxs = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for ctls in per_worker {
+                let (req_tx, req_rx) = mpsc::sync_channel::<ShardRequest>(INFLIGHT_WINDOW);
+                let (rep_tx, rep_rx) = mpsc::channel::<ShardReply>();
+                handles
+                    .push(scope.spawn(move || shard_worker(ctls, req_rx, rep_tx, threads, cores)));
+                txs.push(req_tx);
+                rxs.push(rep_rx);
+            }
+            let mut port = ChannelPort {
+                controller: &mut self.controller,
+                txs,
+                rxs,
+                owed: vec![vec![0; cores]; threads],
+                guar: vec![Time::ZERO; cores],
+                threads,
             };
-            // Fill L2.
-            let core = &mut self.cores[ci];
-            if let Some(ev) = core.l2.insert(line, cached, false) {
-                if ev.dirty {
-                    self.controller.writeback(
-                        ev.key,
-                        ev.value.data,
-                        ev.value.counter_atomic,
-                        done,
-                        &mut self.stats,
-                    );
-                }
-            }
-            (done, cached)
-        };
-
-        // Fill L1; victims spill to L2, L2 victims spill to memory.
-        let core = &mut self.cores[ci];
-        if let Some(ev1) = core.l1.insert(line, payload, false) {
-            if ev1.dirty {
-                if let Some(ev2) = core.l2.insert(ev1.key, ev1.value, true) {
-                    if ev2.dirty {
-                        self.controller.writeback(
-                            ev2.key,
-                            ev2.value.data,
-                            ev2.value.counter_atomic,
-                            t_fill,
-                            &mut self.stats,
-                        );
-                    }
-                }
+            let crash_time = self.front.replay(&self.cfg, &mut port, crash);
+            // Dropping the port closes the request channels; workers
+            // finish their remaining queue and hand everything back.
+            drop(port);
+            let results: Vec<(Vec<MemoryController>, Stats)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+            (crash_time, results)
+        });
+        let mut slots: Vec<Option<MemoryController>> = (0..shard_count).map(|_| None).collect();
+        for (w, (ctls, worker_stats)) in results.into_iter().enumerate() {
+            self.front.stats.absorb(&worker_stats);
+            for (k, ctl) in ctls.into_iter().enumerate() {
+                slots[w + k * threads] = Some(ctl);
             }
         }
-        (t_fill, payload)
-    }
-
-    fn step_core(&mut self, ci: usize) {
-        let ev = self.cores[ci]
-            .source
-            .pull()
-            .expect("scheduler only steps cores with work");
-        match ev {
-            TraceEvent::Compute { duration } => {
-                self.cores[ci].now += duration;
-            }
-            TraceEvent::Read { line } => {
-                let (done, _) = self.fetch_line(ci, line);
-                self.cores[ci].now = done;
-            }
-            TraceEvent::Write {
-                line,
-                data,
-                counter_atomic,
-            } => {
-                // Write-allocate: ensure residency, then update in L1.
-                let in_l1 = self.cores[ci].l1.peek(&line).is_some();
-                let done = if in_l1 {
-                    self.cores[ci].now + self.cfg.l1.latency
-                } else {
-                    self.fetch_line(ci, line).0
-                };
-                let core = &mut self.cores[ci];
-                let cached = CachedLine {
-                    data,
-                    counter_atomic,
-                };
-                if let Some(existing) = core.l1.get_mut(&line, true) {
-                    existing.data = data;
-                    existing.counter_atomic |= counter_atomic;
-                } else if let Some(ev1) = core.l1.insert(line, cached, true) {
-                    if ev1.dirty {
-                        if let Some(ev2) = core.l2.insert(ev1.key, ev1.value, true) {
-                            if ev2.dirty {
-                                self.controller.writeback(
-                                    ev2.key,
-                                    ev2.value.data,
-                                    ev2.value.counter_atomic,
-                                    done,
-                                    &mut self.stats,
-                                );
-                            }
-                        }
-                    }
-                }
-                self.cores[ci].now = done;
-            }
-            TraceEvent::Clwb { line } => {
-                let issue = self.cores[ci].now + self.cfg.l1.latency;
-                let core = &mut self.cores[ci];
-                // Take the newest copy: L1 first, then L2.
-                let newest = core
-                    .l1
-                    .peek(&line)
-                    .copied()
-                    .map(|c| (c, core.l1.is_dirty(&line)))
-                    .or_else(|| {
-                        core.l2
-                            .peek(&line)
-                            .copied()
-                            .map(|c| (c, core.l2.is_dirty(&line)))
-                    });
-                if let Some((cached, dirty)) = newest {
-                    if dirty {
-                        core.l1.clean(&line);
-                        core.l2.clean(&line);
-                        let guaranteed = self.controller.writeback(
-                            line,
-                            cached.data,
-                            cached.counter_atomic,
-                            issue + self.cfg.controller_overhead,
-                            &mut self.stats,
-                        );
-                        let core = &mut self.cores[ci];
-                        core.persists_guaranteed = core.persists_guaranteed.max(guaranteed);
-                    }
-                }
-                self.cores[ci].now = issue;
-            }
-            TraceEvent::CounterCacheWriteback { line } => {
-                let issue = self.cores[ci].now + self.cfg.l1.latency;
-                let guaranteed = self.controller.counter_writeback(
-                    line,
-                    issue + self.cfg.controller_overhead,
-                    &mut self.stats,
-                );
-                let core = &mut self.cores[ci];
-                core.persists_guaranteed = core.persists_guaranteed.max(guaranteed);
-                core.now = issue;
-            }
-            TraceEvent::PersistBarrier => {
-                let core = &mut self.cores[ci];
-                if core.persists_guaranteed > core.now {
-                    self.stats.barrier_stall += core.persists_guaranteed - core.now;
-                    core.now = core.persists_guaranteed;
-                }
-            }
-            TraceEvent::TxCommit { id } => {
-                self.stats.transactions_committed += 1;
-                if self.cores[ci].open_loop {
-                    // Open-loop trace: the id is the arrival instant's
-                    // raw tick count; report arrival-to-commit latency
-                    // in nanoseconds.
-                    let arrival = Time(id);
-                    let waited = self.cores[ci].now.0.saturating_sub(arrival.0);
-                    self.latency.record(Time(waited).as_ns_f64().round() as u64);
-                }
-            }
-            TraceEvent::WaitUntil { at } => {
-                let core = &mut self.cores[ci];
-                core.now = core.now.max(at);
-                core.open_loop = true;
-            }
-        }
+        self.controller.restore_shards(
+            slots
+                .into_iter()
+                .map(|c| c.expect("every shard is returned by exactly one worker"))
+                .collect(),
+        );
+        crash_time
     }
 }
 
@@ -647,5 +1210,139 @@ mod tests {
             out.stats.nvmm_data_writes > 0,
             "cache pressure must cause write-backs"
         );
+    }
+
+    /// A trace that exercises every parallel-relevant event kind:
+    /// reads (blocking round trips), writes with eviction pressure
+    /// (fire-and-forget write-backs), clwb/ccwb (asynchronous
+    /// guarantees), barriers (resolution points), compute gaps and
+    /// commits.
+    fn busy_mixed_trace(seed: u64, lines: u64) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..lines {
+            let line = (seed + i * 37) % 512;
+            t.push(write_ev(line, (i % 251) as u8, i % 2 == 0));
+            t.push(TraceEvent::Clwb {
+                line: LineAddr(line),
+            });
+            if i % 3 == 0 {
+                t.push(TraceEvent::Read {
+                    line: LineAddr((line + 63) % 512),
+                });
+            }
+            if i % 4 == 0 {
+                t.push(TraceEvent::CounterCacheWriteback {
+                    line: LineAddr(line),
+                });
+            }
+            if i % 5 == 4 {
+                t.push(TraceEvent::PersistBarrier);
+                t.push(TraceEvent::TxCommit { id: i });
+            }
+            if i % 7 == 0 {
+                t.push(TraceEvent::Compute {
+                    duration: Time::from_ns(35),
+                });
+            }
+        }
+        t.push(TraceEvent::PersistBarrier);
+        t
+    }
+
+    fn outcome_fingerprint(out: &RunOutcome) -> (Stats, u128, Vec<(Time, Time)>, u64) {
+        (
+            out.stats.clone(),
+            out.image.fingerprint(),
+            out.persist_windows.clone(),
+            out.events_processed,
+        )
+    }
+
+    /// The tentpole contract: parallel shard execution is bit-identical
+    /// to sequential execution — stats, image, persist windows,
+    /// telemetry, wear — at every thread count, including more threads
+    /// than shards.
+    #[test]
+    fn parallel_shard_execution_matches_sequential() {
+        for design in [Design::Sca, Design::Fca] {
+            let cfg = SimConfig::table2(design, 2)
+                .with_shards(4)
+                .with_telemetry_epoch(Time::from_ns(400));
+            let traces = vec![busy_mixed_trace(3, 60), busy_mixed_trace(11, 60)];
+            let base = System::new(cfg.clone(), traces.clone())
+                .with_shard_threads(1)
+                .run(CrashSpec::None);
+            for threads in [2, 3, 4, 8] {
+                let par = System::new(cfg.clone(), traces.clone())
+                    .with_shard_threads(threads)
+                    .run(CrashSpec::None);
+                assert_eq!(
+                    outcome_fingerprint(&par),
+                    outcome_fingerprint(&base),
+                    "{design:?} threads={threads} diverged from sequential"
+                );
+                assert_eq!(par.timeline, base.timeline, "{design:?} threads={threads}");
+                assert_eq!(par.wear, base.wear, "{design:?} threads={threads}");
+                assert_eq!(par.latency, base.latency, "{design:?} threads={threads}");
+            }
+        }
+    }
+
+    /// Crash injection under parallel execution: the same crash spec
+    /// yields the same crash time, image and crash set as sequential.
+    #[test]
+    fn parallel_crash_runs_match_sequential() {
+        let cfg = SimConfig::table2(Design::Sca, 2).with_shards(4);
+        let traces = vec![busy_mixed_trace(5, 40), busy_mixed_trace(17, 40)];
+        for crash in [
+            CrashSpec::AfterEvent(33),
+            CrashSpec::AtTime(Time::from_ns(900)),
+        ] {
+            let base = System::new(cfg.clone(), traces.clone())
+                .with_shard_threads(1)
+                .run(crash);
+            let par = System::new(cfg.clone(), traces.clone())
+                .with_shard_threads(4)
+                .run(crash);
+            assert_eq!(par.crash_time, base.crash_time);
+            assert_eq!(par.image.fingerprint(), base.image.fingerprint());
+            assert_eq!(par.stats, base.stats);
+            assert_eq!(
+                par.crash_set.is_some(),
+                base.crash_set.is_some(),
+                "crash analysis must survive the parallel path"
+            );
+        }
+    }
+
+    /// Batched-journal compaction under parallel execution: workers
+    /// ship journal prefixes back to the front end, and the folded
+    /// completion image equals both the parallel-unbatched and the
+    /// sequential-batched runs.
+    #[test]
+    fn parallel_compaction_matches_sequential() {
+        let cfg = SimConfig::table2(Design::Sca, 2).with_shards(3);
+        let traces = vec![busy_mixed_trace(7, 50), busy_mixed_trace(23, 50)];
+        let seq = System::new(cfg.clone(), traces.clone())
+            .with_shard_threads(1)
+            .with_journal_batch(16)
+            .run(CrashSpec::None);
+        let par = System::new(cfg.clone(), traces.clone())
+            .with_shard_threads(3)
+            .with_journal_batch(16)
+            .run(CrashSpec::None);
+        let unbatched = System::new(cfg, traces)
+            .with_shard_threads(3)
+            .run(CrashSpec::None);
+        assert_eq!(par.image.fingerprint(), seq.image.fingerprint());
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(par.image.fingerprint(), unbatched.image.fingerprint());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shard_threads_rejected() {
+        let _ = System::new(SimConfig::single_core(Design::Sca), vec![basic_trace()])
+            .with_shard_threads(0);
     }
 }

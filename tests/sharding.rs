@@ -16,8 +16,8 @@
 //!    the merged per-shard journal hides nothing from `crashmc`.
 
 use nvmm::sim::addr::{LineAddr, ShardMap};
-use nvmm::sim::config::{Design, SimConfig};
-use nvmm::sim::system::{CrashSpec, System};
+use nvmm::sim::config::{Design, IntegrityPolicy, SimConfig};
+use nvmm::sim::system::{CrashSpec, RunOutcome, System};
 use nvmm::sim::Time;
 use nvmm::workloads::{
     crash_instants_cfg, model_check_cfg, traces_for_cores, ModelCheckOpts, WorkloadKind,
@@ -246,6 +246,92 @@ fn sharded_checker_still_catches_missing_counter_writebacks() {
         violations > 0,
         "injected Fig. 3(a) bug went undetected across shard domains"
     );
+}
+
+/// Field-by-field comparison of two run outcomes — everything a
+/// `RunOutcome` reports, including the timeline (whose epoch deltas are
+/// merged across shard workers at epoch barriers), the wear report
+/// (merged per-shard write counts), and the latency histogram.
+fn assert_outcomes_identical(a: &RunOutcome, b: &RunOutcome, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: stats diverged");
+    assert_eq!(
+        a.image.fingerprint(),
+        b.image.fingerprint(),
+        "{what}: NVMM image diverged"
+    );
+    assert_eq!(a.crash_time, b.crash_time, "{what}: crash time diverged");
+    assert_eq!(
+        a.persist_windows, b.persist_windows,
+        "{what}: persist windows (merged journal order) diverged"
+    );
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{what}: event count diverged"
+    );
+    assert_eq!(a.timeline, b.timeline, "{what}: telemetry diverged");
+    assert_eq!(a.latency, b.latency, "{what}: latency histogram diverged");
+    assert_eq!(a.wear, b.wear, "{what}: wear report diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Cross-thread determinism, fuzzed: for random seeds, workloads
+    /// and integrity policies, a 4-worker parallel replay produces a
+    /// `RunOutcome` identical to the sequential path — stats, image,
+    /// persist windows (the merged journal's in-flight order),
+    /// telemetry, wear, latency — along with the same single-shard
+    /// parity verdict.
+    #[test]
+    fn parallel_replay_is_deterministic(
+        seed in 0u64..1_000_000,
+        kind_ix in 0usize..3,
+        ops in 3usize..7,
+        policy_ix in 0usize..IntegrityPolicy::ALL.len(),
+    ) {
+        let kind = [WorkloadKind::HashTable, WorkloadKind::Queue, WorkloadKind::ArraySwap][kind_ix];
+        let mut spec = WorkloadSpec::smoke(kind).with_ops(ops);
+        spec.seed = seed;
+        let cores = 2;
+        let mut cfg = SimConfig::table2(Design::Sca, cores)
+            .with_shards(4)
+            .with_integrity(IntegrityPolicy::ALL[policy_ix]);
+        cfg.telemetry_epoch = Some(Time::from_ns(700));
+        let traces = traces_for_cores(&spec, cores);
+        let (base, base_parity) = System::new(cfg.clone(), traces.clone())
+            .with_shard_threads(1)
+            .run_with_parity_check(CrashSpec::None);
+        let (par, par_parity) = System::new(cfg, traces)
+            .with_shard_threads(4)
+            .run_with_parity_check(CrashSpec::None);
+        prop_assert_eq!(par_parity, base_parity, "parity probe diverged");
+        assert_outcomes_identical(&par, &base, "threads=4 vs threads=1");
+    }
+}
+
+/// Cross-thread determinism over every integrity policy, pinned (the
+/// fuzz above samples; this leaves no policy to chance): each of the
+/// six non-trivial policies — and the no-integrity baseline — replays
+/// bit-identically with 4 shard workers.
+#[test]
+fn parallel_replay_deterministic_across_all_integrity_policies() {
+    let cores = 2;
+    let spec = WorkloadSpec::smoke(WorkloadKind::HashTable).with_ops(5);
+    let traces = traces_for_cores(&spec, cores);
+    for policy in IntegrityPolicy::ALL {
+        let mut cfg = SimConfig::table2(Design::Sca, cores)
+            .with_shards(4)
+            .with_integrity(policy);
+        cfg.telemetry_epoch = Some(Time::from_ns(600));
+        let (base, base_parity) = System::new(cfg.clone(), traces.clone())
+            .with_shard_threads(1)
+            .run_with_parity_check(CrashSpec::None);
+        let (par, par_parity) = System::new(cfg, traces.clone())
+            .with_shard_threads(4)
+            .run_with_parity_check(CrashSpec::None);
+        assert_eq!(par_parity, base_parity, "{policy:?}: parity probe diverged");
+        assert_outcomes_identical(&par, &base, &format!("{policy:?} threads=4 vs 1"));
+    }
 }
 
 /// Batched-journal compaction folds records' in-flight windows away,
