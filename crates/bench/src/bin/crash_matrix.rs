@@ -74,6 +74,8 @@ struct CellAgg {
     violations: u64,
     in_flight_points: u64,
     wall_ns: u64,
+    enumerate_ns: u64,
+    verify_ns: u64,
 }
 
 impl CellAgg {
@@ -88,6 +90,8 @@ impl CellAgg {
             self.in_flight_points += 1;
         }
         self.wall_ns += rep.mc_wall_ns;
+        self.enumerate_ns += rep.enumerate_wall_ns;
+        self.verify_ns += rep.verify_wall_ns;
     }
 }
 
@@ -217,6 +221,20 @@ fn main() {
         exp.insert(row, &format!("{series}/pruned"), agg.pruned as f64);
         exp.insert(row, &format!("{series}/points"), agg.points as f64);
         timing.insert(row, &format!("{series}/mc_wall_ns"), agg.wall_ns as f64);
+        // The enumerate/verify split attributes regressions to the
+        // schedule walk vs the per-image recovery replay without
+        // re-profiling (the delta walk folds the integrity oracle into
+        // the enumerate term).
+        timing.insert(
+            row,
+            &format!("{series}/enumerate_wall_ns"),
+            agg.enumerate_ns as f64,
+        );
+        timing.insert(
+            row,
+            &format!("{series}/verify_wall_ns"),
+            agg.verify_ns as f64,
+        );
     }
     exp.insert(
         control_spec.kind.label(),

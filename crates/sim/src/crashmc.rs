@@ -83,10 +83,14 @@
 
 use crate::addr::{CounterLineAddr, LineAddr, MacLineAddr, TreeNodeAddr};
 use crate::controller::{JournalOp, JournalRecord};
+use crate::integrity::{AttackVerdict, DeltaVerifier, FreshnessRef, IntegritySpec};
 use crate::nvmm::NvmmImage;
 use crate::parallel::run_parallel;
 use crate::time::Time;
 use fxhash::{FxHashMap, FxHashSet};
+use nvmm_crypto::engine::EncryptionEngine;
+use nvmm_crypto::mac::MacEngine;
+use std::time::Instant;
 
 /// The serialized hardware mechanism that produced a write's guarantee
 /// point. In-flight landings are prefix-closed within a domain and
@@ -197,8 +201,12 @@ impl LandMask {
     }
 }
 
+/// splitmix64's Weyl increment — also used to random-access the
+/// sampled-schedule stream ([`CutSchedule::cuts_into`]).
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
 fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    *state = state.wrapping_add(GAMMA);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -536,47 +544,26 @@ impl CrashSet {
     /// fits the cap, else the two corners followed by the seeded
     /// splitmix64 stream. Both the incremental and the eager enumerator
     /// walk this same schedule, so their explored masks are identical by
-    /// construction.
-    fn cut_schedule(&self, opts: EnumOpts) -> CutSchedule {
+    /// construction. The schedule is a *decoder*, not a table — each
+    /// mask's cut vector is computed on demand into a caller buffer
+    /// ([`CutSchedule::cuts_into`]), so an exhaustive run over millions
+    /// of legal images holds O(domains) schedule state, not
+    /// O(images × domains).
+    pub fn cut_schedule(&self, opts: EnumOpts) -> CutSchedule {
         let cap = opts.max_images.max(1) as u64;
         let total = self.legal_images();
         let exhaustive = total <= cap;
         let dims: Vec<usize> = self.domain_order.iter().map(Vec::len).collect();
-        let n_domains = dims.len();
-        let n_masks;
-        let mut flat: Vec<usize>;
-        if exhaustive {
-            n_masks = total as usize;
-            flat = Vec::with_capacity(n_masks * n_domains);
-            // Mixed-radix decode, least-significant domain first —
-            // exactly the order the original odometer visited.
-            for i in 0..total {
-                let mut rem = i;
-                for &k in &dims {
-                    let radix = k as u64 + 1;
-                    flat.push((rem % radix) as usize);
-                    rem /= radix;
-                }
-            }
+        let n_masks = if exhaustive {
+            total as usize
         } else {
-            // Corners first, then the seeded stream. Cut repeats are
-            // possible and counted — the bound is on work, not coverage.
-            n_masks = cap.max(2) as usize;
-            flat = Vec::with_capacity(n_masks * n_domains);
-            flat.extend(std::iter::repeat_n(0, n_domains));
-            flat.extend(dims.iter().copied());
-            let mut state = opts.seed;
-            for _ in 2..n_masks {
-                for &k in &dims {
-                    flat.push((splitmix64(&mut state) % (k as u64 + 1)) as usize);
-                }
-            }
-        }
+            cap.max(2) as usize
+        };
         CutSchedule {
-            flat,
-            n_domains,
+            dims,
             n_masks,
             exhaustive,
+            seed: opts.seed,
         }
     }
 
@@ -622,8 +609,10 @@ impl CrashSet {
                 let mut overlay = ImageOverlay::new(self);
                 let mut local_seen: FxHashSet<u128> = FxHashSet::default();
                 let mut out = Vec::new();
+                let mut cuts = Vec::with_capacity(sched.n_domains());
                 for i in start..end {
-                    overlay.goto(sched.cuts(i));
+                    sched.cuts_into(i, &mut cuts);
+                    overlay.goto(&cuts);
                     let fp = overlay.image().fingerprint();
                     if local_seen.insert(fp) {
                         out.push((fp, overlay.mask().clone(), overlay.image().clone()));
@@ -656,8 +645,10 @@ impl CrashSet {
         let mut seen: FxHashSet<u128> = FxHashSet::default();
         seen.reserve(self.seen_capacity(opts));
         let mut images: Vec<(LandMask, NvmmImage)> = Vec::new();
+        let mut cuts = Vec::with_capacity(sched.n_domains());
         for i in 0..sched.n_masks {
-            let mask = self.mask_from_cuts(sched.cuts(i));
+            sched.cuts_into(i, &mut cuts);
+            let mask = self.mask_from_cuts(&cuts);
             let img = self.image(&mask);
             if seen.insert(img.fingerprint()) {
                 images.push((mask, img));
@@ -668,20 +659,244 @@ impl CrashSet {
             images,
         }
     }
+
+    /// The shared skeleton of [`CrashSet::enumerate_verified`] and
+    /// [`CrashSet::replay_sweep`]: each chunk walks the schedule with a
+    /// paired [`ImageOverlay`] + [`DeltaVerifier`], accumulating the
+    /// cells each `goto` dirtied into a pending set and flushing them
+    /// into the verifier only when a fingerprint is newly retained —
+    /// most schedule steps land on already-seen images whose verdict
+    /// is never read, so their re-checks would be pure waste. The
+    /// deferral is sound because every re-check is a pure function of
+    /// the *current* image state: as long as each cell that changed
+    /// since the last flush is replayed once before `eval`, the
+    /// verifier converges to the same state in any flush order.
+    /// Chunks merge in schedule order, so images *and* verdicts are
+    /// bit-identical to a single-threaded walk (and to the eager
+    /// full-pass verifiers) for any thread count. The third return is
+    /// the summed nanoseconds the chunks spent flushing and evaluating
+    /// (the verify phase), so callers can report the enumerate/verify
+    /// split without differencing two noisy wall-clock totals.
+    fn walk_verified<R: Send>(
+        &self,
+        opts: EnumOpts,
+        threads: usize,
+        spec: IntegritySpec,
+        engine: &EncryptionEngine,
+        mac_engine: &MacEngine,
+        eval: impl Fn(&DeltaVerifier) -> R + Sync,
+    ) -> (Enumeration, Vec<R>, u64) {
+        let sched = self.cut_schedule(opts);
+        let threads = threads.max(1);
+        let chunks = chunk_ranges(sched.n_masks(), threads);
+        type Walked<R> = Vec<(u128, LandMask, NvmmImage, R)>;
+        let walked: Vec<(Walked<R>, u64)> = run_parallel(threads, &chunks, |&(start, end)| {
+            let mut overlay = ImageOverlay::new(self);
+            overlay.set_collect_dirty(true);
+            let mut verifier = DeltaVerifier::new(overlay.image(), spec, engine, mac_engine);
+            let mut local_seen: FxHashSet<u128> = FxHashSet::default();
+            let mut out = Vec::new();
+            let mut cuts = Vec::with_capacity(sched.n_domains());
+            // Cells dirtied since the verifier last synced, deduped
+            // (a cell that toggled five times between retained images
+            // needs exactly one re-check against the current image).
+            let mut pending: Vec<CellKey> = Vec::new();
+            let mut pending_set: FxHashSet<CellKey> = FxHashSet::default();
+            let mut verify_ns: u64 = 0;
+            for i in start..end {
+                sched.cuts_into(i, &mut cuts);
+                overlay.goto(&cuts);
+                for &cell in overlay.dirty() {
+                    // A co-located counter rewrite changes how its data
+                    // line decrypts — same re-check as the data half.
+                    let cell = match cell {
+                        CellKey::Co(l) => CellKey::Data(l),
+                        other => other,
+                    };
+                    if pending_set.insert(cell) {
+                        pending.push(cell);
+                    }
+                }
+                let fp = overlay.image().fingerprint();
+                if local_seen.insert(fp) {
+                    let t0 = Instant::now();
+                    for &cell in &pending {
+                        match cell {
+                            CellKey::Data(l) | CellKey::Co(l) => {
+                                verifier.data_changed(overlay.image(), l)
+                            }
+                            CellKey::Ctr(c) => verifier.counter_changed(overlay.image(), c),
+                            CellKey::Mac(m) => verifier.mac_changed(overlay.image(), m),
+                            CellKey::Tree(t) => verifier.tree_changed(overlay.image(), t),
+                        }
+                    }
+                    pending.clear();
+                    pending_set.clear();
+                    let verdict = eval(&verifier);
+                    verify_ns += t0.elapsed().as_nanos() as u64;
+                    out.push((fp, overlay.mask().clone(), overlay.image().clone(), verdict));
+                }
+            }
+            (out, verify_ns)
+        });
+        let mut seen: FxHashSet<u128> = FxHashSet::default();
+        seen.reserve(self.seen_capacity(opts));
+        let mut images: Vec<(LandMask, NvmmImage)> = Vec::new();
+        let mut verdicts: Vec<R> = Vec::new();
+        let mut verify_ns: u64 = 0;
+        for (chunk, chunk_ns) in walked {
+            verify_ns += chunk_ns;
+            for (fp, mask, img, r) in chunk {
+                if seen.insert(fp) {
+                    images.push((mask, img));
+                    verdicts.push(r);
+                }
+            }
+        }
+        (
+            Enumeration {
+                stats: self.stats_for(&sched, images.len()),
+                images,
+            },
+            verdicts,
+            verify_ns,
+        )
+    }
+
+    /// Enumerates the legal images *and* judges each against `spec`'s
+    /// integrity oracle in one fused walk, re-verifying only what each
+    /// schedule step's delta dirtied. `verdicts[i]` is the oracle's
+    /// answer for `images[i]` — Ok/Err contents bit-identical to
+    /// [`verify_image_with`](crate::integrity::verify_image_with) on
+    /// the materialized image, at any `threads`.
+    pub fn enumerate_verified(
+        &self,
+        opts: EnumOpts,
+        threads: usize,
+        spec: IntegritySpec,
+        engine: &EncryptionEngine,
+        mac_engine: &MacEngine,
+    ) -> (Enumeration, Vec<Result<(), String>>) {
+        let (en, verdicts, _) =
+            self.enumerate_verified_timed(opts, threads, spec, engine, mac_engine);
+        (en, verdicts)
+    }
+
+    /// [`CrashSet::enumerate_verified`] plus the nanoseconds the walk
+    /// spent in its verify phase (flushing dirty cells into the
+    /// [`DeltaVerifier`] and reading verdicts), summed across worker
+    /// chunks. Enumeration work — schedule decode, overlay `goto`,
+    /// fingerprint dedupe, image clones — is excluded, so the figure
+    /// isolates what incremental re-verification actually costs and is
+    /// directly comparable to a timed full-pass verify of the same
+    /// images. With `threads > 1` the sum is aggregate worker time,
+    /// not wall clock; it belongs in timing companions, never in
+    /// deterministic artifacts.
+    pub fn enumerate_verified_timed(
+        &self,
+        opts: EnumOpts,
+        threads: usize,
+        spec: IntegritySpec,
+        engine: &EncryptionEngine,
+        mac_engine: &MacEngine,
+    ) -> (Enumeration, Vec<Result<(), String>>, u64) {
+        self.walk_verified(
+            opts,
+            threads,
+            spec,
+            engine,
+            mac_engine,
+            DeltaVerifier::verdict,
+        )
+    }
+
+    /// The sweep form of [`CrashSet::replay_verdict`]: judges every
+    /// enumerated legal image as a wholesale replay against `fresh`,
+    /// reusing one warm verifier per chunk instead of materializing and
+    /// fully re-verifying each image. `verdicts[i]` — including the
+    /// blame string — is bit-identical to
+    /// [`verify_image_attack_with`](crate::integrity::verify_image_attack_with)
+    /// on `images[i]`, at any `threads`.
+    pub fn replay_sweep(
+        &self,
+        opts: EnumOpts,
+        threads: usize,
+        spec: IntegritySpec,
+        engine: &EncryptionEngine,
+        mac_engine: &MacEngine,
+        fresh: &FreshnessRef,
+    ) -> (Enumeration, Vec<AttackVerdict>) {
+        let (en, verdicts, _) = self.walk_verified(opts, threads, spec, engine, mac_engine, |v| {
+            v.attack_verdict(fresh)
+        });
+        (en, verdicts)
+    }
 }
 
-/// A materialized cut schedule: `n_masks` cut vectors of `n_domains`
-/// entries each, stored flat.
-struct CutSchedule {
-    flat: Vec<usize>,
-    n_domains: usize,
+/// A cut schedule over the choice domains of a [`CrashSet`]: `n_masks`
+/// cut vectors of one prefix length per domain, decoded on demand.
+///
+/// The schedule stores only the per-domain radices (`dims`), the mask
+/// count, and the sampling seed — O(domains) resident memory no matter
+/// how many masks it prescribes. [`CutSchedule::cuts_into`] decodes any
+/// mask index directly: mixed-radix (domain 0 fastest) when exhaustive,
+/// or a random-access jump into the seeded splitmix64 stream when
+/// sampled, bit-identical to walking the stream sequentially.
+#[derive(Debug, Clone)]
+pub struct CutSchedule {
+    dims: Vec<usize>,
     n_masks: usize,
     exhaustive: bool,
+    seed: u64,
 }
 
 impl CutSchedule {
-    fn cuts(&self, i: usize) -> &[usize] {
-        &self.flat[i * self.n_domains..(i + 1) * self.n_domains]
+    /// Number of cut vectors (masks) the schedule prescribes.
+    pub fn n_masks(&self) -> usize {
+        self.n_masks
+    }
+
+    /// Number of choice domains per cut vector.
+    pub fn n_domains(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the schedule covers every legal image (odometer order)
+    /// rather than a seeded sample.
+    pub fn exhaustive(&self) -> bool {
+        self.exhaustive
+    }
+
+    /// Decodes the `i`-th cut vector into `out` (cleared first). Panics
+    /// if `i >= n_masks()`.
+    pub fn cuts_into(&self, i: usize, out: &mut Vec<usize>) {
+        assert!(i < self.n_masks, "mask index {i} out of schedule");
+        out.clear();
+        if self.exhaustive {
+            // Mixed-radix decode, least-significant domain first —
+            // exactly the order the original odometer visited.
+            let mut rem = i as u64;
+            for &k in &self.dims {
+                let radix = k as u64 + 1;
+                out.push((rem % radix) as usize);
+                rem /= radix;
+            }
+        } else if i == 0 {
+            // Corner: the all-miss image.
+            out.extend(std::iter::repeat_n(0, self.dims.len()));
+        } else if i == 1 {
+            // Corner: the all-land image.
+            out.extend(self.dims.iter().copied());
+        } else {
+            // Jump the splitmix64 stream to the draw this row starts
+            // at: the state before draw `p` of a sequential walk from
+            // `seed` is `seed + GAMMA * p`, so seeking is one multiply.
+            let p = ((i - 2) * self.dims.len()) as u64;
+            let mut state = self.seed.wrapping_add(GAMMA.wrapping_mul(p));
+            for &k in &self.dims {
+                out.push((splitmix64(&mut state) % (k as u64 + 1)) as usize);
+            }
+        }
     }
 }
 
@@ -707,7 +922,7 @@ fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
 /// cell plus MAC-line cell — the packed line is one write on the
 /// device but materializes both split-region entries in the image).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CellKey {
+pub(crate) enum CellKey {
     Data(LineAddr),
     Co(LineAddr),
     Ctr(CounterLineAddr),
@@ -825,6 +1040,11 @@ pub(crate) struct ImageOverlay<'a> {
     group_touches: Vec<Vec<(usize, usize)>>,
     cuts: Vec<usize>,
     mask: LandMask,
+    /// Cells whose image value was rewritten or cleared by the latest
+    /// [`ImageOverlay::goto`] (may contain duplicates). Only maintained
+    /// when `collect_dirty` is on — the delta verifier's feed.
+    dirty: Vec<CellKey>,
+    collect_dirty: bool,
 }
 
 impl<'a> ImageOverlay<'a> {
@@ -875,8 +1095,25 @@ impl<'a> ImageOverlay<'a> {
             group_touches,
             cuts: vec![0; set.domain_order.len()],
             mask: LandMask::zeros(set.groups),
+            dirty: Vec::new(),
+            collect_dirty: false,
             set,
         }
+    }
+
+    /// Turns dirty-cell collection on or off. While on, each
+    /// [`ImageOverlay::goto`] records the cells it rewrote or cleared,
+    /// readable through [`ImageOverlay::dirty`] until the next move.
+    pub(crate) fn set_collect_dirty(&mut self, on: bool) {
+        self.collect_dirty = on;
+        self.dirty.clear();
+    }
+
+    /// Cells the latest [`ImageOverlay::goto`] changed (duplicates
+    /// possible when several groups rewrote one cell). Empty unless
+    /// collection was enabled via [`ImageOverlay::set_collect_dirty`].
+    pub(crate) fn dirty(&self) -> &[CellKey] {
+        &self.dirty
     }
 
     /// The current candidate image. Valid for the cut vector of the
@@ -907,6 +1144,9 @@ impl<'a> ImageOverlay<'a> {
                     self.cell_keys[cell],
                     &self.set.entries[entry].op,
                 );
+                if self.collect_dirty {
+                    self.dirty.push(self.cell_keys[cell]);
+                }
             }
         }
     }
@@ -930,6 +1170,9 @@ impl<'a> ImageOverlay<'a> {
                     }
                     None => clear_cell(&mut self.img, self.cell_keys[cell]),
                 }
+                if self.collect_dirty {
+                    self.dirty.push(self.cell_keys[cell]);
+                }
             }
         }
     }
@@ -938,6 +1181,9 @@ impl<'a> ImageOverlay<'a> {
     /// groups whose domain prefix changed.
     pub(crate) fn goto(&mut self, target: &[usize]) {
         debug_assert_eq!(target.len(), self.cuts.len());
+        if self.collect_dirty {
+            self.dirty.clear();
+        }
         for (d, &tgt) in target.iter().enumerate() {
             let cur = self.cuts[d];
             if tgt > cur {
@@ -1424,6 +1670,137 @@ mod tests {
                 assert_enumerations_agree(&set, EnumOpts { max_images: 8, seed });
             }
         }
+
+        /// The tentpole differential: the fused delta-verified walk must
+        /// reproduce the retained full-pass verifiers *exactly* — same
+        /// retained images, same Ok/Err verdict strings, same attack
+        /// verdicts including blame — across every policy, exhaustive
+        /// and sampled schedules, and thread counts.
+        #[test]
+        fn delta_verdicts_match_full_verifiers_on_random_journals(seed in 0u64..1_000_000) {
+            use crate::config::IntegrityPolicy;
+            use crate::integrity::{verify_image_attack_with, verify_image_with};
+            let cfg = SimConfig::single_core(Design::Sca);
+            let engine = EncryptionEngine::new(cfg.key);
+            let mac_engine = MacEngine::new(cfg.key);
+            let journal = synthetic_journal(seed);
+            let mut full = NvmmImage::new();
+            for r in &journal {
+                r.op.apply(&mut full);
+            }
+            let horizon_ps = journal
+                .iter()
+                .map(|r| r.guaranteed_at.0)
+                .max()
+                .unwrap_or(0)
+                + 10_000;
+            let mut state = seed ^ 0xd1f7;
+            for _ in 0..3 {
+                let t = Time(splitmix64(&mut state) % horizon_ps);
+                let set = CrashSet::from_journal(&journal, t);
+                for opts in [EnumOpts::default(), EnumOpts { max_images: 8, seed }] {
+                    for policy in IntegrityPolicy::ALL {
+                        let spec = IntegritySpec { policy, levels: 2 };
+                        let fresh = FreshnessRef::capture(&full, spec);
+                        for threads in [1usize, 4] {
+                            let (en, verdicts) =
+                                set.enumerate_verified(opts, threads, spec, &engine, &mac_engine);
+                            let eager = set.enumerate_eager(opts);
+                            prop_assert_eq!(en.images.len(), eager.images.len());
+                            prop_assert_eq!(en.images.len(), verdicts.len());
+                            for (i, (_, img)) in en.images.iter().enumerate() {
+                                prop_assert_eq!(
+                                    img.fingerprint(),
+                                    eager.images[i].1.fingerprint()
+                                );
+                                prop_assert_eq!(
+                                    &verdicts[i],
+                                    &verify_image_with(img, spec, &engine, &mac_engine)
+                                );
+                            }
+                            let (en2, sweeps) = set.replay_sweep(
+                                opts, threads, spec, &engine, &mac_engine, &fresh,
+                            );
+                            prop_assert_eq!(en2.images.len(), sweeps.len());
+                            for (i, (mask, img)) in en2.images.iter().enumerate() {
+                                prop_assert_eq!(
+                                    &sweeps[i],
+                                    &set.replay_verdict(mask, spec, &engine, &mac_engine, &fresh)
+                                );
+                                prop_assert_eq!(
+                                    &sweeps[i],
+                                    &verify_image_attack_with(
+                                        img, spec, &engine, &mac_engine, &fresh,
+                                    )
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// An injected tree bug — a guaranteed tree node referencing a
+    /// counter line that never persisted — must blame the exact same
+    /// witness string through the incremental path as through the full
+    /// verifier.
+    #[test]
+    fn injected_tree_bug_blames_same_witness_incrementally() {
+        use crate::config::IntegrityPolicy;
+        use crate::integrity::{verify_image_with, DigestLine};
+
+        let cfg = SimConfig::single_core(Design::Sca);
+        let engine = EncryptionEngine::new(cfg.key);
+        let mac_engine = MacEngine::new(cfg.key);
+        let mut d = DigestLine::new();
+        d.set(3, 0xdead_beef);
+        let journal = vec![
+            JournalRecord {
+                submitted_at: Time::from_ns(0),
+                guaranteed_at: Time::from_ns(10),
+                pair: None,
+                domain: Domain::MetadataQueue,
+                shard: 0,
+                op: JournalOp::TreeNode {
+                    node: TreeNodeAddr { level: 1, index: 0 },
+                    digests: d,
+                },
+            },
+            // An in-flight write so the schedule has a real delta to
+            // walk past the base image.
+            JournalRecord {
+                submitted_at: Time::from_ns(5),
+                guaranteed_at: Time::from_ns(500),
+                pair: None,
+                domain: Domain::DataQueue,
+                shard: 0,
+                op: JournalOp::Plain {
+                    line: LineAddr(9),
+                    data: [7u8; 64],
+                },
+            },
+        ];
+        let set = CrashSet::from_journal(&journal, Time::from_ns(100));
+        let spec = IntegritySpec {
+            policy: IntegrityPolicy::Strict,
+            levels: 2,
+        };
+        let (en, verdicts) =
+            set.enumerate_verified(EnumOpts::default(), 1, spec, &engine, &mac_engine);
+        let mut bug_seen = false;
+        for (i, (_, img)) in en.images.iter().enumerate() {
+            let eager = verify_image_with(img, spec, &engine, &mac_engine);
+            assert_eq!(verdicts[i], eager, "incremental/full witness divergence");
+            if let Err(e) = &verdicts[i] {
+                assert!(
+                    e.contains("references counter line"),
+                    "unexpected witness: {e}"
+                );
+                bug_seen = true;
+            }
+        }
+        assert!(bug_seen, "the injected dangling tree link never surfaced");
     }
 
     #[test]

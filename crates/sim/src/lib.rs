@@ -78,11 +78,11 @@ pub use attack::{
     AttackOutcome, MatrixCell, SnapshotPair,
 };
 pub use config::{Design, IntegrityPolicy, SimConfig};
-pub use crashmc::{CrashSet, EnumOpts, EnumStats, Enumeration, LandMask};
+pub use crashmc::{CrashSet, CutSchedule, EnumOpts, EnumStats, Enumeration, LandMask};
 pub use device::{WearReport, WearTracker};
 pub use integrity::{
     rebuild_tree, recovery_cost, verify_image, verify_image_attack, verify_image_attack_with,
-    verify_image_with, AttackVerdict, DigestLine, FreshnessRef, IntegritySpec,
+    verify_image_with, AttackVerdict, DeltaVerifier, DigestLine, FreshnessRef, IntegritySpec,
 };
 pub use nvmm::{LineRead, NvmmImage};
 pub use parallel::{mc_threads, run_parallel};

@@ -423,6 +423,53 @@ fn incremental_enumeration_matches_eager_on_all_workloads() {
     }
 }
 
+/// The fused delta-verified walk, reached through the public harness,
+/// must be observationally identical to full-pass verification: same
+/// report (violations, stats, minimized witness) for every workload and
+/// policy — including on a violating configuration, where the blamed
+/// witness must match too. The worker-count dimension comes from the CI
+/// matrix, which runs this suite under `NVMM_MC_THREADS=1` and `=4`.
+#[test]
+fn delta_verified_harness_matches_full_pass() {
+    for kind in [WorkloadKind::Queue, WorkloadKind::BTree] {
+        let spec = WorkloadSpec::smoke(kind).with_ops(4);
+        for policy in [
+            IntegrityPolicy::Strict,
+            IntegrityPolicy::Phoenix,
+            IntegrityPolicy::Colocated,
+        ] {
+            let cfg = SimConfig::single_core(Design::Sca).with_integrity(policy);
+            for strip in [false, true] {
+                let delta_opts = ModelCheckOpts {
+                    strip_counter_writebacks: strip,
+                    ..opts(16)
+                };
+                let full_opts = ModelCheckOpts {
+                    delta_verify: false,
+                    ..delta_opts
+                };
+                assert!(delta_opts.delta_verify, "delta walk must be the default");
+                let instants = crash_instants_cfg(&spec, cfg.clone(), &delta_opts, 3);
+                for &t in &instants {
+                    let full =
+                        model_check_cfg(&spec, cfg.clone(), CrashSpec::AtTime(t), &full_opts);
+                    let delta =
+                        model_check_cfg(&spec, cfg.clone(), CrashSpec::AtTime(t), &delta_opts);
+                    assert_eq!(
+                        full, delta,
+                        "{kind}/{policy:?} strip={strip} at {t}: delta and full-pass \
+                         harness reports diverge"
+                    );
+                    assert_eq!(
+                        full.minimal, delta.minimal,
+                        "{kind}/{policy:?} strip={strip} at {t}: witnesses diverge"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The parallel-over-instants driver returns, in instant order, exactly
 /// the reports the sequential per-instant loop produces — including the
 /// minimized witness on a violating configuration.
